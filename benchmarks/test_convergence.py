@@ -1,0 +1,75 @@
+"""Convergence experiment: loss/accuracy vs training epochs.
+
+Not a paper figure, but the standard sanity artifact for a training-system
+reproduction: verifies the joint objective decreases monotonically-ish and
+held-out accuracy saturates rather than diverging.
+"""
+
+import numpy as np
+
+from repro.core import FakeDetector, FakeDetectorConfig
+
+from conftest import save_artifact
+
+CHECKPOINTS = (5, 15, 30, 60)
+
+
+def test_convergence(bench_dataset, bench_split, benchmark):
+    rows = []
+
+    def run():
+        for epochs in CHECKPOINTS:
+            config = FakeDetectorConfig(
+                epochs=epochs, explicit_dim=80, vocab_size=2000, max_seq_len=20,
+                embed_dim=12, rnn_hidden=16, latent_dim=12, gdu_hidden=24, seed=3,
+            )
+            det = FakeDetector(config).fit(bench_dataset, bench_split)
+            preds = det.predict("article")
+            test = bench_split.articles.test
+            acc = float(
+                np.mean(
+                    [
+                        (bench_dataset.articles[a].label.binary) == int(preds[a] >= 3)
+                        for a in test
+                    ]
+                )
+            )
+            rows.append((epochs, det.record.total[-1], acc))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Convergence: epochs vs train loss vs held-out bi-class accuracy"]
+    lines.append(f"{'epochs':>7s} {'loss':>8s} {'test-acc':>9s}")
+    for epochs, loss, acc in rows:
+        lines.append(f"{epochs:>7d} {loss:>8.3f} {acc:>9.3f}")
+    rendered = "\n".join(lines)
+    save_artifact("convergence.txt", rendered)
+    print()
+    print(rendered)
+
+    # Training loss must strictly decrease with budget.
+    losses = [loss for _, loss, _ in rows]
+    assert losses == sorted(losses, reverse=True), losses
+    # Accuracy at the largest budget must beat the smallest budget's.
+    assert rows[-1][2] >= rows[0][2] - 0.05
+
+
+def test_minibatch_convergence(bench_dataset, bench_split, benchmark):
+    """Minibatch training converges on the same corpus (scalability path)."""
+
+    def run():
+        config = FakeDetectorConfig(
+            epochs=8, batch_size=128, explicit_dim=80, vocab_size=2000,
+            max_seq_len=20, embed_dim=12, rnn_hidden=16, latent_dim=12,
+            gdu_hidden=24, seed=3,
+        )
+        return FakeDetector(config).fit(bench_dataset, bench_split)
+
+    det = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert det.record.total[-1] < det.record.total[0]
+    save_artifact(
+        "convergence_minibatch.txt",
+        "Minibatch (batch=128) loss per epoch:\n"
+        + "\n".join(f"  epoch {i + 1:2d}: {v:.4f}" for i, v in enumerate(det.record.total)),
+    )

@@ -1,0 +1,55 @@
+"""Benchmark: extension baselines (node2vec, GCN) vs the paper's six methods.
+
+One θ=0.5 cell over all eight methods, as a quick league table; the full
+figures use the paper's original method set.
+"""
+
+import numpy as np
+
+from repro.experiments import extended_methods
+from repro.graph.sampling import tri_splits
+
+from conftest import save_artifact
+
+
+def test_extended_method_league(bench_dataset, benchmark):
+    split = next(
+        tri_splits(
+            sorted(bench_dataset.articles), sorted(bench_dataset.creators),
+            sorted(bench_dataset.subjects), k=10, seed=0,
+        )
+    )
+    rng = np.random.default_rng(0)
+    sub = split.subsample_train(0.5, rng)
+    rows = {}
+
+    def run():
+        for name, factory in extended_methods(fast=True).items():
+            model = factory(0)
+            model.fit(bench_dataset, sub)
+            preds = model.predict("article")
+            test = split.articles.test
+            acc = float(
+                np.mean(
+                    [
+                        (bench_dataset.articles[a].label.binary) == int(preds[a] >= 3)
+                        for a in test
+                    ]
+                )
+            )
+            rows[name] = acc
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Extended method league (bi-class article accuracy, θ=0.5, 1 fold)"]
+    for name, acc in sorted(rows.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<13s} {acc:.3f}")
+    rendered = "\n".join(lines)
+    save_artifact("extended_methods.txt", rendered)
+    print()
+    print(rendered)
+
+    assert set(rows) >= {"FakeDetector", "node2vec", "gcn"}
+    for name, acc in rows.items():
+        assert 0.3 <= acc <= 1.0, (name, acc)

@@ -1,0 +1,79 @@
+"""Benchmark + reproduction of Figure 1: dataset statistical analysis.
+
+Each panel of the paper's Figure 1 is regenerated and its qualitative claim
+checked:
+
+- 1(a) creator publication counts follow a power law; Obama most prolific
+- 1(b)/(c) distinct frequent-word profiles for true vs false articles
+- 1(d) top-20 subject table; health leans false relative to economy
+- 1(e)/(f) the four case-study creators match their reported label mixes
+"""
+
+import pytest
+
+from repro.data.analysis import (
+    creator_case_study,
+    creator_publication_distribution,
+    distinctive_words,
+    frequent_words,
+    most_prolific_creator,
+    subject_credibility_table,
+)
+from repro.experiments import figure1
+
+from conftest import save_artifact
+
+
+def test_figure1_analysis_benchmark(bench_dataset, benchmark):
+    """Time the full Section-3 analysis pass."""
+
+    def analyze():
+        creator_publication_distribution(bench_dataset)
+        frequent_words(bench_dataset, top_k=20)
+        subject_credibility_table(bench_dataset, top_k=20)
+        creator_case_study(bench_dataset)
+
+    benchmark(analyze)
+
+
+def test_figure1a_power_law(bench_dataset, benchmark):
+    fit = benchmark(lambda: creator_publication_distribution(bench_dataset))
+    assert fit.is_power_law_like, f"exponent={fit.exponent:.2f} r2={fit.r_squared:.2f}"
+    name, count = most_prolific_creator(bench_dataset)
+    assert name == "Barack Obama"
+    # Paper: Obama ~599 at scale 1.0 -> proportional at bench scale.
+    assert count == pytest.approx(599 * bench_dataset.num_articles / 14055, rel=0.3)
+
+
+def test_figure1bc_word_profiles(bench_dataset, benchmark):
+    words = benchmark(lambda: frequent_words(bench_dataset, top_k=30))
+    distinct = distinctive_words(bench_dataset, top_k=10)
+    assert len(words["true"]) == 30 and len(words["false"]) == 30
+    # The two classes must have genuinely distinctive vocabulary.
+    assert len(distinct["true"]) >= 5
+    assert len(distinct["false"]) >= 5
+    assert not (set(distinct["true"]) & set(distinct["false"]))
+
+
+def test_figure1d_subject_skew(bench_dataset, benchmark):
+    rows = {r.name: r for r in benchmark(lambda: subject_credibility_table(bench_dataset, top_k=20))}
+    # "health" has the largest article count (paper: 1,572 of 14,055).
+    ordered = subject_credibility_table(bench_dataset, top_k=20)
+    assert ordered[0].name == "health"
+    # Health leans false relative to economy (paper: 46.5% vs 63.2% true).
+    assert rows["health"].true_fraction < rows["economy"].true_fraction
+
+
+def test_figure1ef_case_studies(bench_dataset, benchmark):
+    studies = {s.name: s for s in benchmark(lambda: creator_case_study(bench_dataset))}
+    assert studies["Donald Trump"].true_fraction == pytest.approx(0.31, abs=0.1)
+    assert studies["Barack Obama"].true_fraction == pytest.approx(0.75, abs=0.1)
+    assert studies["Hillary Clinton"].true_fraction == pytest.approx(0.73, abs=0.12)
+    assert studies["Barack Obama"].total > studies["Mike Pence"].total
+
+
+def test_figure1_artifact(bench_dataset, benchmark):
+    rendered = benchmark(lambda: figure1(bench_dataset))
+    save_artifact("figure1.txt", rendered)
+    print()
+    print(rendered)

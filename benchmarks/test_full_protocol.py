@@ -1,0 +1,55 @@
+"""The paper's complete protocol — opt-in (hours of CPU, not for CI).
+
+Runs all ten θ values over the full method set, optionally with multiple
+folds and a larger corpus. Enable with::
+
+    REPRO_FULL_PROTOCOL=1 [REPRO_BENCH_SCALE=0.2 REPRO_BENCH_FOLDS=3] \
+        pytest benchmarks/test_full_protocol.py --benchmark-only -s
+
+Artifacts land in ``results/full_figure4.txt`` / ``full_figure5.txt`` plus
+an archived sweep for later analysis.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    PAPER_THETAS,
+    check_paper_claims,
+    default_methods,
+    figure4,
+    figure5,
+    render_claims,
+    run_sweep,
+    save_sweep,
+)
+
+from conftest import BENCH_FOLDS, RESULTS_DIR, save_artifact
+
+FULL = os.environ.get("REPRO_FULL_PROTOCOL", "0") == "1"
+
+
+@pytest.mark.skipif(not FULL, reason="set REPRO_FULL_PROTOCOL=1 to run")
+def test_full_theta_protocol(bench_dataset, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sweep(
+            bench_dataset,
+            default_methods(fast=True),
+            thetas=PAPER_THETAS,
+            folds=BENCH_FOLDS,
+            seed=0,
+            verbose=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("full_figure4.txt", figure4(result))
+    save_artifact("full_figure5.txt", figure5(result))
+    claims = render_claims(check_paper_claims(result))
+    save_artifact("full_claims.txt", claims)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_sweep(result, RESULTS_DIR / "full_sweep.json")
+    print()
+    print(claims)
+    assert result.thetas == list(PAPER_THETAS)

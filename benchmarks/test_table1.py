@@ -1,0 +1,61 @@
+"""Benchmark + reproduction of Table 1: network properties.
+
+Regenerates the paper's node/link count table at the benchmark scale and
+verifies the scaled counts and ratios match the crawl's statistics.
+"""
+
+import pytest
+
+from repro.data import (
+    PAPER_NUM_ARTICLE_SUBJECT_LINKS,
+    PAPER_NUM_ARTICLES,
+    PAPER_NUM_CREATORS,
+    GeneratorConfig,
+    PolitiFactGenerator,
+)
+from repro.data.analysis import (
+    average_articles_per_creator,
+    average_subjects_per_article,
+    network_properties,
+)
+from repro.experiments import table1
+
+from conftest import BENCH_SCALE, BENCH_SEED, save_artifact
+
+
+def test_table1_generation_benchmark(benchmark):
+    """Time corpus generation (the substrate for every other benchmark)."""
+    config = GeneratorConfig(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+    dataset = benchmark(lambda: PolitiFactGenerator(config).generate())
+    props = network_properties(dataset)
+    n_articles, n_creators, n_subjects, links = config.resolved_counts()
+    assert props["articles"] == n_articles
+    assert props["creators"] == n_creators
+    assert props["subjects"] == n_subjects
+    assert props["creator_article_links"] == n_articles
+    assert props["article_subject_links"] == links
+
+
+def test_table1_reproduction(bench_dataset, benchmark):
+    """The paper's Table 1 ratios hold at the benchmark scale."""
+    rendered = benchmark(lambda: table1(bench_dataset))
+    paper_reference = (
+        "\nPaper (scale=1.0): articles=14,055 creators=3,634 subjects=152 "
+        "creator-article=14,055 article-subject=48,756\n"
+        f"This run (scale={BENCH_SCALE}): see above. "
+        "Ratios preserved: articles/creator "
+        f"{average_articles_per_creator(bench_dataset):.2f} (paper 3.86), "
+        f"subjects/article {average_subjects_per_article(bench_dataset):.2f} "
+        "(paper ~3.5)."
+    )
+    save_artifact("table1.txt", rendered + paper_reference)
+    print()
+    print(rendered + paper_reference)
+
+    assert average_articles_per_creator(bench_dataset) == pytest.approx(
+        PAPER_NUM_ARTICLES / PAPER_NUM_CREATORS, abs=0.2
+    )
+    assert average_subjects_per_article(bench_dataset) == pytest.approx(
+        PAPER_NUM_ARTICLE_SUBJECT_LINKS / PAPER_NUM_ARTICLES, abs=0.2
+    )

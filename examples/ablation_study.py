@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Ablation study over FakeDetector's design choices.
+
+Trains the full model and five ablated variants on the same split and
+compares held-out article accuracy:
+
+- full model (explicit + latent features, all GDU gates, diffusion)
+- no explicit features (latent GRU only)
+- no latent features (bag-of-words only)
+- no diffusion (graph ignored)
+- no GDU gates (plain tanh fusion)
+- one diffusion round (vs the default two)
+
+Run:  python examples/ablation_study.py
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro import FakeDetector, FakeDetectorConfig, generate_dataset
+from repro.graph.sampling import tri_splits
+from repro.metrics import BinaryMetrics
+
+BASE = FakeDetectorConfig(
+    epochs=40, explicit_dim=80, vocab_size=2500, max_seq_len=20,
+    embed_dim=12, rnn_hidden=16, latent_dim=12, gdu_hidden=24, seed=5,
+)
+
+VARIANTS = {
+    "full model": {},
+    "no explicit features": {"use_explicit_features": False},
+    "no latent features": {"use_latent_features": False},
+    "no diffusion": {"use_diffusion": False},
+    "no GDU gates": {
+        "use_forget_gate": False,
+        "use_adjust_gate": False,
+        "use_selection_gates": False,
+    },
+    "1 diffusion round": {"diffusion_iterations": 1},
+    "3 diffusion rounds": {"diffusion_iterations": 3},
+}
+
+
+def main() -> None:
+    dataset = generate_dataset(scale=0.04, seed=7)
+    split = next(
+        tri_splits(
+            sorted(dataset.articles),
+            sorted(dataset.creators),
+            sorted(dataset.subjects),
+            k=10,
+            seed=0,
+        )
+    )
+    print(f"Corpus: {dataset.num_articles} articles; "
+          f"{len(split.articles.test)} held out\n")
+    print(f"{'variant':<22s} {'art-acc':>8s} {'art-f1':>8s} {'cre-acc':>8s} {'time':>6s}")
+
+    for name, overrides in VARIANTS.items():
+        config = dataclasses.replace(BASE, **overrides)
+        start = time.time()
+        detector = FakeDetector(config).fit(dataset, split)
+        elapsed = time.time() - start
+
+        def binary(kind, store, test_ids):
+            preds = detector.predict(kind)
+            labeled = [e for e in test_ids if store[e].label is not None]
+            y_true = [store[e].label.binary for e in labeled]
+            y_pred = [int(preds[e] >= 3) for e in labeled]
+            return BinaryMetrics.compute(y_true, y_pred)
+
+        art = binary("article", dataset.articles, split.articles.test)
+        cre = binary("creator", dataset.creators, split.creators.test)
+        print(
+            f"{name:<22s} {art.accuracy:>8.3f} {art.f1:>8.3f} "
+            f"{cre.accuracy:>8.3f} {elapsed:>5.0f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Build a News-HSN corpus by hand and run credibility inference on it.
+
+Shows the dataset-construction API a user with their own fact-checking data
+would use: create articles/creators/subjects directly, derive creator and
+subject ground truth with the paper's weighted-sum rule, persist to JSON
+lines, and train both FakeDetector and the label-propagation baseline.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CredibilityLabel,
+    FakeDetector,
+    FakeDetectorConfig,
+    NewsDataset,
+    load_dataset,
+    save_dataset,
+)
+from repro.baselines import LabelPropagationBaseline
+from repro.data import Article, Creator, Subject, assign_derived_labels
+from repro.graph.sampling import tri_splits
+
+STATEMENTS = [
+    # (creator, subjects, label, text)
+    ("sen_ray", ["budget"], CredibilityLabel.TRUE,
+     "the budget report shows spending fell four percent according to the census data"),
+    ("sen_ray", ["budget", "jobs"], CredibilityLabel.MOSTLY_TRUE,
+     "average wages grew and the workers unemployment rate hit a record low this year"),
+    ("sen_ray", ["jobs"], CredibilityLabel.HALF_TRUE,
+     "the jobs bill added a million positions though the analysis counts part time work"),
+    ("blog_max", ["budget"], CredibilityLabel.FALSE,
+     "secret budget scheme will bankrupt the state a shocking scandal exposed by insiders"),
+    ("blog_max", ["health"], CredibilityLabel.PANTS_ON_FIRE,
+     "obamacare is a hoax designed to confiscate your savings in a corrupt takeover plot"),
+    ("blog_max", ["health", "jobs"], CredibilityLabel.FALSE,
+     "the radical plan will destroy every hospital and outlaw doctors a rigged disaster"),
+    ("gov_lee", ["health"], CredibilityLabel.MOSTLY_TRUE,
+     "insurance coverage expanded to more patients and premiums held steady per the report"),
+    ("gov_lee", ["budget", "health"], CredibilityLabel.TRUE,
+     "the department data shows medicare spending per patient declined this fiscal year"),
+    ("gov_lee", ["jobs"], CredibilityLabel.MOSTLY_FALSE,
+     "the factory hiring numbers were inflated and the payroll figures overstate growth"),
+]
+
+
+def build_corpus() -> NewsDataset:
+    dataset = NewsDataset()
+    dataset.add_creator(Creator("sen_ray", "Senator Ray", "senator nonpartisan budget policy veteran"))
+    dataset.add_creator(Creator("blog_max", "Max the Blogger", "provocative viral partisan blogger firebrand"))
+    dataset.add_creator(Creator("gov_lee", "Governor Lee", "governor moderate bipartisan legislation economist"))
+    dataset.add_subject(Subject("budget", "budget", "budget spending revenue deficit appropriations"))
+    dataset.add_subject(Subject("health", "health", "healthcare insurance medicare hospital patients"))
+    dataset.add_subject(Subject("jobs", "jobs", "employment hiring workforce payroll labor"))
+    for i, (creator, subjects, label, text) in enumerate(STATEMENTS):
+        dataset.add_article(
+            Article(f"stmt_{i:02d}", text, label, creator_id=creator, subject_ids=list(subjects))
+        )
+    # §5.1.1: creator/subject ground truth = weighted sum of article scores.
+    assign_derived_labels(dataset)
+    dataset.validate()
+    return dataset
+
+
+def main() -> None:
+    dataset = build_corpus()
+    print("Derived ground-truth labels (weighted-sum rule):")
+    for creator in dataset.creators.values():
+        print(f"  creator {creator.name:<16s} -> {creator.label.display_name}")
+    for subject in dataset.subjects.values():
+        print(f"  subject {subject.name:<16s} -> {subject.label.display_name}")
+
+    # Persist and reload through the JSON-lines format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "corpus.jsonl"
+        save_dataset(dataset, path)
+        dataset = load_dataset(path)
+        print(f"\nRound-tripped corpus through {path.name}: "
+              f"{dataset.num_articles} articles intact")
+
+    split = next(
+        tri_splits(
+            sorted(dataset.articles),
+            sorted(dataset.creators),
+            sorted(dataset.subjects),
+            k=3,
+            seed=0,
+        )
+    )
+    config = FakeDetectorConfig(
+        epochs=60, explicit_dim=20, vocab_size=200, max_seq_len=16,
+        embed_dim=6, rnn_hidden=8, latent_dim=6, gdu_hidden=10,
+    )
+    detector = FakeDetector(config).fit(dataset, split)
+    lp = LabelPropagationBaseline().fit(dataset, split)
+
+    print("\nHeld-out article predictions:")
+    fd_preds = detector.predict("article")
+    lp_preds = lp.predict("article")
+    for aid in split.articles.test:
+        truth = dataset.articles[aid].label
+        print(
+            f"  {aid}: truth={truth.display_name:<14s} "
+            f"FakeDetector={CredibilityLabel.from_class_index(fd_preds[aid]).display_name:<14s} "
+            f"lp={CredibilityLabel.from_class_index(lp_preds[aid]).display_name}"
+        )
+
+
+if __name__ == "__main__":
+    main()

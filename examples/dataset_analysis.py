@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Section 3 dataset analysis (Table 1 and Figure 1).
+
+Generates a corpus calibrated to the paper's PolitiFact crawl and prints
+every statistic the paper reports: node/link counts, the power-law creator
+distribution, frequent/distinctive words by label, the subject credibility
+table, and the four case-study creators.
+
+Run:  python examples/dataset_analysis.py [scale]
+"""
+
+import sys
+
+from repro import generate_dataset
+from repro.experiments import figure1, table1
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"Generating corpus at scale={scale} "
+          f"(paper scale=1.0 is 14,055 articles)...\n")
+    dataset = generate_dataset(scale=scale, seed=7)
+
+    print(table1(dataset))
+    print()
+    print(figure1(dataset))
+
+    print(
+        "\nPaper reference points (at scale=1.0): 14,055 articles / 3,634 "
+        "creators / 152 subjects / 48,756 article-subject links; Barack Obama "
+        "most prolific (~599); 'health' largest subject (46.5% true), "
+        "'economy' second (63.2% true); Trump ~69% false, Pence 52:48, "
+        "Obama ~75% true, Clinton ~73% true."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Run the pipeline on LIAR-format data (Wang 2017's public PolitiFact TSV).
+
+If you have the real LIAR files, pass them on the command line::
+
+    python examples/liar_dataset.py train.tsv valid.tsv test.tsv
+
+Without arguments, the script writes a small synthetic TSV in LIAR's exact
+column layout and runs on that, so the example is self-contained offline.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.data import load_liar
+from repro.data.analysis import graph_statistics, network_properties
+from repro.graph.sampling import tri_splits
+from repro.metrics import BinaryMetrics
+
+SPEAKERS = [
+    ("jane-doe", "senator", "ohio", "democrat", 0.8),
+    ("john-roe", "governor", "texas", "republican", 0.7),
+    ("max-blog", "blogger", "florida", "none", 0.25),
+    ("pat-pundit", "radio host", "arizona", "republican", 0.35),
+    ("lee-wonk", "economist", "virginia", "independent", 0.75),
+]
+SUBJECTS = ["economy", "health-care", "taxes", "immigration", "elections"]
+LIAR_LABEL_ORDER = ["pants-fire", "false", "barely-true", "half-true", "mostly-true", "true"]
+TRUE_WORDS = "report census data percent according average analysis".split()
+FALSE_WORDS = "hoax rigged scandal secret conspiracy shocking corrupt".split()
+SHARED = "the state plan policy vote house new program spending people".split()
+
+
+def synth_liar_tsv(path: Path, n: int = 400, seed: int = 7) -> None:
+    """Write a miniature corpus in LIAR's column layout."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        name, job, state, party, reliability = SPEAKERS[rng.integers(len(SPEAKERS))]
+        score = np.clip(rng.normal(1 + 5 * reliability, 1.2), 1, 6)
+        label = LIAR_LABEL_ORDER[int(round(score)) - 1]
+        pool = TRUE_WORDS if score >= 3.5 else FALSE_WORDS
+        words = [
+            (pool if rng.random() < 0.35 else SHARED)[rng.integers(7)]
+            for _ in range(14)
+        ]
+        subjects = ",".join(
+            sorted(set(SUBJECTS[rng.integers(len(SUBJECTS))] for _ in range(2)))
+        )
+        rows.append(
+            f"{i}.json\t{label}\t{' '.join(words)}\t{subjects}\t{name}\t{job}"
+            f"\t{state}\t{party}\t0\t0\t0\t0\t0\tspeech"
+        )
+    path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        paths = [Path(p) for p in sys.argv[1:]]
+        print(f"Loading LIAR files: {[p.name for p in paths]}")
+    else:
+        tmp = Path(tempfile.mkdtemp())
+        path = tmp / "liar_demo.tsv"
+        synth_liar_tsv(path)
+        paths = [path]
+        print(f"No files given — wrote a synthetic LIAR-format demo to {path}")
+
+    dataset, stats = load_liar(*paths)
+    print(f"loaded {stats.loaded}/{stats.rows} rows "
+          f"(skipped: {stats.skipped_short} short, {stats.skipped_label} bad label, "
+          f"{stats.skipped_duplicate} duplicate)")
+    print("network:", network_properties(dataset))
+    gs = graph_statistics(dataset)
+    print(f"degrees: {gs.creator_degree_mean:.1f} articles/creator, "
+          f"{gs.subject_degree_mean:.1f} articles/subject")
+
+    split = next(
+        tri_splits(
+            sorted(dataset.articles), sorted(dataset.creators),
+            sorted(dataset.subjects),
+            k=min(10, dataset.num_subjects), seed=0,
+        )
+    )
+    config = FakeDetectorConfig(
+        epochs=50, explicit_dim=80, vocab_size=3000, max_seq_len=20, alpha=2e-3,
+    )
+    print("\nTraining FakeDetector on the LIAR-format corpus...")
+    detector = FakeDetector(config).fit(dataset, split)
+
+    test = split.articles.test
+    preds = detector.predict("article")
+    metrics = BinaryMetrics.compute(
+        [dataset.articles[a].label.binary for a in test],
+        [int(preds[a] >= 3) for a in test],
+    )
+    print(f"held-out bi-class: acc={metrics.accuracy:.3f} f1={metrics.f1:.3f} "
+          f"prec={metrics.precision:.3f} recall={metrics.recall:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of FakeDetector (Zhang et al., ICDE 2020).
+
+A from-scratch Python implementation of the deep diffusive network for fake
+news credibility inference, including its full substrate stack: a numpy
+autodiff engine, text pipeline, heterogeneous network, synthetic PolitiFact
+corpus, the five comparison baselines and the paper's evaluation harness.
+
+Quickstart::
+
+    from repro import generate_dataset, FakeDetector, FakeDetectorConfig
+    from repro.graph.sampling import tri_splits
+
+    dataset = generate_dataset(scale=0.05)
+    split = next(tri_splits(sorted(dataset.articles),
+                            sorted(dataset.creators),
+                            sorted(dataset.subjects), k=10, seed=0))
+    detector = FakeDetector(FakeDetectorConfig(epochs=40)).fit(dataset, split)
+    predictions = detector.predict("article")
+"""
+
+from .core import FakeDetector, FakeDetectorConfig, FakeDetectorModel, GDU, HFLU
+from .data import (
+    CredibilityLabel,
+    NewsDataset,
+    generate_dataset,
+    load_dataset,
+    save_dataset,
+)
+from .graph import HeterogeneousNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FakeDetector",
+    "FakeDetectorConfig",
+    "FakeDetectorModel",
+    "HFLU",
+    "GDU",
+    "NewsDataset",
+    "CredibilityLabel",
+    "generate_dataset",
+    "save_dataset",
+    "load_dataset",
+    "HeterogeneousNetwork",
+    "__version__",
+]

@@ -1,0 +1,170 @@
+"""1-D convolution for text, used by the CNN latent-feature encoder.
+
+The paper's latent features are motivated by Kim (2014) sentence CNNs
+(reference [32] in §4.1.2); :class:`repro.core` exposes a CNN encoder as an
+HFLU alternative built on this op.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .nn import Module, Parameter
+from .tensor import Tensor, ensure_tensor
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Valid (no padding) 1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, seq_len, in_channels)``.
+    weight:
+        Kernel of shape ``(kernel_size, in_channels, out_channels)``.
+    bias:
+        Optional ``(out_channels,)``.
+
+    Returns ``(batch, seq_len - kernel_size + 1, out_channels)``.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    if x.ndim != 3:
+        raise ValueError(f"conv1d expects (batch, seq, channels) input, got {x.shape}")
+    if weight.ndim != 3:
+        raise ValueError(f"conv1d expects (k, in, out) kernel, got {weight.shape}")
+    batch, seq_len, in_channels = x.shape
+    kernel_size, w_in, out_channels = weight.shape
+    if w_in != in_channels:
+        raise ValueError(
+            f"channel mismatch: input has {in_channels}, kernel expects {w_in}"
+        )
+    if seq_len < kernel_size:
+        raise ValueError(
+            f"sequence length {seq_len} shorter than kernel size {kernel_size}"
+        )
+    out_len = seq_len - kernel_size + 1
+
+    # im2col: windows (batch, out_len, kernel*in) @ flat kernel.
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, kernel_size, axis=1)
+    # windows: (batch, out_len, in_channels, kernel) -> (batch, out_len, kernel, in)
+    windows = windows.transpose(0, 1, 3, 2)
+    flat_windows = windows.reshape(batch, out_len, kernel_size * in_channels)
+    flat_kernel = weight.data.reshape(kernel_size * in_channels, out_channels)
+    out = flat_windows @ flat_kernel
+
+    def backward(grad):
+        # grad: (batch, out_len, out_channels)
+        grad_flat_kernel = np.einsum("boi,boc->ic", flat_windows, grad)
+        grad_weight = grad_flat_kernel.reshape(kernel_size, in_channels, out_channels)
+        grad_windows = grad @ flat_kernel.T  # (batch, out_len, kernel*in)
+        grad_windows = grad_windows.reshape(batch, out_len, kernel_size, in_channels)
+        grad_x = np.zeros_like(x.data)
+        for k in range(kernel_size):
+            grad_x[:, k : k + out_len, :] += grad_windows[:, :, k, :]
+        return (grad_x, grad_weight)
+
+    result = Tensor._make(out, (x, weight), backward)
+    if bias is not None:
+        result = result + bias
+    return result
+
+
+def max_pool_over_time(x: Tensor) -> Tensor:
+    """Max over the sequence axis of ``(batch, seq, channels)`` -> ``(batch, channels)``.
+
+    The standard Kim-CNN pooling: one scalar per filter, position-invariant.
+    """
+    x = ensure_tensor(x)
+    if x.ndim != 3:
+        raise ValueError(f"max_pool_over_time expects 3-D input, got {x.shape}")
+    return x.max(axis=1)
+
+
+class Conv1d(Module):
+    """Learnable valid 1-D convolution layer."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("Conv1d dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size, in_channels, out_channels), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias)
+
+    def __repr__(self):
+        return (
+            f"Conv1d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size})"
+        )
+
+
+class CNNEncoder(Module):
+    """Kim (2014)-style sentence encoder: embed -> multi-width conv -> max-pool.
+
+    Drop-in alternative to :class:`repro.autograd.rnn.GRUEncoder` for the
+    HFLU latent branch (``FakeDetectorConfig(rnn_cell="cnn")``). Produces a
+    sigmoid-squashed latent vector like the GRU fusion layer so downstream
+    GDU inputs share the same range.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        num_filters: int,
+        output_size: int,
+        kernel_sizes: tuple = (2, 3, 4),
+        rng: Optional[np.random.Generator] = None,
+        padding_idx: int = 0,
+    ):
+        super().__init__()
+        from .nn import Embedding, Linear
+
+        rng = rng or np.random.default_rng()
+        if not kernel_sizes:
+            raise ValueError("kernel_sizes must be non-empty")
+        self.padding_idx = padding_idx
+        self.kernel_sizes = tuple(kernel_sizes)
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng, padding_idx=padding_idx)
+        self.convs = []
+        for i, k in enumerate(self.kernel_sizes):
+            conv = Conv1d(embed_dim, num_filters, k, rng=rng)
+            setattr(self, f"conv{i}", conv)
+            self.convs.append(conv)
+        self.fusion = Linear(num_filters * len(self.kernel_sizes), output_size, rng=rng)
+
+    def forward(self, sequences) -> Tensor:
+        from .tensor import concatenate
+
+        seq = np.asarray(
+            sequences.data if isinstance(sequences, Tensor) else sequences,
+            dtype=np.intp,
+        )
+        if seq.ndim == 1:
+            seq = seq[None, :]
+        max_k = max(self.kernel_sizes)
+        if seq.shape[1] < max_k:
+            pad = np.zeros((seq.shape[0], max_k - seq.shape[1]), dtype=seq.dtype)
+            seq = np.concatenate([seq, pad], axis=1)
+        embedded = self.embedding(seq)  # (batch, seq, embed)
+        pooled = [max_pool_over_time(conv(embedded).relu()) for conv in self.convs]
+        return self.fusion(concatenate(pooled, axis=1)).sigmoid()

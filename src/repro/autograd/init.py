@@ -1,0 +1,84 @@
+"""Weight initialization schemes for the neural substrate.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model in
+the reproduction is seedable end-to-end (the experiment harness relies on
+this for deterministic sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def uniform(shape: tuple, low: float, high: float, rng: np.random.Generator) -> Tensor:
+    """Uniform init in ``[low, high)``."""
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)
+
+
+def normal(shape: tuple, std: float, rng: np.random.Generator, mean: float = 0.0) -> Tensor:
+    """Gaussian init with the given mean / standard deviation."""
+    return Tensor(rng.normal(mean, std, size=shape), requires_grad=True)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform init: U(-a, a), a = gain * sqrt(6/(fan_in+fan_out)).
+
+    Appropriate for the tanh/sigmoid gates of the GRU and GDU cells.
+    """
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier normal init."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def he_uniform(shape: tuple, rng: np.random.Generator) -> Tensor:
+    """Kaiming/He uniform init, appropriate for ReLU layers."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> Tensor:
+    """Kaiming/He normal init."""
+    fan_in, _ = _fans(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def zeros(shape: tuple) -> Tensor:
+    """All-zero parameter (the conventional bias init)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def orthogonal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Orthogonal init (Saxe et al.), useful for recurrent weight matrices."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal init requires at least a 2-D shape")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return Tensor(gain * q[:rows, :cols].reshape(shape), requires_grad=True)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,255 @@
+"""Recurrent cells: vanilla RNN, GRU (used by the paper's HFLU), and LSTM.
+
+The paper's latent-feature extractor is an RNN with GRU hidden units over the
+token sequence; the fusion layer is ``x_l = σ(Σ_t W h_t)`` (a mean/sum pool of
+hidden states through a learned projection). :class:`GRUEncoder` packages
+that exact architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .tensor import Tensor, concatenate, ensure_tensor, stack
+from .nn import Linear, Module, Parameter
+
+
+class RNNCell(Module):
+    """Elman cell: ``h' = tanh(x W_ih + h W_hh + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hh = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.bias = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        x, h = ensure_tensor(x), ensure_tensor(h)
+        return (x @ self.w_ih + h @ self.w_hh + self.bias).tanh()
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRUCell(Module):
+    """Gated Recurrent Unit cell (Cho et al. 2014).
+
+    update gate  z = σ(x W_xz + h W_hz + b_z)
+    reset gate   r = σ(x W_xr + h W_hr + b_r)
+    candidate    ĥ = tanh(x W_xh + (r ⊙ h) W_hh + b_h)
+    new state    h' = (1 − z) ⊙ h + z ⊙ ĥ
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_xz = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hz = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_z = Parameter(init.zeros((hidden_size,)))
+        self.w_xr = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hr = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_r = Parameter(init.zeros((hidden_size,)))
+        self.w_xh = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hh = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_h = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        x, h = ensure_tensor(x), ensure_tensor(h)
+        z = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
+        r = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
+        cand = (x @ self.w_xh + (r * h) @ self.w_hh + self.b_h).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * h + z * cand
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class LSTMCell(Module):
+    """Long Short-Term Memory cell (provided as an HFLU drop-in alternative)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # One fused weight per gate family: input, forget, cell, output.
+        self.w_xi = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hi = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_i = Parameter(init.zeros((hidden_size,)))
+        self.w_xf = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hf = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        # Forget-gate bias starts at 1 so memories persist early in training.
+        self.b_f = Parameter(np.ones((hidden_size,)))
+        self.w_xc = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hc = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_c = Parameter(init.zeros((hidden_size,)))
+        self.w_xo = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_ho = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.b_o = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        x, h, c = ensure_tensor(x), ensure_tensor(h), ensure_tensor(c)
+        i = (x @ self.w_xi + h @ self.w_hi + self.b_i).sigmoid()
+        f = (x @ self.w_xf + h @ self.w_hf + self.b_f).sigmoid()
+        g = (x @ self.w_xc + h @ self.w_hc + self.b_c).tanh()
+        o = (x @ self.w_xo + h @ self.w_ho + self.b_o).sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class GRUEncoder(Module):
+    """The paper's latent feature extractor.
+
+    3-layer architecture per §4.1.2: input layer (embedded word vectors),
+    hidden layer of GRU cells unrolled over the sequence, and a fusion layer
+    ``x^l_i = σ(Σ_t W h_{i,t})`` that pools the hidden trajectory into a
+    fixed-size latent feature vector.
+
+    Zero-padded positions (index == ``padding_idx`` in the raw sequences) are
+    masked out of both the recurrence and the fusion sum, matching the
+    paper's "zero-padding will be adopted" treatment without letting padding
+    tokens perturb the state.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        hidden_size: int,
+        output_size: int,
+        rng: Optional[np.random.Generator] = None,
+        padding_idx: int = 0,
+        cell: str = "gru",
+    ):
+        super().__init__()
+        from .nn import Embedding  # local import to avoid a cycle at module load
+
+        rng = rng or np.random.default_rng()
+        self.padding_idx = padding_idx
+        self.hidden_size = hidden_size
+        self.output_size = output_size
+        self.cell_type = cell
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng, padding_idx=padding_idx)
+        if cell == "gru":
+            self.cell = GRUCell(embed_dim, hidden_size, rng=rng)
+        elif cell == "rnn":
+            self.cell = RNNCell(embed_dim, hidden_size, rng=rng)
+        elif cell == "lstm":
+            self.cell = LSTMCell(embed_dim, hidden_size, rng=rng)
+        elif cell == "bigru":
+            # Bidirectional: independent forward/backward GRUs, states
+            # concatenated per position before the fusion layer.
+            self.cell = GRUCell(embed_dim, hidden_size, rng=rng)
+            self.cell_backward = GRUCell(embed_dim, hidden_size, rng=rng)
+        else:
+            raise ValueError(
+                f"unknown cell type {cell!r} "
+                "(expected 'gru', 'rnn', 'lstm' or 'bigru')"
+            )
+        fusion_in = hidden_size * (2 if cell == "bigru" else 1)
+        self.fusion = Linear(fusion_in, output_size, rng=rng)
+
+    def forward(self, sequences: np.ndarray) -> Tensor:
+        """Encode integer sequences (batch, seq_len) into (batch, output_size)."""
+        seq = np.asarray(
+            sequences.data if isinstance(sequences, Tensor) else sequences, dtype=np.intp
+        )
+        if seq.ndim == 1:
+            seq = seq[None, :]
+        batch, length = seq.shape
+        mask = (seq != self.padding_idx).astype(np.float64)  # (batch, seq_len)
+        if self.cell_type == "bigru":
+            return self._forward_bidirectional(seq, mask)
+        is_lstm = self.cell_type == "lstm"
+        if is_lstm:
+            h, c = self.cell.initial_state(batch)
+        else:
+            h = self.cell.initial_state(batch)
+        hidden_sum: Optional[Tensor] = None
+        for t in range(length):
+            x_t = self.embedding(seq[:, t])
+            m = Tensor(mask[:, t][:, None])
+            keep = Tensor(1.0 - mask[:, t][:, None])
+            if is_lstm:
+                h_new, c_new = self.cell(x_t, (h, c))
+                # Carry the previous state through padded positions.
+                h = m * h_new + keep * h
+                c = m * c_new + keep * c
+            else:
+                h_new = self.cell(x_t, h)
+                h = m * h_new + keep * h
+            contribution = m * h
+            hidden_sum = contribution if hidden_sum is None else hidden_sum + contribution
+        if hidden_sum is None:
+            hidden_sum = Tensor(np.zeros((batch, self.hidden_size)))
+        return self.fusion(hidden_sum).sigmoid()
+
+    def _forward_bidirectional(self, seq: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Bidirectional pass: fuse Σ_t [h_fw(t) ; h_bw(t)] over valid steps."""
+        batch, length = seq.shape
+
+        def direction(cell: GRUCell, time_indices) -> list:
+            h = cell.initial_state(batch)
+            states = {}
+            for t in time_indices:
+                x_t = self.embedding(seq[:, t])
+                m = Tensor(mask[:, t][:, None])
+                keep = Tensor(1.0 - mask[:, t][:, None])
+                h = m * cell(x_t, h) + keep * h
+                states[t] = h
+            return states
+
+        fw = direction(self.cell, range(length))
+        bw = direction(self.cell_backward, range(length - 1, -1, -1))
+        hidden_sum: Optional[Tensor] = None
+        for t in range(length):
+            m = Tensor(mask[:, t][:, None])
+            joint = concatenate([fw[t], bw[t]], axis=1)
+            contribution = m * joint
+            hidden_sum = contribution if hidden_sum is None else hidden_sum + contribution
+        if hidden_sum is None:
+            hidden_sum = Tensor(np.zeros((batch, 2 * self.hidden_size)))
+        return self.fusion(hidden_sum).sigmoid()
+
+
+def run_rnn(
+    cell: Module,
+    inputs: Tensor,
+    initial_state: Optional[Tensor] = None,
+    return_sequence: bool = False,
+):
+    """Unroll ``cell`` over ``inputs`` of shape (batch, seq_len, features).
+
+    Returns the final hidden state, or the full stacked trajectory
+    (batch, seq_len, hidden) if ``return_sequence``. Works with RNNCell and
+    GRUCell (single-state cells).
+    """
+    inputs = ensure_tensor(inputs)
+    if inputs.ndim != 3:
+        raise ValueError(f"run_rnn expects (batch, seq, feat) inputs, got {inputs.shape}")
+    batch, length, _ = inputs.shape
+    h = initial_state if initial_state is not None else cell.initial_state(batch)
+    states = []
+    for t in range(length):
+        x_t = inputs[:, t, :]
+        h = cell(x_t, h)
+        if return_sequence:
+            states.append(h)
+    if return_sequence:
+        return stack(states, axis=1)
+    return h

@@ -1,0 +1,47 @@
+"""Model checkpointing: save/load Module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .nn import Module
+
+PathLike = Union[str, Path]
+
+# npz keys cannot contain '/' cleanly across platforms; keep dotted names as-is
+# but guard against collisions with the reserved metadata key.
+_META_KEY = "__repro_format__"
+_FORMAT_VERSION = "1"
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` (``.npz``)."""
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
+    payload = dict(state)
+    payload[_META_KEY] = np.array(_FORMAT_VERSION)
+    np.savez(str(path), **payload)
+
+
+def load_state(module: Module, path: PathLike) -> None:
+    """Load a ``.npz`` checkpoint saved by :func:`save_state` into ``module``."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz if missing; accept either spelling.
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(str(path)) as archive:
+        version = str(archive[_META_KEY]) if _META_KEY in archive.files else None
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} (expected {_FORMAT_VERSION!r})"
+            )
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state)

@@ -1,0 +1,33 @@
+"""All comparison methods from the paper's §5.1.2, plus a majority floor."""
+
+from .base import ENTITY_KINDS, CredibilityModel, standardize
+from .deepwalk import DeepWalkBaseline
+from .embeddings import NegativeSampler, SkipGramModel, walks_to_pairs
+from .fakedetector_adapter import FakeDetectorMethod
+from .gcn import GCNBaseline
+from .label_propagation import LabelPropagationBaseline
+from .line import LINEBaseline, LINEEmbedding
+from .majority import MajorityBaseline
+from .node2vec import Node2VecBaseline
+from .rnn_text import RNNBaseline
+from .svm import LinearSVM, SVMBaseline
+
+__all__ = [
+    "CredibilityModel",
+    "ENTITY_KINDS",
+    "standardize",
+    "LinearSVM",
+    "SVMBaseline",
+    "RNNBaseline",
+    "DeepWalkBaseline",
+    "LINEBaseline",
+    "LINEEmbedding",
+    "LabelPropagationBaseline",
+    "MajorityBaseline",
+    "Node2VecBaseline",
+    "GCNBaseline",
+    "FakeDetectorMethod",
+    "SkipGramModel",
+    "NegativeSampler",
+    "walks_to_pairs",
+]

@@ -1,0 +1,47 @@
+"""Common interface for all credibility-inference methods.
+
+Every method in the paper's comparison (§5.1.2) — FakeDetector, DeepWalk,
+LINE, label propagation, RNN, SVM — implements :class:`CredibilityModel`,
+so the experiment harness can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from ..data.schema import NewsDataset
+from ..graph.sampling import TriSplit
+
+ENTITY_KINDS = ("article", "creator", "subject")
+
+
+class CredibilityModel(abc.ABC):
+    """fit/predict contract over a News-HSN corpus and one CV split."""
+
+    #: short name used in result tables (matches the paper's legend)
+    name: str = "base"
+
+    @abc.abstractmethod
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "CredibilityModel":
+        """Train using only the split's training labels."""
+
+    @abc.abstractmethod
+    def predict(self, kind: str) -> Dict[str, int]:
+        """Class index (0..5) for every node of ``kind``."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_kind(kind: str) -> None:
+        if kind not in ENTITY_KINDS:
+            raise ValueError(f"unknown entity kind {kind!r}; expected one of {ENTITY_KINDS}")
+
+
+def standardize(train: np.ndarray, full: np.ndarray) -> np.ndarray:
+    """Z-score ``full`` using statistics of ``train`` (constant cols -> 0)."""
+    mean = train.mean(axis=0)
+    std = train.std(axis=0)
+    std[std == 0] = 1.0
+    return (full - mean) / std

@@ -1,0 +1,138 @@
+"""DeepWalk baseline (Perozzi et al. 2014; paper §5.1.2).
+
+Truncated random walks over the News-HSN -> skip-gram embeddings -> an SVM
+on the embedded nodes, matching the paper's setup: "Based on the learned
+embedding results, we can further build a SVM model to determine the class
+labels".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.schema import NUM_CLASSES, NewsDataset
+from ..graph.hsn import HeterogeneousNetwork, NodeType
+from ..graph.random_walk import generate_walk_corpus
+from ..graph.sampling import TriSplit
+from .base import CredibilityModel, standardize
+from .embeddings import NegativeSampler, SkipGramModel, walks_to_pairs
+from .svm import LinearSVM
+
+_KIND_TO_TYPE = {
+    "article": NodeType.ARTICLE,
+    "creator": NodeType.CREATOR,
+    "subject": NodeType.SUBJECT,
+}
+
+
+class DeepWalkBaseline(CredibilityModel):
+    """Structure-only embedding baseline."""
+
+    name = "deepwalk"
+
+    def __init__(
+        self,
+        dim: int = 32,
+        num_walks: int = 8,
+        walk_length: int = 30,
+        window: int = 5,
+        negatives: int = 5,
+        epochs: int = 3,
+        svm_epochs: int = 200,
+        seed: int = 0,
+    ):
+        self.dim = dim
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.svm_epochs = svm_epochs
+        self.seed = seed
+        self.embeddings: Optional[np.ndarray] = None
+        self._node_index: Dict[Tuple[NodeType, str], int] = {}
+        self._predictions: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    def embed(self, dataset: NewsDataset) -> np.ndarray:
+        """Learn structure embeddings for every node of the News-HSN."""
+        network = HeterogeneousNetwork.from_dataset(dataset)
+        nodes = network.nodes()
+        self._node_index = {node: i for i, node in enumerate(nodes)}
+        walks_raw = generate_walk_corpus(
+            network,
+            num_walks=self.num_walks,
+            walk_length=self.walk_length,
+            seed=self.seed,
+        )
+        walks = [[self._node_index[n] for n in walk] for walk in walks_raw]
+        centers, contexts = walks_to_pairs(walks, window=self.window)
+
+        freq = Counter()
+        for walk in walks:
+            freq.update(walk)
+        frequencies = np.asarray([freq.get(i, 0) for i in range(len(nodes))], dtype=np.float64)
+        sampler = NegativeSampler(frequencies)
+
+        model = SkipGramModel(
+            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives, seed=self.seed
+        )
+        model.train_pairs(centers, contexts, sampler, epochs=self.epochs)
+        self.embeddings = model.embeddings
+        return self.embeddings
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "DeepWalkBaseline":
+        self.embed(dataset)
+        self._predictions = {}
+        jobs = {
+            "article": (
+                {a: dataset.articles[a].label.class_index for a in dataset.articles},
+                split.articles.train,
+            ),
+            "creator": (
+                {
+                    c: (dataset.creators[c].label.class_index if dataset.creators[c].label else None)
+                    for c in dataset.creators
+                },
+                split.creators.train,
+            ),
+            "subject": (
+                {
+                    s: (dataset.subjects[s].label.class_index if dataset.subjects[s].label else None)
+                    for s in dataset.subjects
+                },
+                split.subjects.train,
+            ),
+        }
+        for kind, (labels_by_id, train_ids) in jobs.items():
+            node_type = _KIND_TO_TYPE[kind]
+            ids = sorted(labels_by_id)
+            rows = np.asarray(
+                [self._node_index[(node_type, eid)] for eid in ids], dtype=np.intp
+            )
+            features = self.embeddings[rows]
+            id_to_local = {eid: i for i, eid in enumerate(ids)}
+            train_local = [
+                id_to_local[eid] for eid in train_ids if labels_by_id.get(eid) is not None
+            ]
+            train_labels = [labels_by_id[ids[i]] for i in train_local]
+            if not train_local:
+                self._predictions[kind] = {eid: 0 for eid in ids}
+                continue
+            features = standardize(features[train_local], features)
+            svm = LinearSVM(
+                num_classes=NUM_CLASSES, epochs=self.svm_epochs, seed=self.seed
+            ).fit(features[train_local], train_labels)
+            predictions = svm.predict(features)
+            self._predictions[kind] = {eid: int(predictions[id_to_local[eid]]) for eid in ids}
+        return self
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        self.check_kind(kind)
+        if kind not in self._predictions:
+            raise RuntimeError("fit() must be called first")
+        return dict(self._predictions[kind])

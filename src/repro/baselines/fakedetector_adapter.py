@@ -1,0 +1,31 @@
+"""Adapter exposing FakeDetector through the common baseline interface."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import FakeDetectorConfig
+from ..core.trainer import FakeDetector
+from ..data.schema import NewsDataset
+from ..graph.sampling import TriSplit
+from .base import CredibilityModel
+
+
+class FakeDetectorMethod(CredibilityModel):
+    """CredibilityModel wrapper around :class:`repro.core.FakeDetector`."""
+
+    name = "FakeDetector"
+
+    def __init__(self, config: Optional[FakeDetectorConfig] = None):
+        self.config = config or FakeDetectorConfig()
+        self.detector: Optional[FakeDetector] = None
+
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "FakeDetectorMethod":
+        self.detector = FakeDetector(self.config).fit(dataset, split)
+        return self
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        self.check_kind(kind)
+        if self.detector is None:
+            raise RuntimeError("fit() must be called first")
+        return self.detector.predict(kind)

@@ -1,0 +1,55 @@
+"""Majority-class baseline — the sanity floor every real method must beat."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..data.schema import NewsDataset
+from ..graph.sampling import TriSplit
+from .base import CredibilityModel
+
+
+class MajorityBaseline(CredibilityModel):
+    """Predicts the most frequent training label of each node type."""
+
+    name = "majority"
+
+    def __init__(self):
+        self._majority: Dict[str, int] = {}
+        self._ids: Dict[str, list] = {}
+
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "MajorityBaseline":
+        jobs = {
+            "article": (
+                sorted(dataset.articles),
+                [dataset.articles[a].label.class_index for a in split.articles.train],
+            ),
+            "creator": (
+                sorted(dataset.creators),
+                [
+                    dataset.creators[c].label.class_index
+                    for c in split.creators.train
+                    if dataset.creators[c].label is not None
+                ],
+            ),
+            "subject": (
+                sorted(dataset.subjects),
+                [
+                    dataset.subjects[s].label.class_index
+                    for s in split.subjects.train
+                    if dataset.subjects[s].label is not None
+                ],
+            ),
+        }
+        for kind, (ids, labels) in jobs.items():
+            self._ids[kind] = ids
+            self._majority[kind] = Counter(labels).most_common(1)[0][0] if labels else 0
+        return self
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        self.check_kind(kind)
+        if kind not in self._majority:
+            raise RuntimeError("fit() must be called first")
+        label = self._majority[kind]
+        return {eid: label for eid in self._ids[kind]}

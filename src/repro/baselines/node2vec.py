@@ -1,0 +1,68 @@
+"""node2vec baseline (Grover & Leskovec 2016) — extension beyond the paper.
+
+DeepWalk with second-order biased walks: the return parameter ``p`` and
+in-out parameter ``q`` interpolate between BFS-like (community) and DFS-like
+(structural) neighborhoods. Included as an ablation point for the
+structure-only family the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+import numpy as np
+
+from ..data.schema import NewsDataset
+from ..graph.hsn import HeterogeneousNetwork
+from ..graph.random_walk import generate_walk_corpus
+from ..graph.sampling import TriSplit
+from .deepwalk import DeepWalkBaseline
+from .embeddings import NegativeSampler, SkipGramModel, walks_to_pairs
+
+
+class Node2VecBaseline(DeepWalkBaseline):
+    """DeepWalk variant with p/q-biased walks; downstream SVM unchanged."""
+
+    name = "node2vec"
+
+    def __init__(self, p: float = 0.5, q: float = 2.0, **kwargs):
+        super().__init__(**kwargs)
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        self.p = p
+        self.q = q
+
+    def embed(self, dataset: NewsDataset) -> np.ndarray:
+        network = HeterogeneousNetwork.from_dataset(dataset)
+        nodes = network.nodes()
+        self._node_index = {node: i for i, node in enumerate(nodes)}
+        walks_raw = generate_walk_corpus(
+            network,
+            num_walks=self.num_walks,
+            walk_length=self.walk_length,
+            seed=self.seed,
+            p=self.p,
+            q=self.q,
+        )
+        walks = [[self._node_index[n] for n in walk] for walk in walks_raw]
+        centers, contexts = walks_to_pairs(walks, window=self.window)
+
+        freq = Counter()
+        for walk in walks:
+            freq.update(walk)
+        frequencies = np.asarray(
+            [freq.get(i, 0) for i in range(len(nodes))], dtype=np.float64
+        )
+        sampler = NegativeSampler(frequencies)
+        model = SkipGramModel(
+            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives, seed=self.seed
+        )
+        model.train_pairs(centers, contexts, sampler, epochs=self.epochs)
+        self.embeddings = model.embeddings
+        return self.embeddings
+
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "Node2VecBaseline":
+        # DeepWalkBaseline.fit calls self.embed(), which is overridden above.
+        super().fit(dataset, split)
+        return self

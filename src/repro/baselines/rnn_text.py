@@ -1,0 +1,159 @@
+"""RNN text baseline (the paper's Rnn comparison method, §5.1.2).
+
+"Merely based on the textual contents": a GRU encoder per node type learns
+latent representations of the text, fused through a softmax head — i.e. the
+HFLU latent branch without the explicit features and without graph
+diffusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autograd import GRUEncoder, Linear, Module, Tensor
+from ..autograd import functional as F
+from ..autograd import optim
+from ..data.schema import NUM_CLASSES, NewsDataset
+from ..graph.sampling import TriSplit
+from ..text.sequences import encode_batch
+from ..text.tokenizer import tokenize
+from ..text.vocabulary import Vocabulary
+from .base import CredibilityModel
+
+
+class _RNNClassifier(Module):
+    """GRU encoder + linear softmax head over a token sequence."""
+
+    def __init__(self, vocab_size, embed_dim, hidden, latent, rng):
+        super().__init__()
+        self.encoder = GRUEncoder(
+            vocab_size=vocab_size,
+            embed_dim=embed_dim,
+            hidden_size=hidden,
+            output_size=latent,
+            rng=rng,
+        )
+        self.head = Linear(latent, NUM_CLASSES, rng=rng)
+
+    def forward(self, sequences: np.ndarray) -> Tensor:
+        return self.head(self.encoder(sequences))
+
+
+class RNNBaseline(CredibilityModel):
+    """Latent-text-only credibility classifier, trained per node type."""
+
+    name = "rnn"
+
+    def __init__(
+        self,
+        vocab_size: int = 4000,
+        embed_dim: int = 16,
+        hidden: int = 24,
+        latent: int = 16,
+        max_seq_len: int = 30,
+        epochs: int = 40,
+        lr: float = 0.01,
+        batch_size: int = 128,
+        seed: int = 0,
+    ):
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.latent = latent
+        self.max_seq_len = max_seq_len
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self._predictions: Dict[str, Dict[str, int]] = {}
+
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "RNNBaseline":
+        rng = np.random.default_rng(self.seed)
+        jobs = {
+            "article": (
+                sorted(dataset.articles),
+                {a: dataset.articles[a].label.class_index for a in dataset.articles},
+                lambda eid: dataset.articles[eid].text,
+                split.articles.train,
+            ),
+            "creator": (
+                sorted(dataset.creators),
+                {
+                    c: (dataset.creators[c].label.class_index if dataset.creators[c].label else None)
+                    for c in dataset.creators
+                },
+                lambda eid: dataset.creators[eid].profile,
+                split.creators.train,
+            ),
+            "subject": (
+                sorted(dataset.subjects),
+                {
+                    s: (dataset.subjects[s].label.class_index if dataset.subjects[s].label else None)
+                    for s in dataset.subjects
+                },
+                lambda eid: dataset.subjects[eid].description,
+                split.subjects.train,
+            ),
+        }
+        self._predictions = {}
+        for kind, (ids, labels_by_id, text_of, train_ids) in jobs.items():
+            tokens = [tokenize(text_of(eid)) for eid in ids]
+            vocab = Vocabulary.build(tokens, max_size=self.vocab_size)
+            sequences = encode_batch(tokens, vocab, self.max_seq_len)
+            index = {eid: i for i, eid in enumerate(ids)}
+            train_rows = np.asarray(
+                [index[eid] for eid in train_ids if labels_by_id.get(eid) is not None],
+                dtype=np.intp,
+            )
+            train_labels = np.asarray(
+                [labels_by_id[ids[r]] for r in train_rows], dtype=np.int64
+            )
+            model = _RNNClassifier(
+                vocab_size=len(vocab),
+                embed_dim=self.embed_dim,
+                hidden=self.hidden,
+                latent=self.latent,
+                rng=rng,
+            )
+            self._train(model, sequences, train_rows, train_labels, rng)
+            logits = model(sequences)
+            predictions = logits.data.argmax(axis=1)
+            self._predictions[kind] = {eid: int(predictions[index[eid]]) for eid in ids}
+        return self
+
+    def _train(
+        self,
+        model: _RNNClassifier,
+        sequences: np.ndarray,
+        train_rows: np.ndarray,
+        train_labels: np.ndarray,
+        rng: np.random.Generator,
+    ) -> List[float]:
+        if train_rows.size == 0:
+            return []
+        params = list(model.parameters())
+        optimizer = optim.Adam(params, lr=self.lr)
+        history: List[float] = []
+        for _ in range(self.epochs):
+            order = rng.permutation(train_rows.size)
+            epoch_loss = 0.0
+            for start in range(0, order.size, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                rows = train_rows[batch]
+                logits = model(sequences[rows])
+                loss = F.cross_entropy(logits, train_labels[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optim.clip_grad_norm(params, 5.0)
+                optimizer.step()
+                epoch_loss += float(loss.item()) * rows.size
+            history.append(epoch_loss / order.size)
+        return history
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        self.check_kind(kind)
+        if kind not in self._predictions:
+            raise RuntimeError("fit() must be called first")
+        return dict(self._predictions[kind])

@@ -1,0 +1,170 @@
+"""Linear SVM, from scratch (the paper's Svm baseline, §5.1.2).
+
+One-vs-rest linear SVM trained by full-batch subgradient descent on the
+regularized hinge loss. The paper's baseline feeds it the explicit
+bag-of-words features ("a set of explicit features can be extracted
+according to the descriptions in this paper").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..data.schema import NUM_CLASSES, NewsDataset
+from ..graph.sampling import TriSplit
+from ..text.features import BagOfWordsExtractor
+from ..text.tokenizer import tokenize
+from .base import CredibilityModel, standardize
+
+
+class LinearSVM:
+    """Multi-class (one-vs-rest) linear SVM.
+
+    Minimizes ``mean_i mean_c max(0, 1 - y_ic (x_i·w_c + b_c)) + λ‖W‖²``
+    by subgradient descent with a decaying step size.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        reg: float = 1e-3,
+        lr: float = 0.5,
+        epochs: int = 200,
+        seed: int = 0,
+    ):
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        self.num_classes = num_classes
+        self.reg = reg
+        self.lr = lr
+        self.epochs = epochs
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None  # (d, C)
+        self.bias: Optional[np.ndarray] = None     # (C,)
+
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "LinearSVM":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must align")
+        if labels.size == 0:
+            raise ValueError("cannot fit on an empty training set")
+        n, d = features.shape
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0, 0.01, size=(d, self.num_classes))
+        bias = np.zeros(self.num_classes)
+        # ±1 target matrix for one-vs-rest.
+        targets = -np.ones((n, self.num_classes))
+        targets[np.arange(n), labels] = 1.0
+
+        for epoch in range(self.epochs):
+            lr = self.lr / (1.0 + 0.02 * epoch)
+            margins = features @ weights + bias           # (n, C)
+            active = (1.0 - targets * margins) > 0         # hinge subgradient mask
+            coeff = -(targets * active) / n                # (n, C)
+            grad_w = features.T @ coeff + 2.0 * self.reg * weights
+            grad_b = coeff.sum(axis=0)
+            weights -= lr * grad_w
+            bias -= lr * grad_b
+        self.weights, self.bias = weights, bias
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() must be called first")
+        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.decision_function(features).argmax(axis=1)
+
+    def hinge_objective(self, features: np.ndarray, labels: Sequence[int]) -> float:
+        """Current value of the training objective (for convergence tests)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        margins = self.decision_function(features)
+        targets = -np.ones_like(margins)
+        targets[np.arange(len(labels)), labels] = 1.0
+        hinge = np.maximum(0.0, 1.0 - targets * margins).mean()
+        return float(hinge + self.reg * (self.weights ** 2).sum())
+
+
+class SVMBaseline(CredibilityModel):
+    """Paper baseline: explicit BoW features + linear SVM, per node type."""
+
+    name = "svm"
+
+    def __init__(
+        self,
+        explicit_dim: int = 120,
+        reg: float = 1e-3,
+        epochs: int = 200,
+        word_selection: str = "chi2",
+        seed: int = 0,
+    ):
+        self.explicit_dim = explicit_dim
+        self.reg = reg
+        self.epochs = epochs
+        self.word_selection = word_selection
+        self.seed = seed
+        self._predictions: Dict[str, Dict[str, int]] = {}
+
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "SVMBaseline":
+        jobs = {
+            "article": (
+                sorted(dataset.articles),
+                {a: dataset.articles[a].label.class_index for a in dataset.articles},
+                lambda eid: dataset.articles[eid].text,
+                split.articles.train,
+            ),
+            "creator": (
+                sorted(dataset.creators),
+                {
+                    c: (dataset.creators[c].label.class_index if dataset.creators[c].label else None)
+                    for c in dataset.creators
+                },
+                lambda eid: dataset.creators[eid].profile,
+                split.creators.train,
+            ),
+            "subject": (
+                sorted(dataset.subjects),
+                {
+                    s: (dataset.subjects[s].label.class_index if dataset.subjects[s].label else None)
+                    for s in dataset.subjects
+                },
+                lambda eid: dataset.subjects[eid].description,
+                split.subjects.train,
+            ),
+        }
+        self._predictions = {}
+        for kind, (ids, labels_by_id, text_of, train_ids) in jobs.items():
+            tokens = [tokenize(text_of(eid)) for eid in ids]
+            index = {eid: i for i, eid in enumerate(ids)}
+            train_rows = [index[eid] for eid in train_ids if labels_by_id.get(eid) is not None]
+            train_docs = [tokens[r] for r in train_rows]
+            train_labels = [labels_by_id[ids[r]] for r in train_rows]
+            extractor = BagOfWordsExtractor.fit(
+                train_docs,
+                train_labels,
+                size=self.explicit_dim,
+                method=self.word_selection,
+            )
+            full = extractor.transform(tokens)
+            full = standardize(full[train_rows], full)
+            svm = LinearSVM(
+                num_classes=NUM_CLASSES,
+                reg=self.reg,
+                epochs=self.epochs,
+                seed=self.seed,
+            ).fit(full[train_rows], train_labels)
+            predictions = svm.predict(full)
+            self._predictions[kind] = {eid: int(predictions[index[eid]]) for eid in ids}
+        return self
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        self.check_kind(kind)
+        if kind not in self._predictions:
+            raise RuntimeError("fit() must be called first")
+        return dict(self._predictions[kind])

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   write a synthetic PolitiFact-like corpus to JSON lines
+analyze    print Table 1 + Figure 1 for a corpus (file or synthetic)
+train      train FakeDetector on a corpus and report held-out metrics
+evaluate   run the Figure 4/5 θ-sweep over the comparison methods
+tune       grid-search FakeDetector hyperparameters with inner CV
+report     write the complete reproduction artifact set to a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import FakeDetector, FakeDetectorConfig
+from .data import generate_dataset, load_dataset, save_dataset
+from .data.schema import NewsDataset
+from .graph.sampling import tri_splits
+from .metrics import BinaryMetrics, MultiClassMetrics
+
+
+def _load_or_generate(args) -> NewsDataset:
+    if args.dataset:
+        return load_dataset(args.dataset)
+    return generate_dataset(scale=args.scale, seed=args.seed)
+
+
+def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", type=Path, default=None,
+        help="JSON-lines corpus to load (default: generate synthetically)",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_generate(args) -> int:
+    dataset = generate_dataset(scale=args.scale, seed=args.seed)
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {dataset.num_articles} articles / {dataset.num_creators} "
+        f"creators / {dataset.num_subjects} subjects to {args.output}"
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .experiments import figure1, table1
+
+    dataset = _load_or_generate(args)
+    print(table1(dataset))
+    print()
+    print(figure1(dataset))
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = _load_or_generate(args)
+    split = next(
+        tri_splits(
+            sorted(dataset.articles),
+            sorted(dataset.creators),
+            sorted(dataset.subjects),
+            k=args.folds,
+            seed=args.seed,
+        )
+    )
+    config = FakeDetectorConfig(
+        epochs=args.epochs,
+        explicit_dim=args.explicit_dim,
+        max_seq_len=args.max_seq_len,
+        log_every=max(1, args.epochs // 5),
+        seed=args.seed,
+    )
+    detector = FakeDetector(config).fit(dataset, split)
+    if args.checkpoint:
+        from .autograd import save_state
+
+        save_state(detector.model, args.checkpoint)
+        print(f"saved checkpoint to {args.checkpoint}")
+
+    for kind, store, test_ids in (
+        ("article", dataset.articles, split.articles.test),
+        ("creator", dataset.creators, split.creators.test),
+        ("subject", dataset.subjects, split.subjects.test),
+    ):
+        predictions = detector.predict(kind)
+        labeled = [e for e in test_ids if store[e].label is not None]
+        if not labeled:
+            continue
+        y_true = [store[e].label.class_index for e in labeled]
+        y_pred = [predictions[e] for e in labeled]
+        binary = BinaryMetrics.compute(
+            [int(c >= 3) for c in y_true], [int(c >= 3) for c in y_pred]
+        )
+        multi = MultiClassMetrics.compute(y_true, y_pred)
+        print(
+            f"{kind:8s} bi-acc={binary.accuracy:.3f} bi-f1={binary.f1:.3f} "
+            f"multi-acc={multi.accuracy:.3f} macro-f1={multi.macro_f1:.3f}"
+        )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .experiments import (
+        check_paper_claims,
+        default_methods,
+        figure4,
+        figure5,
+        render_claims,
+        run_sweep,
+    )
+
+    dataset = _load_or_generate(args)
+    methods = default_methods(fast=True, only=args.methods)
+    thetas = tuple(float(t) for t in args.thetas.split(","))
+    result = run_sweep(
+        dataset, methods, thetas=thetas, folds=args.folds_run, seed=args.seed,
+        verbose=True,
+    )
+    print(figure4(result))
+    print()
+    print(figure5(result))
+    print()
+    print(render_claims(check_paper_claims(result)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FakeDetector (ICDE 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic corpus")
+    p_gen.add_argument("output", type=Path)
+    p_gen.add_argument("--scale", type=float, default=0.05)
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_analyze = sub.add_parser("analyze", help="Table 1 + Figure 1 analyses")
+    _add_corpus_args(p_analyze)
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_train = sub.add_parser("train", help="train FakeDetector")
+    _add_corpus_args(p_train)
+    p_train.add_argument("--epochs", type=int, default=50)
+    p_train.add_argument("--explicit-dim", type=int, default=100)
+    p_train.add_argument("--max-seq-len", type=int, default=24)
+    p_train.add_argument("--folds", type=int, default=10)
+    p_train.add_argument("--checkpoint", type=Path, default=None)
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="Figure 4/5 method sweep")
+    _add_corpus_args(p_eval)
+    p_eval.add_argument("--thetas", default="0.1,0.5,1.0")
+    p_eval.add_argument("--folds-run", type=int, default=1)
+    p_eval.add_argument(
+        "--methods", nargs="*", default=None,
+        help="subset of: FakeDetector lp deepwalk line svm rnn",
+    )
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_tune = sub.add_parser("tune", help="grid-search FakeDetector hyperparameters")
+    _add_corpus_args(p_tune)
+    p_tune.add_argument("--epochs", type=int, default=30)
+    p_tune.add_argument("--inner-folds", type=int, default=3)
+    p_tune.add_argument(
+        "--grid", default="gdu_hidden=16,32;diffusion_iterations=1,2",
+        help="semicolon-separated field=v1,v2 axes",
+    )
+    p_tune.set_defaults(func=cmd_tune)
+
+    p_report = sub.add_parser(
+        "report", help="write the full reproduction artifact set to a directory"
+    )
+    _add_corpus_args(p_report)
+    p_report.add_argument("output", type=Path)
+    p_report.add_argument("--thetas", default="0.1,0.5,1.0")
+    p_report.add_argument("--folds-run", type=int, default=1)
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def cmd_report(args) -> int:
+    from .experiments import generate_full_report
+
+    dataset = _load_or_generate(args)
+    thetas = tuple(float(t) for t in args.thetas.split(","))
+    paths = generate_full_report(
+        dataset, args.output, thetas=thetas, folds=args.folds_run,
+        seed=args.seed, verbose=True,
+    )
+    print(paths.summary.read_text())
+    print(f"artifacts written to {paths.directory}")
+    return 0
+
+
+def _parse_grid(spec: str) -> dict:
+    """Parse 'a=1,2;b=0.5,1.0' into {a: [1, 2], b: [0.5, 1.0]}."""
+    grid = {}
+    for axis in spec.split(";"):
+        axis = axis.strip()
+        if not axis:
+            continue
+        if "=" not in axis:
+            raise ValueError(f"malformed grid axis {axis!r} (expected field=v1,v2)")
+        field, values = axis.split("=", 1)
+        parsed = []
+        for raw in values.split(","):
+            raw = raw.strip()
+            try:
+                parsed.append(int(raw))
+            except ValueError:
+                try:
+                    parsed.append(float(raw))
+                except ValueError:
+                    parsed.append(raw)
+        grid[field.strip()] = parsed
+    if not grid:
+        raise ValueError("empty grid")
+    return grid
+
+
+def cmd_tune(args) -> int:
+    from .core import FakeDetectorConfig
+    from .experiments.tuning import grid_search
+
+    dataset = _load_or_generate(args)
+    split = next(
+        tri_splits(
+            sorted(dataset.articles),
+            sorted(dataset.creators),
+            sorted(dataset.subjects),
+            k=10,
+            seed=args.seed,
+        )
+    )
+    base = FakeDetectorConfig(epochs=args.epochs, seed=args.seed)
+    grid = _parse_grid(args.grid)
+    print(f"grid: {grid}")
+    trials = grid_search(
+        dataset, split, grid, base_config=base,
+        inner_folds=args.inner_folds, seed=args.seed, verbose=True,
+    )
+    print("\nranking (inner-CV bi-class article accuracy):")
+    for trial in trials:
+        print(f"  {trial}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""FakeDetector core: HFLU, GDU, the deep diffusive network, and trainer."""
+
+from .config import FakeDetectorConfig
+from .gdu import GDU
+from .hflu import HFLU
+from .model import FakeDetectorModel
+from .pipeline import (
+    EntityFeatures,
+    GraphIndex,
+    PipelineOutput,
+    build_features,
+    build_graph_index,
+)
+from .self_training import SelfTrainingFakeDetector, SelfTrainingRound
+from .trainer import FakeDetector, TrainingRecord
+
+__all__ = [
+    "FakeDetectorConfig",
+    "HFLU",
+    "GDU",
+    "FakeDetectorModel",
+    "FakeDetector",
+    "TrainingRecord",
+    "SelfTrainingFakeDetector",
+    "SelfTrainingRound",
+    "EntityFeatures",
+    "PipelineOutput",
+    "GraphIndex",
+    "build_features",
+    "build_graph_index",
+]

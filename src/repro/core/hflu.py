@@ -1,0 +1,95 @@
+"""Hybrid Feature Learning Unit (HFLU), paper §4.1 and Figure 3(a).
+
+``x_i = [ (x^e_i)ᵀ , (x^l_i)ᵀ ]ᵀ`` — the concatenation of the fixed explicit
+bag-of-words feature with the learned latent feature from a GRU over the
+token sequence. The explicit half has no parameters; the latent half is the
+:class:`repro.autograd.GRUEncoder` (input layer, GRU hidden layer, sigmoid
+fusion layer — exactly the 3-layer structure of §4.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import GRUEncoder, Module, Tensor, concatenate
+
+
+class HFLU(Module):
+    """Per-node-type hybrid feature extractor.
+
+    Parameters
+    ----------
+    vocab_size, embed_dim, rnn_hidden, latent_dim, max_seq_len:
+        Latent (GRU) branch dimensions.
+    use_explicit / use_latent:
+        Ablation switches; the full model keeps both (disabling one
+        reproduces the paper's SVM-style or RNN-style feature family).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        rnn_hidden: int,
+        latent_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        use_explicit: bool = True,
+        use_latent: bool = True,
+        rnn_cell: str = "gru",
+    ):
+        super().__init__()
+        if not (use_explicit or use_latent):
+            raise ValueError("HFLU needs at least one feature family enabled")
+        self.use_explicit = use_explicit
+        self.use_latent = use_latent
+        if use_latent:
+            if rnn_cell == "cnn":
+                from ..autograd.conv import CNNEncoder
+
+                # Kim (2014)-style sentence CNN — the paper's reference [32]
+                # for latent feature extraction.
+                self.encoder = CNNEncoder(
+                    vocab_size=vocab_size,
+                    embed_dim=embed_dim,
+                    num_filters=rnn_hidden,
+                    output_size=latent_dim,
+                    rng=rng,
+                )
+            else:
+                self.encoder = GRUEncoder(
+                    vocab_size=vocab_size,
+                    embed_dim=embed_dim,
+                    hidden_size=rnn_hidden,
+                    output_size=latent_dim,
+                    rng=rng,
+                    cell=rnn_cell,
+                )
+        else:
+            self.encoder = None
+
+    def forward(self, explicit: np.ndarray, sequences: np.ndarray) -> Tensor:
+        """Fuse explicit count vectors with the GRU latent encoding.
+
+        Parameters
+        ----------
+        explicit:
+            (n, d) precomputed bag-of-words features (constant w.r.t. the
+            graph; gradients do not flow into them).
+        sequences:
+            (n, q) padded token-index matrix.
+        """
+        parts = []
+        if self.use_explicit:
+            if isinstance(explicit, Tensor):
+                # Pass through (keeps requires_grad inputs in the graph —
+                # used by input-gradient saliency).
+                parts.append(explicit)
+            else:
+                parts.append(Tensor(np.asarray(explicit, dtype=np.float64)))
+        if self.use_latent:
+            parts.append(self.encoder(sequences))
+        if len(parts) == 1:
+            return parts[0]
+        return concatenate(parts, axis=1)

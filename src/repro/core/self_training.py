@@ -1,0 +1,154 @@
+"""Self-training extension: pseudo-labels for the low-supervision regime.
+
+The paper's θ-sweep studies label scarcity; classic transductive
+self-training attacks it directly: train, pseudo-label the unlabeled
+articles the model is most confident about, retrain with them, repeat.
+True labels of non-training nodes are never read — pseudo-labels come from
+the model's own predictions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.schema import Article, CredibilityLabel, NewsDataset
+from ..graph.sampling import Split, TriSplit
+from .config import FakeDetectorConfig
+from .trainer import FakeDetector
+
+
+@dataclasses.dataclass
+class SelfTrainingRound:
+    """Bookkeeping for one pseudo-labeling round."""
+
+    added: int
+    threshold: float
+    train_size: int
+
+
+class SelfTrainingFakeDetector:
+    """FakeDetector wrapped in confidence-thresholded self-training.
+
+    Parameters
+    ----------
+    config:
+        Base model configuration (reused for every round).
+    rounds:
+        Maximum pseudo-labeling rounds after the initial fit.
+    confidence:
+        Minimum top-class probability for an article to be pseudo-labeled.
+    max_added_per_round:
+        Cap on new pseudo-labels per round (take the most confident first),
+        which keeps early, possibly-wrong labels from flooding the train set.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FakeDetectorConfig] = None,
+        rounds: int = 2,
+        confidence: float = 0.9,
+        max_added_per_round: Optional[int] = None,
+    ):
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if not 0.5 <= confidence <= 1.0:
+            raise ValueError("confidence must be in [0.5, 1.0]")
+        self.config = config or FakeDetectorConfig()
+        self.rounds = rounds
+        self.confidence = confidence
+        self.max_added_per_round = max_added_per_round
+        self.detector: Optional[FakeDetector] = None
+        self.history: list[SelfTrainingRound] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "SelfTrainingFakeDetector":
+        self.history = []
+        self.detector = FakeDetector(self.config).fit(dataset, split)
+        train_ids = list(split.articles.train)
+        train_set = set(train_ids)
+        pseudo_labels: Dict[str, int] = {}
+
+        for _ in range(self.rounds):
+            probabilities = self.detector.predict_proba("article")
+            candidates = []
+            for aid, probs in probabilities.items():
+                if aid in train_set or aid in pseudo_labels:
+                    continue
+                top = int(np.argmax(probs))
+                conf = float(probs[top])
+                if conf >= self.confidence:
+                    candidates.append((conf, aid, top))
+            candidates.sort(reverse=True)
+            if self.max_added_per_round is not None:
+                candidates = candidates[: self.max_added_per_round]
+            if not candidates:
+                break
+            for _, aid, label in candidates:
+                pseudo_labels[aid] = label
+
+            augmented_dataset = self._with_pseudo_labels(dataset, pseudo_labels)
+            augmented_split = TriSplit(
+                articles=Split(
+                    train=train_ids + sorted(pseudo_labels),
+                    test=list(split.articles.test),
+                ),
+                creators=split.creators,
+                subjects=split.subjects,
+            )
+            self.detector = FakeDetector(self.config).fit(
+                augmented_dataset, augmented_split
+            )
+            self.history.append(
+                SelfTrainingRound(
+                    added=len(candidates),
+                    threshold=self.confidence,
+                    train_size=len(train_ids) + len(pseudo_labels),
+                )
+            )
+        return self
+
+    @staticmethod
+    def _with_pseudo_labels(
+        dataset: NewsDataset, pseudo_labels: Dict[str, int]
+    ) -> NewsDataset:
+        """Shallow corpus copy with pseudo-labeled article objects swapped in.
+
+        Creators/subjects are shared (their ground truth is untouched); only
+        the pseudo-labeled article entries are replaced, so the true labels
+        of those articles never reach the trainer.
+        """
+        clone = NewsDataset(
+            articles=dict(dataset.articles),
+            creators=dataset.creators,
+            subjects=dataset.subjects,
+        )
+        for aid, label in pseudo_labels.items():
+            original = dataset.articles[aid]
+            clone.articles[aid] = Article(
+                article_id=original.article_id,
+                text=original.text,
+                label=CredibilityLabel.from_class_index(label),
+                creator_id=original.creator_id,
+                subject_ids=list(original.subject_ids),
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    def predict(self, kind: str) -> Dict[str, int]:
+        if self.detector is None:
+            raise RuntimeError("fit() must be called first")
+        return self.detector.predict(kind)
+
+    def predict_proba(self, kind: str):
+        if self.detector is None:
+            raise RuntimeError("fit() must be called first")
+        return self.detector.predict_proba(kind)
+
+    @property
+    def num_pseudo_labels(self) -> int:
+        return self.history[-1].train_size - (
+            self.history[0].train_size - self.history[0].added
+        ) if self.history else 0

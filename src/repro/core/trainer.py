@@ -1,0 +1,334 @@
+"""Training and inference for FakeDetector (paper §4.3).
+
+The objective is the paper's joint loss
+
+    min_W  L(T_n) + L(T_u) + L(T_s) + α · L_reg(W)
+
+optimized full-batch with backpropagation (Adam + gradient clipping). The
+trainer owns the feature pipeline so ``fit``/``predict`` operate directly on
+a :class:`NewsDataset` and a :class:`TriSplit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autograd import functional as F
+from ..autograd import optim
+from ..data.schema import NewsDataset
+from ..graph.sampling import TriSplit
+from .config import FakeDetectorConfig
+from .model import FakeDetectorModel
+from .pipeline import GraphIndex, PipelineOutput, build_features, build_graph_index
+
+
+@dataclasses.dataclass
+class TrainingRecord:
+    """Loss trajectory of one fit() call."""
+
+    total: List[float] = dataclasses.field(default_factory=list)
+    article: List[float] = dataclasses.field(default_factory=list)
+    creator: List[float] = dataclasses.field(default_factory=list)
+    subject: List[float] = dataclasses.field(default_factory=list)
+    #: per-epoch validation bi-class article accuracy (only populated when
+    #: FakeDetectorConfig.validation_fraction > 0)
+    validation: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.total[-1] if self.total else float("nan")
+
+
+class FakeDetector:
+    """High-level estimator: fit on a split, predict credibility labels.
+
+    This is the public entry point of the reproduction::
+
+        detector = FakeDetector(FakeDetectorConfig(epochs=40))
+        detector.fit(dataset, split)
+        predictions = detector.predict("article")   # {article_id: class_index}
+    """
+
+    def __init__(self, config: Optional[FakeDetectorConfig] = None):
+        self.config = config or FakeDetectorConfig()
+        self.model: Optional[FakeDetectorModel] = None
+        self.features: Optional[PipelineOutput] = None
+        self.graph: Optional[GraphIndex] = None
+        self.record = TrainingRecord()
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: NewsDataset, split: TriSplit) -> "FakeDetector":
+        """Train on the split's training ids; test labels are never read."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self.features = build_features(
+            dataset,
+            split.articles.train,
+            split.creators.train,
+            split.subjects.train,
+            explicit_dim=config.explicit_dim,
+            vocab_size=config.vocab_size,
+            max_seq_len=config.max_seq_len,
+            word_selection=config.word_selection,
+            normalize_explicit=config.normalize_explicit,
+            explicit_weighting=config.explicit_weighting,
+        )
+        self.graph = build_graph_index(dataset, self.features)
+        explicit_dims = {
+            "article": self.features.articles.explicit.shape[1],
+            "creator": self.features.creators.explicit.shape[1],
+            "subject": self.features.subjects.explicit.shape[1],
+        }
+        self.model = FakeDetectorModel(config, rng=rng, explicit_dims=explicit_dims)
+
+        train_rows = {
+            "article": self._labeled_rows(self.features.articles, split.articles.train),
+            "creator": self._labeled_rows(self.features.creators, split.creators.train),
+            "subject": self._labeled_rows(self.features.subjects, split.subjects.train),
+        }
+        validation_rows = np.array([], dtype=np.intp)
+        if config.validation_fraction > 0:
+            articles = train_rows["article"]
+            k = max(1, int(round(config.validation_fraction * articles.size)))
+            if k >= articles.size:
+                raise ValueError("validation split would consume the whole train set")
+            chosen = rng.choice(articles.size, size=k, replace=False)
+            mask = np.zeros(articles.size, dtype=bool)
+            mask[chosen] = True
+            validation_rows = articles[mask]
+            train_rows = dict(train_rows)
+            train_rows["article"] = articles[~mask]
+
+        params = list(self.model.parameters())
+        optimizer = optim.Adam(params, lr=config.learning_rate)
+        self.record = TrainingRecord()
+        best_score = -float("inf")  # watched quantity, higher = better
+        best_state = None
+        stale = 0
+
+        for epoch in range(config.epochs):
+            self.model.train()
+            if config.batch_size is None:
+                losses = self._full_batch_step(train_rows, params, optimizer)
+            else:
+                losses = self._minibatch_epoch(train_rows, params, optimizer, rng)
+
+            self.record.total.append(losses["total"])
+            self.record.article.append(losses.get("article", 0.0))
+            self.record.creator.append(losses.get("creator", 0.0))
+            self.record.subject.append(losses.get("subject", 0.0))
+            if config.log_every and (epoch + 1) % config.log_every == 0:
+                print(f"epoch {epoch + 1:4d}  loss {self.record.total[-1]:.4f}")
+
+            if config.early_stop_patience:
+                if validation_rows.size:
+                    score = self._validation_accuracy(validation_rows)
+                    self.record.validation.append(score)
+                else:
+                    score = -self.record.total[-1]
+                if score > best_score + 1e-5:
+                    best_score = score
+                    stale = 0
+                    if validation_rows.size:
+                        best_state = self.model.state_dict()
+                else:
+                    stale += 1
+                    if (
+                        stale >= config.early_stop_patience
+                        and epoch + 1 >= config.early_stop_min_epochs
+                    ):
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self
+
+    def _validation_accuracy(self, validation_rows: np.ndarray) -> float:
+        """Bi-class article accuracy on the held-out validation rows."""
+        self.model.eval()
+        logits = self.model(self.features, self.graph)["article"].data
+        predictions = logits[validation_rows].argmax(axis=1)
+        truth = self.features.articles.labels[validation_rows]
+        return float(((predictions >= 3) == (truth >= 3)).mean())
+
+    # ------------------------------------------------------------------
+    def _joint_loss(self, logits, features: PipelineOutput, rows_by_kind, params):
+        """L(T_n) + L(T_u) + L(T_s) + α·L_reg over the given label rows."""
+        from ..data.schema import NUM_CLASSES
+
+        config = self.config
+        losses = {}
+        total = None
+        for kind, ent in (
+            ("article", features.articles),
+            ("creator", features.creators),
+            ("subject", features.subjects),
+        ):
+            rows = rows_by_kind[kind]
+            if rows.size == 0:
+                losses[kind] = 0.0
+                continue
+            class_weights = None
+            if config.class_weighted_loss:
+                class_weights = F.inverse_frequency_weights(
+                    ent.labels[rows], NUM_CLASSES
+                )
+            loss = F.cross_entropy(
+                logits[kind][rows], ent.labels[rows], class_weights=class_weights
+            )
+            losses[kind] = float(loss.item())
+            total = loss if total is None else total + loss
+        if total is None:
+            raise ValueError("no labeled training nodes in any split")
+        if config.alpha > 0:
+            total = total + F.l2_regularization(params, config.alpha)
+        losses["total"] = float(total.item())
+        return total, losses
+
+    def _apply_gradients(self, total, params, optimizer) -> None:
+        optimizer.zero_grad()
+        total.backward()
+        if self.config.grad_clip > 0:
+            optim.clip_grad_norm(params, self.config.grad_clip)
+        optimizer.step()
+
+    def _full_batch_step(self, train_rows, params, optimizer):
+        """One full-graph gradient step (the paper's training regime)."""
+        logits = self.model(self.features, self.graph)
+        total, losses = self._joint_loss(logits, self.features, train_rows, params)
+        self._apply_gradients(total, params, optimizer)
+        return losses
+
+    def _minibatch_epoch(self, train_rows, params, optimizer, rng):
+        """One epoch of neighbor-sampled subgraph steps.
+
+        Each step induces the subgraph of a batch of *training* articles
+        plus their creators/subjects; supervision covers the batch articles
+        and any train-labeled creators/subjects that landed in the subgraph.
+        """
+        from .pipeline import subgraph_view
+
+        config = self.config
+        article_rows = train_rows["article"]
+        if article_rows.size == 0:
+            raise ValueError("minibatch training requires labeled train articles")
+        train_creator_set = set(train_rows["creator"].tolist())
+        train_subject_set = set(train_rows["subject"].tolist())
+        order = rng.permutation(article_rows.size)
+        accumulated = {"total": 0.0, "article": 0.0, "creator": 0.0, "subject": 0.0}
+        steps = 0
+        for start in range(0, order.size, config.batch_size):
+            batch = article_rows[order[start : start + config.batch_size]]
+            sub_features, sub_graph = subgraph_view(self.features, self.graph, batch)
+            # Map train-labeled creators/subjects into subgraph rows.
+            creator_rows = np.asarray(
+                [
+                    i
+                    for i, eid in enumerate(sub_features.creators.ids)
+                    if self.features.creators.index[eid] in train_creator_set
+                    and sub_features.creators.labels[i] >= 0
+                ],
+                dtype=np.intp,
+            )
+            subject_rows = np.asarray(
+                [
+                    i
+                    for i, eid in enumerate(sub_features.subjects.ids)
+                    if self.features.subjects.index[eid] in train_subject_set
+                    and sub_features.subjects.labels[i] >= 0
+                ],
+                dtype=np.intp,
+            )
+            rows_by_kind = {
+                "article": np.arange(batch.size, dtype=np.intp),
+                "creator": creator_rows,
+                "subject": subject_rows,
+            }
+            logits = self.model(sub_features, sub_graph)
+            total, losses = self._joint_loss(logits, sub_features, rows_by_kind, params)
+            self._apply_gradients(total, params, optimizer)
+            for key in accumulated:
+                accumulated[key] += losses.get(key, 0.0)
+            steps += 1
+        return {key: value / max(1, steps) for key, value in accumulated.items()}
+
+    @staticmethod
+    def _labeled_rows(entity, train_ids) -> np.ndarray:
+        rows = entity.rows(train_ids)
+        return rows[entity.labels[rows] >= 0]
+
+    # ------------------------------------------------------------------
+    def predict_logits(self) -> Dict[str, np.ndarray]:
+        """Raw (n, 6) logits per node type for the whole network."""
+        if self.model is None:
+            raise RuntimeError("fit() must be called before predict")
+        self.model.eval()
+        logits = self.model(self.features, self.graph)
+        return {kind: t.data.copy() for kind, t in logits.items()}
+
+    def predict(self, kind: str) -> Dict[str, int]:
+        """Predicted class index (0..5) for every node of ``kind``."""
+        logits = self.predict_logits()[kind]
+        entity = self.features.by_type(kind)
+        predictions = logits.argmax(axis=1)
+        return {eid: int(predictions[i]) for i, eid in enumerate(entity.ids)}
+
+    def predict_new_articles(self, articles) -> Dict[str, int]:
+        """Inductive inference: credibility of articles NOT in the trained graph.
+
+        Each :class:`repro.data.Article` must reference creators/subjects by
+        id; ids present in the trained network contribute their learned GDU
+        states, unknown ids fall back to the zero default (§4.2's unused-port
+        convention). The article's own features come from the fitted
+        pipeline's vocabulary and word sets.
+
+        Returns ``{article_id: class index 0..5}``.
+        """
+        from ..autograd import Tensor
+        from ..text.sequences import encode_batch
+        from ..text.tokenizer import tokenize
+
+        if self.model is None:
+            raise RuntimeError("fit() must be called before predict_new_articles")
+        if not articles:
+            return {}
+        ids = [a.article_id for a in articles]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate article ids in inductive batch")
+
+        self.model.eval()
+        _, states = self.model.forward_with_states(self.features, self.graph)
+        h_u, h_s = states["creator"].data, states["subject"].data
+
+        tokens = [tokenize(a.text) for a in articles]
+        explicit = self.features.extractors["article"].transform(tokens)
+        sequences = encode_batch(tokens, self.features.vocab, self.config.max_seq_len)
+        x = self.model.hflu_article(explicit, sequences)
+
+        hidden = self.model.gdu_article.hidden_dim
+        z = np.zeros((len(articles), hidden))
+        t = np.zeros((len(articles), hidden))
+        c_index = self.features.creators.index
+        s_index = self.features.subjects.index
+        for i, article in enumerate(articles):
+            known_subjects = [s_index[s] for s in article.subject_ids if s in s_index]
+            if known_subjects:
+                z[i] = h_s[known_subjects].mean(axis=0)
+            if article.creator_id in c_index:
+                t[i] = h_u[c_index[article.creator_id]]
+
+        h = self.model.gdu_article(x, Tensor(z), Tensor(t))
+        logits = self.model.head_article(h).data
+        predictions = logits.argmax(axis=1)
+        return {aid: int(p) for aid, p in zip(ids, predictions)}
+
+    def predict_proba(self, kind: str) -> Dict[str, np.ndarray]:
+        """Softmax class distribution for every node of ``kind``."""
+        logits = self.predict_logits()[kind]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        entity = self.features.by_type(kind)
+        return {eid: probs[i] for i, eid in enumerate(entity.ids)}

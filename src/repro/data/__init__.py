@@ -1,0 +1,57 @@
+"""Dataset layer: schema, credibility math, synthetic corpus, I/O, analysis."""
+
+from .credibility import (
+    assign_derived_labels,
+    binary_split_counts,
+    derive_entity_label,
+    label_to_score,
+    score_to_label,
+    weighted_credibility_score,
+)
+from .liar import LiarLoadStats, load_liar
+from .loader import load_dataset, save_dataset
+from .schema import (
+    NUM_CLASSES,
+    Article,
+    Creator,
+    CredibilityLabel,
+    NewsDataset,
+    Subject,
+)
+from .synthetic import (
+    CASE_STUDY_CREATORS,
+    PAPER_NUM_ARTICLE_SUBJECT_LINKS,
+    PAPER_NUM_ARTICLES,
+    PAPER_NUM_CREATORS,
+    PAPER_NUM_SUBJECTS,
+    GeneratorConfig,
+    PolitiFactGenerator,
+    generate_dataset,
+)
+
+__all__ = [
+    "Article",
+    "Creator",
+    "Subject",
+    "NewsDataset",
+    "CredibilityLabel",
+    "NUM_CLASSES",
+    "label_to_score",
+    "score_to_label",
+    "weighted_credibility_score",
+    "derive_entity_label",
+    "assign_derived_labels",
+    "binary_split_counts",
+    "save_dataset",
+    "load_dataset",
+    "load_liar",
+    "LiarLoadStats",
+    "GeneratorConfig",
+    "PolitiFactGenerator",
+    "generate_dataset",
+    "CASE_STUDY_CREATORS",
+    "PAPER_NUM_ARTICLES",
+    "PAPER_NUM_CREATORS",
+    "PAPER_NUM_SUBJECTS",
+    "PAPER_NUM_ARTICLE_SUBJECT_LINKS",
+]

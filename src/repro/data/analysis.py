@@ -1,0 +1,249 @@
+"""Dataset analysis reproducing every statistic in the paper's Section 3.
+
+Each function regenerates one panel of Figure 1 (or Table 1) as structured
+data; the benchmark harness renders them as text tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..text.tokenizer import tokenize_clean
+from .credibility import binary_split_counts
+from .schema import CredibilityLabel, NewsDataset
+
+
+def network_properties(dataset: NewsDataset) -> Dict[str, int]:
+    """Table 1: node and link counts of the heterogeneous network."""
+    return {
+        "articles": dataset.num_articles,
+        "creators": dataset.num_creators,
+        "subjects": dataset.num_subjects,
+        "creator_article_links": dataset.num_creator_article_links,
+        "article_subject_links": dataset.num_article_subject_links,
+    }
+
+
+@dataclasses.dataclass
+class PowerLawFit:
+    """Log-log least-squares fit of a publication-count distribution."""
+
+    exponent: float          # slope magnitude of the log-log fit
+    intercept: float
+    r_squared: float
+    counts: Dict[int, float]  # number of articles -> fraction of creators
+
+    @property
+    def is_power_law_like(self) -> bool:
+        """Heuristic: strong negative log-log linearity with slope > 1."""
+        return self.exponent > 1.0 and self.r_squared > 0.7
+
+
+def creator_publication_distribution(dataset: NewsDataset) -> PowerLawFit:
+    """Figure 1(a): article-count distribution over creators with a fit."""
+    per_creator = Counter(a.creator_id for a in dataset.articles.values())
+    count_hist = Counter(per_creator.values())
+    n_creators = max(1, dataset.num_creators)
+    fractions = {k: v / n_creators for k, v in sorted(count_hist.items())}
+
+    ks = np.array(sorted(fractions), dtype=np.float64)
+    fs = np.array([fractions[int(k)] for k in ks])
+    if len(ks) < 2:
+        return PowerLawFit(exponent=0.0, intercept=0.0, r_squared=0.0, counts=fractions)
+    x, y = np.log(ks), np.log(fs)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return PowerLawFit(exponent=float(-slope), intercept=float(intercept), r_squared=r2, counts=fractions)
+
+
+def most_prolific_creator(dataset: NewsDataset) -> Tuple[str, int]:
+    """(creator name, article count) of the busiest creator (§3.2.1)."""
+    per_creator = Counter(a.creator_id for a in dataset.articles.values())
+    if not per_creator:
+        raise ValueError("dataset has no articles")
+    creator_id, count = per_creator.most_common(1)[0]
+    return dataset.creators[creator_id].name, count
+
+
+def frequent_words(
+    dataset: NewsDataset, top_k: int = 20
+) -> Dict[str, List[Tuple[str, int]]]:
+    """Figures 1(b)/(c): top words in true vs false articles, stop words removed."""
+    true_counts: Counter = Counter()
+    false_counts: Counter = Counter()
+    for article in dataset.articles.values():
+        tokens = tokenize_clean(article.text)
+        if article.label.is_true_class:
+            true_counts.update(tokens)
+        else:
+            false_counts.update(tokens)
+    return {
+        "true": true_counts.most_common(top_k),
+        "false": false_counts.most_common(top_k),
+    }
+
+
+def distinctive_words(
+    dataset: NewsDataset, top_k: int = 10, min_count: int = 5, smoothing: float = 3.0
+) -> Dict[str, List[str]]:
+    """Words over-represented in one class (the Fig 1b/1c story).
+
+    Ranked by smoothed rate ratio between the classes, so genuinely
+    label-correlated vocabulary surfaces ahead of merely frequent words.
+    """
+    freq = frequent_words(dataset, top_k=10**6)
+    true_counts = dict(freq["true"])
+    false_counts = dict(freq["false"])
+    true_total = max(1, sum(true_counts.values()))
+    false_total = max(1, sum(false_counts.values()))
+
+    ratios: Dict[str, float] = {}
+    for word in set(true_counts) | set(false_counts):
+        t, f = true_counts.get(word, 0), false_counts.get(word, 0)
+        if t + f < min_count:
+            continue
+        rate_t = (t + smoothing) / true_total
+        rate_f = (f + smoothing) / false_total
+        ratios[word] = rate_t / rate_f
+
+    ranked = sorted(ratios.items(), key=lambda item: (-item[1], item[0]))
+    true_side = [w for w, r in ranked if r > 1.0][:top_k]
+    false_side = [w for w, r in reversed(ranked) if r < 1.0][:top_k]
+    return {"true": true_side, "false": false_side}
+
+
+@dataclasses.dataclass
+class SubjectCredibilityRow:
+    """One row of the Figure 1(d) subject table."""
+
+    name: str
+    total: int
+    true_count: int
+    false_count: int
+
+    @property
+    def true_fraction(self) -> float:
+        return self.true_count / self.total if self.total else 0.0
+
+
+def subject_credibility_table(dataset: NewsDataset, top_k: int = 20) -> List[SubjectCredibilityRow]:
+    """Figure 1(d): top-k subjects by article count with true/false splits."""
+    rows = []
+    for subject_id, articles in dataset.articles_by_subject().items():
+        if not articles:
+            continue
+        true_count, false_count = binary_split_counts(articles)
+        rows.append(
+            SubjectCredibilityRow(
+                name=dataset.subjects[subject_id].name,
+                total=len(articles),
+                true_count=true_count,
+                false_count=false_count,
+            )
+        )
+    rows.sort(key=lambda r: -r.total)
+    return rows[:top_k]
+
+
+@dataclasses.dataclass
+class CreatorCaseStudy:
+    """One panel entry of Figures 1(e)/(f)."""
+
+    name: str
+    histogram: Dict[CredibilityLabel, int]
+    total: int
+    true_fraction: float
+
+
+def creator_case_study(dataset: NewsDataset, names: Optional[List[str]] = None) -> List[CreatorCaseStudy]:
+    """Figures 1(e)/(f): per-creator label histograms for named creators.
+
+    Defaults to the paper's four case studies; creators missing from the
+    dataset are skipped.
+    """
+    if names is None:
+        names = ["Donald Trump", "Mike Pence", "Barack Obama", "Hillary Clinton"]
+    name_to_id = {c.name: cid for cid, c in dataset.creators.items()}
+    by_creator = dataset.articles_by_creator()
+    studies = []
+    for name in names:
+        creator_id = name_to_id.get(name)
+        if creator_id is None:
+            continue
+        articles = by_creator.get(creator_id, [])
+        histogram = Counter(a.label for a in articles)
+        total = len(articles)
+        true_count, _ = binary_split_counts(articles)
+        studies.append(
+            CreatorCaseStudy(
+                name=name,
+                histogram={label: histogram.get(label, 0) for label in CredibilityLabel},
+                total=total,
+                true_fraction=true_count / total if total else 0.0,
+            )
+        )
+    return studies
+
+
+def label_distribution(dataset: NewsDataset) -> Dict[CredibilityLabel, int]:
+    """Corpus-wide article label histogram."""
+    counts = Counter(a.label for a in dataset.articles.values())
+    return {label: counts.get(label, 0) for label in CredibilityLabel}
+
+
+@dataclasses.dataclass
+class GraphStatistics:
+    """Structural statistics of the News-HSN beyond Table 1's raw counts."""
+
+    article_degree_mean: float      # subjects per article + 1 creator
+    creator_degree_mean: float      # articles per creator
+    subject_degree_mean: float      # articles per subject
+    creator_degree_max: int
+    subject_degree_max: int
+    bipartite_density_cs: float     # article-subject links / (articles*subjects)
+    isolated_creators: int
+    isolated_subjects: int
+
+
+def graph_statistics(dataset: NewsDataset) -> GraphStatistics:
+    """Degree and density statistics of the heterogeneous network."""
+    by_creator = dataset.articles_by_creator()
+    by_subject = dataset.articles_by_subject()
+    creator_degrees = [len(arts) for arts in by_creator.values()]
+    subject_degrees = [len(arts) for arts in by_subject.values()]
+    n_articles = max(1, dataset.num_articles)
+    n_subjects = max(1, dataset.num_subjects)
+    return GraphStatistics(
+        article_degree_mean=(
+            (dataset.num_article_subject_links + dataset.num_creator_article_links)
+            / n_articles
+        ),
+        creator_degree_mean=float(np.mean(creator_degrees)) if creator_degrees else 0.0,
+        subject_degree_mean=float(np.mean(subject_degrees)) if subject_degrees else 0.0,
+        creator_degree_max=max(creator_degrees, default=0),
+        subject_degree_max=max(subject_degrees, default=0),
+        bipartite_density_cs=dataset.num_article_subject_links / (n_articles * n_subjects),
+        isolated_creators=sum(1 for d in creator_degrees if d == 0),
+        isolated_subjects=sum(1 for d in subject_degrees if d == 0),
+    )
+
+
+def average_subjects_per_article(dataset: NewsDataset) -> float:
+    """§3.1: each article has about 3.5 associated subjects."""
+    if not dataset.articles:
+        return 0.0
+    return dataset.num_article_subject_links / dataset.num_articles
+
+
+def average_articles_per_creator(dataset: NewsDataset) -> float:
+    """§3.1: each creator created 3.86 articles on average."""
+    if not dataset.creators:
+        return 0.0
+    return dataset.num_articles / dataset.num_creators

@@ -1,0 +1,87 @@
+"""Credibility score arithmetic (paper §5.1.1).
+
+The paper represents the 6 categorical labels with numerical scores
+(True=6 ... Pants on Fire!=1) and derives creator/subject ground truth as
+"the weighted sum of credibility scores of published articles (here, the
+weight denotes the percentage of articles in each class)", rounded back to a
+label.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+from .schema import Article, CredibilityLabel, NewsDataset
+
+LABEL_SCORES: Dict[CredibilityLabel, int] = {label: int(label) for label in CredibilityLabel}
+
+
+def label_to_score(label: CredibilityLabel) -> int:
+    """Map a label to its numerical score (True=6 .. Pants on Fire!=1)."""
+    return int(label)
+
+
+def score_to_label(score: float) -> CredibilityLabel:
+    """Round a continuous credibility score back to the nearest label.
+
+    Scores are clamped to [1, 6]; ties round half-up (4.5 -> 5), matching
+    conventional rounding of the paper's "round scores".
+    """
+    clamped = min(6.0, max(1.0, float(score)))
+    rounded = int(clamped + 0.5)
+    return CredibilityLabel(min(6, max(1, rounded)))
+
+
+def weighted_credibility_score(labels: Iterable[CredibilityLabel]) -> Optional[float]:
+    """Weighted-sum score over a bag of article labels.
+
+    With weights equal to the fraction of articles in each class, the
+    weighted sum is exactly the mean article score; ``None`` for an empty
+    bag (a creator/subject with no articles has no derived ground truth).
+    """
+    counts = Counter(labels)
+    total = sum(counts.values())
+    if total == 0:
+        return None
+    return sum(int(label) * count for label, count in counts.items()) / total
+
+
+def derive_entity_label(labels: Iterable[CredibilityLabel]) -> Optional[CredibilityLabel]:
+    """Weighted-sum score rounded to a label (creator/subject ground truth)."""
+    score = weighted_credibility_score(labels)
+    if score is None:
+        return None
+    return score_to_label(score)
+
+
+def assign_derived_labels(dataset: NewsDataset) -> None:
+    """Fill in creator and subject labels from their articles, in place.
+
+    Entities with no linked articles keep their existing label (possibly
+    ``None``); everything else gets the §5.1.1 weighted-sum ground truth.
+    """
+    by_creator = dataset.articles_by_creator()
+    for creator_id, creator in dataset.creators.items():
+        articles = by_creator.get(creator_id, [])
+        derived = derive_entity_label(a.label for a in articles)
+        if derived is not None:
+            creator.label = derived
+    by_subject = dataset.articles_by_subject()
+    for subject_id, subject in dataset.subjects.items():
+        articles = by_subject.get(subject_id, [])
+        derived = derive_entity_label(a.label for a in articles)
+        if derived is not None:
+            subject.label = derived
+
+
+def binary_split_counts(articles: Iterable[Article]) -> tuple[int, int]:
+    """(true_count, false_count) under the paper's bi-class grouping."""
+    true_count = 0
+    false_count = 0
+    for article in articles:
+        if article.label.is_true_class:
+            true_count += 1
+        else:
+            false_count += 1
+    return true_count, false_count

@@ -1,0 +1,144 @@
+"""Converter for the LIAR dataset (Wang 2017, ACL) into a NewsDataset.
+
+LIAR is the publicly downloadable PolitiFact-derived benchmark: ~12.8k
+fact-checked statements as TSV, with the same six Truth-O-Meter labels the
+paper uses, speaker metadata (≈ creators) and topic lists (≈ subjects).
+Users who can't re-crawl PolitiFact can run every experiment in this repo
+on LIAR through this loader.
+
+Expected TSV columns (the official train/valid/test files):
+
+    0 id | 1 label | 2 statement | 3 subjects (comma-sep) | 4 speaker
+    5 speaker_job | 6 state | 7 party | 8-12 credit-history counts
+    13 context
+
+Only columns 0-7 are used; missing/short rows are skipped with a warning
+counter rather than failing the whole load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .credibility import assign_derived_labels
+from .schema import Article, Creator, CredibilityLabel, NewsDataset, Subject
+
+PathLike = Union[str, Path]
+
+#: LIAR label strings -> the paper's 6-level scale.
+LIAR_LABELS: Dict[str, CredibilityLabel] = {
+    "true": CredibilityLabel.TRUE,
+    "mostly-true": CredibilityLabel.MOSTLY_TRUE,
+    "half-true": CredibilityLabel.HALF_TRUE,
+    "barely-true": CredibilityLabel.MOSTLY_FALSE,
+    "false": CredibilityLabel.FALSE,
+    "pants-fire": CredibilityLabel.PANTS_ON_FIRE,
+}
+
+
+@dataclasses.dataclass
+class LiarLoadStats:
+    """What happened during a load."""
+
+    rows: int = 0
+    loaded: int = 0
+    skipped_short: int = 0
+    skipped_label: int = 0
+    skipped_duplicate: int = 0
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in text.strip().lower()).strip("_")
+
+
+def load_liar(
+    *paths: PathLike,
+    derive_entity_labels: bool = True,
+) -> tuple:
+    """Load one or more LIAR TSV files into a single NewsDataset.
+
+    Returns ``(dataset, stats)``. Speakers become creators (profile text =
+    job + state + party); each comma-separated subject becomes a Subject
+    node. Creator/subject ground-truth labels are derived with the paper's
+    §5.1.1 weighted-sum rule unless disabled.
+    """
+    if not paths:
+        raise ValueError("at least one TSV path required")
+    dataset = NewsDataset()
+    stats = LiarLoadStats()
+    seen_articles: set = set()
+
+    for path in paths:
+        path = Path(path)
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.rstrip("\n")
+                if not line.strip():
+                    continue
+                stats.rows += 1
+                cols = line.split("\t")
+                if len(cols) < 5:
+                    stats.skipped_short += 1
+                    continue
+                raw_id, raw_label, statement, raw_subjects, speaker = cols[:5]
+                label = LIAR_LABELS.get(raw_label.strip().lower())
+                if label is None:
+                    stats.skipped_label += 1
+                    continue
+                article_id = f"liar_{_slug(raw_id) or stats.rows}"
+                if article_id in seen_articles:
+                    stats.skipped_duplicate += 1
+                    continue
+                seen_articles.add(article_id)
+
+                speaker = speaker.strip() or "unknown-speaker"
+                creator_id = f"u_{_slug(speaker)}"
+                if creator_id not in dataset.creators:
+                    job = cols[5].strip() if len(cols) > 5 else ""
+                    state = cols[6].strip() if len(cols) > 6 else ""
+                    party = cols[7].strip() if len(cols) > 7 else ""
+                    profile = " ".join(
+                        part for part in (speaker, job, state, party) if part
+                    )
+                    dataset.add_creator(
+                        Creator(
+                            creator_id=creator_id,
+                            name=speaker.replace("-", " ").title(),
+                            profile=profile.lower(),
+                        )
+                    )
+
+                subject_ids: List[str] = []
+                names = [s for s in raw_subjects.split(",") if s.strip()]
+                if not names:
+                    names = ["uncategorized"]
+                for name in names:
+                    subject_id = f"s_{_slug(name)}"
+                    if subject_id not in dataset.subjects:
+                        dataset.add_subject(
+                            Subject(
+                                subject_id=subject_id,
+                                name=name.strip().lower(),
+                                description=name.strip().lower().replace("-", " "),
+                            )
+                        )
+                    if subject_id not in subject_ids:
+                        subject_ids.append(subject_id)
+
+                dataset.add_article(
+                    Article(
+                        article_id=article_id,
+                        text=statement.strip(),
+                        label=label,
+                        creator_id=creator_id,
+                        subject_ids=subject_ids,
+                    )
+                )
+                stats.loaded += 1
+
+    if derive_entity_labels:
+        assign_derived_labels(dataset)
+    dataset.validate()
+    return dataset, stats

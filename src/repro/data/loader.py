@@ -1,0 +1,128 @@
+"""Dataset persistence: JSON-lines save/load.
+
+The on-disk format matches what a real PolitiFact crawl would serialize to,
+so a user holding the original data can export it in this shape and run the
+full pipeline unchanged:
+
+    {"kind": "creator", "creator_id": ..., "name": ..., "profile": ..., "label": ...}
+    {"kind": "subject", "subject_id": ..., "name": ..., "description": ..., "label": ...}
+    {"kind": "article", "article_id": ..., "text": ..., "label": ...,
+     "creator_id": ..., "subject_ids": [...]}
+
+Labels are stored as display names ("Pants on Fire!", "Mostly True", ...).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .schema import Article, Creator, CredibilityLabel, NewsDataset, Subject
+
+PathLike = Union[str, Path]
+
+
+def _label_name(label: Optional[CredibilityLabel]) -> Optional[str]:
+    return label.display_name if label is not None else None
+
+
+def _parse_label(name: Optional[str]) -> Optional[CredibilityLabel]:
+    if name is None:
+        return None
+    return CredibilityLabel.from_display_name(name)
+
+
+def save_dataset(dataset: NewsDataset, path: PathLike) -> None:
+    """Write the corpus as JSON lines (creators, subjects, then articles)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for creator in dataset.creators.values():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "creator",
+                        "creator_id": creator.creator_id,
+                        "name": creator.name,
+                        "profile": creator.profile,
+                        "label": _label_name(creator.label),
+                    }
+                )
+                + "\n"
+            )
+        for subject in dataset.subjects.values():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "subject",
+                        "subject_id": subject.subject_id,
+                        "name": subject.name,
+                        "description": subject.description,
+                        "label": _label_name(subject.label),
+                    }
+                )
+                + "\n"
+            )
+        for article in dataset.articles.values():
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "article",
+                        "article_id": article.article_id,
+                        "text": article.text,
+                        "label": article.label.display_name,
+                        "creator_id": article.creator_id,
+                        "subject_ids": article.subject_ids,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_dataset(path: PathLike, validate: bool = True) -> NewsDataset:
+    """Load a corpus saved by :func:`save_dataset` (or an equivalent export)."""
+    path = Path(path)
+    dataset = NewsDataset()
+    with path.open() as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            kind = record.get("kind")
+            if kind == "creator":
+                dataset.add_creator(
+                    Creator(
+                        creator_id=record["creator_id"],
+                        name=record["name"],
+                        profile=record["profile"],
+                        label=_parse_label(record.get("label")),
+                    )
+                )
+            elif kind == "subject":
+                dataset.add_subject(
+                    Subject(
+                        subject_id=record["subject_id"],
+                        name=record["name"],
+                        description=record["description"],
+                        label=_parse_label(record.get("label")),
+                    )
+                )
+            elif kind == "article":
+                dataset.add_article(
+                    Article(
+                        article_id=record["article_id"],
+                        text=record["text"],
+                        label=CredibilityLabel.from_display_name(record["label"]),
+                        creator_id=record["creator_id"],
+                        subject_ids=list(record.get("subject_ids", [])),
+                    )
+                )
+            else:
+                raise ValueError(f"{path}:{line_number}: unknown record kind {kind!r}")
+    if validate:
+        dataset.validate()
+    return dataset

@@ -1,0 +1,198 @@
+"""Dataset schema: credibility labels and the article/creator/subject entities.
+
+Mirrors the paper's Definitions 2.1-2.3: an article is (text, label), a
+subject is (description, label), a creator is (profile, label). Labels come
+from the 6-level PolitiFact "Truth-O-Meter" scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CredibilityLabel(enum.IntEnum):
+    """The 6-level Truth-O-Meter scale with the paper's numerical scores.
+
+    §5.1.1 maps labels to scores: True=6, Mostly True=5, Half True=4,
+    Mostly False=3, False=2, Pants on Fire!=1. The IntEnum value IS the
+    paper's score, so arithmetic like the weighted-sum ground truth reads
+    directly off the enum.
+    """
+
+    PANTS_ON_FIRE = 1
+    FALSE = 2
+    MOSTLY_FALSE = 3
+    HALF_TRUE = 4
+    MOSTLY_TRUE = 5
+    TRUE = 6
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY_NAMES[self]
+
+    @classmethod
+    def from_display_name(cls, name: str) -> "CredibilityLabel":
+        try:
+            return _NAME_TO_LABEL[name.strip().lower()]
+        except KeyError:
+            raise ValueError(f"unknown credibility label {name!r}") from None
+
+    @property
+    def is_true_class(self) -> bool:
+        """Paper's bi-class grouping: {True, Mostly True, Half True} = positive."""
+        return self >= CredibilityLabel.HALF_TRUE
+
+    @property
+    def binary(self) -> int:
+        """1 for the positive (credible) bi-class group, 0 otherwise."""
+        return int(self.is_true_class)
+
+    @property
+    def class_index(self) -> int:
+        """Zero-based class index for classifiers (0=Pants on Fire! .. 5=True)."""
+        return int(self) - 1
+
+    @classmethod
+    def from_class_index(cls, index: int) -> "CredibilityLabel":
+        if not 0 <= index <= 5:
+            raise ValueError(f"class index out of range: {index}")
+        return cls(index + 1)
+
+
+_DISPLAY_NAMES = {
+    CredibilityLabel.TRUE: "True",
+    CredibilityLabel.MOSTLY_TRUE: "Mostly True",
+    CredibilityLabel.HALF_TRUE: "Half True",
+    CredibilityLabel.MOSTLY_FALSE: "Mostly False",
+    CredibilityLabel.FALSE: "False",
+    CredibilityLabel.PANTS_ON_FIRE: "Pants on Fire!",
+}
+_NAME_TO_LABEL = {name.lower(): label for label, name in _DISPLAY_NAMES.items()}
+
+NUM_CLASSES = len(CredibilityLabel)
+
+
+@dataclass
+class Article:
+    """A news article / fact-checked statement (Definition 2.1)."""
+
+    article_id: str
+    text: str
+    label: CredibilityLabel
+    creator_id: str
+    subject_ids: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not isinstance(self.label, CredibilityLabel):
+            self.label = CredibilityLabel(self.label)
+
+
+@dataclass
+class Creator:
+    """A news creator with profile text (Definition 2.3)."""
+
+    creator_id: str
+    name: str
+    profile: str
+    label: Optional[CredibilityLabel] = None
+
+    def __post_init__(self):
+        if self.label is not None and not isinstance(self.label, CredibilityLabel):
+            self.label = CredibilityLabel(self.label)
+
+
+@dataclass
+class Subject:
+    """A news subject / topic with a textual description (Definition 2.2)."""
+
+    subject_id: str
+    name: str
+    description: str
+    label: Optional[CredibilityLabel] = None
+
+    def __post_init__(self):
+        if self.label is not None and not isinstance(self.label, CredibilityLabel):
+            self.label = CredibilityLabel(self.label)
+
+
+@dataclass
+class NewsDataset:
+    """The full News-HSN corpus: N (articles), U (creators), S (subjects)."""
+
+    articles: Dict[str, Article] = field(default_factory=dict)
+    creators: Dict[str, Creator] = field(default_factory=dict)
+    subjects: Dict[str, Subject] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_article(self, article: Article) -> None:
+        if article.article_id in self.articles:
+            raise ValueError(f"duplicate article id {article.article_id!r}")
+        self.articles[article.article_id] = article
+
+    def add_creator(self, creator: Creator) -> None:
+        if creator.creator_id in self.creators:
+            raise ValueError(f"duplicate creator id {creator.creator_id!r}")
+        self.creators[creator.creator_id] = creator
+
+    def add_subject(self, subject: Subject) -> None:
+        if subject.subject_id in self.subjects:
+            raise ValueError(f"duplicate subject id {subject.subject_id!r}")
+        self.subjects[subject.subject_id] = subject
+
+    # ------------------------------------------------------------------
+    @property
+    def num_articles(self) -> int:
+        return len(self.articles)
+
+    @property
+    def num_creators(self) -> int:
+        return len(self.creators)
+
+    @property
+    def num_subjects(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def num_creator_article_links(self) -> int:
+        """One authorship link per article (each article has one creator)."""
+        return sum(1 for a in self.articles.values() if a.creator_id)
+
+    @property
+    def num_article_subject_links(self) -> int:
+        return sum(len(a.subject_ids) for a in self.articles.values())
+
+    # ------------------------------------------------------------------
+    def articles_by_creator(self) -> Dict[str, List[Article]]:
+        """Group articles by their creator id."""
+        grouped: Dict[str, List[Article]] = {cid: [] for cid in self.creators}
+        for article in self.articles.values():
+            grouped.setdefault(article.creator_id, []).append(article)
+        return grouped
+
+    def articles_by_subject(self) -> Dict[str, List[Article]]:
+        """Group articles by each subject they indicate."""
+        grouped: Dict[str, List[Article]] = {sid: [] for sid in self.subjects}
+        for article in self.articles.values():
+            for sid in article.subject_ids:
+                grouped.setdefault(sid, []).append(article)
+        return grouped
+
+    def validate(self) -> None:
+        """Check referential integrity of all links; raise on dangling ids."""
+        for article in self.articles.values():
+            if article.creator_id not in self.creators:
+                raise ValueError(
+                    f"article {article.article_id!r} references unknown creator "
+                    f"{article.creator_id!r}"
+                )
+            for sid in article.subject_ids:
+                if sid not in self.subjects:
+                    raise ValueError(
+                        f"article {article.article_id!r} references unknown subject {sid!r}"
+                    )
+            if len(set(article.subject_ids)) != len(article.subject_ids):
+                raise ValueError(
+                    f"article {article.article_id!r} lists a subject twice"
+                )

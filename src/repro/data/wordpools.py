@@ -1,0 +1,146 @@
+"""Word pools used by the synthetic PolitiFact corpus generator.
+
+The pools encode the signal structure the paper's Figure 1(b)/(c) documents:
+a shared political vocabulary, words that appear disproportionately in
+True-leaning statements ("president", "income", "tax", "american", ...) and
+words that appear disproportionately in False-leaning ones ("obama",
+"republican", "clinton", "obamacare", "gun", ...). Per-subject topic pools
+give the article-subject links textual grounding.
+"""
+
+from __future__ import annotations
+
+# Words the paper's Fig 1(b) highlights for True articles, padded with
+# plausible policy vocabulary of the same register.
+TRUE_LEANING_WORDS = [
+    "president", "income", "tax", "american", "percent", "year", "rate",
+    "budget", "states", "spending", "million", "billion", "average", "report",
+    "increase", "growth", "workers", "wage", "federal", "record", "history",
+    "voted", "bill", "senate", "congress", "according", "data", "study",
+    "census", "fact", "department", "official", "analysis", "measure",
+]
+
+# Words the paper's Fig 1(c) highlights for False articles, padded likewise.
+FALSE_LEANING_WORDS = [
+    "obama", "republican", "clinton", "obamacare", "gun", "illegal", "muslim",
+    "liberal", "socialist", "radical", "destroy", "hoax", "secret", "scandal",
+    "corrupt", "rigged", "fraud", "conspiracy", "amnesty", "takeover",
+    "banned", "confiscate", "bankrupt", "disaster", "crooked", "lie", "fake",
+    "invasion", "scheme", "cover", "outrage", "shocking", "exposed", "plot",
+]
+
+# Neutral shared political vocabulary present in statements of every label.
+SHARED_WORDS = [
+    "said", "people", "new", "government", "country", "law", "public",
+    "plan", "policy", "campaign", "vote", "voters", "house", "committee",
+    "support", "oppose", "proposal", "program", "funding", "statement",
+    "debate", "speech", "interview", "week", "month", "time", "number",
+    "americans", "national", "administration", "governor", "senator",
+    "district", "office", "members", "group", "issue", "change", "work",
+]
+
+# The paper's Fig 1(d) lists the top-20 subjects (largest article counts).
+# Order here is descending by article count: "health" is largest (~1,572
+# articles, 46.5% true), "economy" second (~1,498, 63.2% true).
+TOP_SUBJECT_NAMES = [
+    "health", "economy", "taxes", "education", "federal", "jobs", "state",
+    "candidates", "elections", "immigration", "foreign", "crime", "history",
+    "energy", "legal", "environment", "guns", "military", "terrorism", "job",
+]
+
+# Topic vocabulary for each named subject, used in both article text and the
+# subject's own description.
+SUBJECT_TOPIC_WORDS = {
+    "health": ["healthcare", "insurance", "medicare", "medicaid", "hospital",
+               "doctors", "patients", "coverage", "premiums", "disease"],
+    "economy": ["economy", "economic", "jobs", "unemployment", "gdp",
+                "recession", "growth", "trade", "manufacturing", "wages"],
+    "taxes": ["taxes", "taxpayer", "irs", "deduction", "revenue", "cuts",
+              "brackets", "refund", "property", "sales"],
+    "education": ["schools", "students", "teachers", "tuition", "college",
+                  "curriculum", "testing", "graduation", "literacy", "loans"],
+    "federal": ["federal", "agency", "regulation", "bureaucracy", "oversight",
+                "mandate", "shutdown", "appropriations", "debt", "deficit"],
+    "jobs": ["employment", "hiring", "layoffs", "workforce", "factory",
+             "outsourcing", "payroll", "labor", "careers", "training"],
+    "state": ["state", "legislature", "statehouse", "county", "municipal",
+              "local", "ordinance", "commission", "ballot", "referendum"],
+    "candidates": ["candidate", "primary", "nomination", "endorsement",
+                   "polling", "frontrunner", "challenger", "incumbent",
+                   "ticket", "running"],
+    "elections": ["election", "turnout", "registration", "precinct",
+                  "absentee", "recount", "electoral", "midterm", "voting",
+                  "districts"],
+    "immigration": ["immigration", "border", "visa", "citizenship", "asylum",
+                    "deportation", "refugees", "migrants", "wall", "customs"],
+    "foreign": ["foreign", "diplomacy", "treaty", "sanctions", "embassy",
+                "allies", "nato", "trade", "summit", "relations"],
+    "crime": ["crime", "police", "prison", "sentencing", "homicide",
+              "parole", "prosecutor", "felony", "courts", "justice"],
+    "history": ["history", "historical", "founding", "constitution",
+                "amendment", "precedent", "archives", "century", "era",
+                "heritage"],
+    "energy": ["energy", "oil", "gas", "renewable", "solar", "wind", "coal",
+               "pipeline", "drilling", "emissions"],
+    "legal": ["legal", "court", "judge", "ruling", "lawsuit", "appeal",
+              "statute", "constitutional", "attorney", "verdict"],
+    "environment": ["environment", "climate", "pollution", "epa",
+                    "conservation", "wildlife", "emissions", "warming",
+                    "water", "cleanup"],
+    "guns": ["firearms", "weapons", "background", "checks", "rifle",
+             "ammunition", "concealed", "permit", "shooting", "nra"],
+    "military": ["military", "troops", "veterans", "defense", "pentagon",
+                 "deployment", "navy", "army", "combat", "base"],
+    "terrorism": ["terrorism", "terrorist", "attack", "security", "threat",
+                  "intelligence", "homeland", "extremist", "isis", "plot"],
+    "job": ["job", "position", "salary", "promotion", "duties", "resume",
+            "interview", "occupation", "profession", "vacancy"],
+}
+
+# Vocabulary for creator profile text.
+CREATOR_TITLES = [
+    "senator", "governor", "representative", "mayor", "political analyst",
+    "columnist", "party chair", "lobbyist", "commentator", "strategist",
+    "attorney general", "congressman", "state legislator", "activist",
+    "radio host", "blogger", "spokesperson", "policy advisor",
+]
+PARTIES = ["democrat", "republican", "independent"]
+US_STATES = [
+    "alabama", "alaska", "arizona", "arkansas", "california", "colorado",
+    "connecticut", "delaware", "florida", "georgia", "hawaii", "idaho",
+    "illinois", "indiana", "iowa", "kansas", "kentucky", "louisiana",
+    "maine", "maryland", "massachusetts", "michigan", "minnesota",
+    "mississippi", "missouri", "montana", "nebraska", "nevada", "ohio",
+    "oklahoma", "oregon", "pennsylvania", "tennessee", "texas", "utah",
+    "vermont", "virginia", "washington", "wisconsin", "wyoming",
+]
+
+# Profile words weakly correlated with creator reliability: reliable
+# creators' bios mention fact-driven work, unreliable ones partisan media.
+RELIABLE_PROFILE_WORDS = [
+    "economist", "professor", "researcher", "nonpartisan", "policy",
+    "legislation", "budget", "veteran", "moderate", "bipartisan",
+]
+UNRELIABLE_PROFILE_WORDS = [
+    "provocative", "controversial", "viral", "partisan", "outspoken",
+    "firebrand", "talkshow", "tabloid", "fringe", "agitator",
+]
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+    "nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+]
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson",
+]
+
+
+def generic_subject_topic_words(index: int) -> list[str]:
+    """Deterministic topic pool for unnamed tail subjects."""
+    return [f"topic{index}word{j}" for j in range(8)]

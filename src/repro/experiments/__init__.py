@@ -1,0 +1,74 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 1/4/5, Table 1)."""
+
+from .error_analysis import (
+    error_report,
+    errors_by_creator,
+    errors_by_subject,
+    hardest_articles,
+    render_confusion,
+)
+from .export import load_sweep, save_sweep, sweep_to_csv
+from .figures import (
+    ClaimCheck,
+    check_paper_claims,
+    figure1,
+    figure4,
+    figure5,
+    render_claims,
+    render_timings,
+    table1,
+)
+from .harness import (
+    BINARY_METRICS,
+    ENTITY_KINDS,
+    MULTI_METRICS,
+    PAPER_THETAS,
+    CellResult,
+    SweepResult,
+    evaluate_predictions,
+    run_sweep,
+)
+from .report import ReportPaths, generate_full_report
+from .registry import PAPER_METHOD_ORDER, default_methods, extended_methods
+from .saliency import WordAttribution, explain_article, explain_creator, explain_subject
+from .tuning import TrialResult, best_config, expand_grid, grid_search
+
+__all__ = [
+    "run_sweep",
+    "SweepResult",
+    "CellResult",
+    "evaluate_predictions",
+    "PAPER_THETAS",
+    "ENTITY_KINDS",
+    "BINARY_METRICS",
+    "MULTI_METRICS",
+    "default_methods",
+    "extended_methods",
+    "PAPER_METHOD_ORDER",
+    "figure1",
+    "figure4",
+    "figure5",
+    "table1",
+    "check_paper_claims",
+    "render_claims",
+    "render_timings",
+    "ClaimCheck",
+    "save_sweep",
+    "load_sweep",
+    "sweep_to_csv",
+    "error_report",
+    "errors_by_creator",
+    "errors_by_subject",
+    "hardest_articles",
+    "render_confusion",
+    "grid_search",
+    "expand_grid",
+    "best_config",
+    "TrialResult",
+    "explain_article",
+    "explain_creator",
+    "explain_subject",
+    "WordAttribution",
+    "generate_full_report",
+    "ReportPaths",
+]

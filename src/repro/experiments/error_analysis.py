@@ -1,0 +1,171 @@
+"""Error analysis for credibility predictions.
+
+Tools a practitioner reaches for after the headline metrics: confusion
+matrices rendered with label names, the hardest (most confidently wrong)
+articles, and error breakdowns by creator and by subject — which localize
+whether a model fails on text or on graph structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data.schema import CredibilityLabel, NewsDataset
+from ..metrics import confusion_matrix
+
+
+def render_confusion(
+    y_true: Sequence[int], y_pred: Sequence[int], num_classes: int = 6
+) -> str:
+    """Confusion matrix with Truth-O-Meter row/column labels."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes=num_classes)
+    if num_classes == 6:
+        names = [CredibilityLabel.from_class_index(i).display_name for i in range(6)]
+    else:
+        names = [f"class {i}" for i in range(num_classes)]
+    width = max(len(n) for n in names) + 1
+    header = " " * width + " ".join(f"{n[:7]:>8s}" for n in names)
+    lines = ["rows = truth, cols = predicted", header]
+    for i, name in enumerate(names):
+        cells = " ".join(f"{matrix[i, j]:>8d}" for j in range(num_classes))
+        lines.append(f"{name:<{width}s}{cells}")
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class HardExample:
+    """One confidently-wrong prediction."""
+
+    article_id: str
+    text: str
+    truth: CredibilityLabel
+    predicted: CredibilityLabel
+    confidence: float  # predicted-class probability
+
+    def __str__(self):
+        return (
+            f"{self.article_id}: predicted {self.predicted.display_name} "
+            f"({self.confidence:.2f}) but truth is {self.truth.display_name} | "
+            f"{self.text[:60]}..."
+        )
+
+
+def hardest_articles(
+    dataset: NewsDataset,
+    probabilities: Dict[str, np.ndarray],
+    article_ids: Sequence[str],
+    top_k: int = 10,
+) -> List[HardExample]:
+    """Most confidently wrong predictions among ``article_ids``.
+
+    ``probabilities`` maps article id -> 6-class probability vector (e.g.
+    from ``FakeDetector.predict_proba("article")``).
+    """
+    examples = []
+    for aid in article_ids:
+        probs = probabilities[aid]
+        predicted = int(np.argmax(probs))
+        truth = dataset.articles[aid].label
+        if predicted == truth.class_index:
+            continue
+        examples.append(
+            HardExample(
+                article_id=aid,
+                text=dataset.articles[aid].text,
+                truth=truth,
+                predicted=CredibilityLabel.from_class_index(predicted),
+                confidence=float(probs[predicted]),
+            )
+        )
+    examples.sort(key=lambda e: -e.confidence)
+    return examples[:top_k]
+
+
+@dataclasses.dataclass
+class GroupErrorRow:
+    """Binary error rate of one creator's or subject's articles."""
+
+    name: str
+    total: int
+    errors: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.total if self.total else 0.0
+
+
+def errors_by_creator(
+    dataset: NewsDataset,
+    predictions: Dict[str, int],
+    article_ids: Sequence[str],
+    min_articles: int = 2,
+) -> List[GroupErrorRow]:
+    """Bi-class article error rates grouped by creator, worst first."""
+    return _group_errors(
+        dataset, predictions, article_ids,
+        key=lambda article: [article.creator_id],
+        name_of=lambda eid: dataset.creators[eid].name,
+        min_articles=min_articles,
+    )
+
+
+def errors_by_subject(
+    dataset: NewsDataset,
+    predictions: Dict[str, int],
+    article_ids: Sequence[str],
+    min_articles: int = 2,
+) -> List[GroupErrorRow]:
+    """Bi-class article error rates grouped by subject, worst first."""
+    return _group_errors(
+        dataset, predictions, article_ids,
+        key=lambda article: article.subject_ids,
+        name_of=lambda eid: dataset.subjects[eid].name,
+        min_articles=min_articles,
+    )
+
+
+def _group_errors(dataset, predictions, article_ids, key, name_of, min_articles):
+    totals: Dict[str, int] = {}
+    errors: Dict[str, int] = {}
+    for aid in article_ids:
+        article = dataset.articles[aid]
+        wrong = int(predictions[aid] >= 3) != article.label.binary
+        for group in key(article):
+            totals[group] = totals.get(group, 0) + 1
+            if wrong:
+                errors[group] = errors.get(group, 0) + 1
+    rows = [
+        GroupErrorRow(name=name_of(g), total=t, errors=errors.get(g, 0))
+        for g, t in totals.items()
+        if t >= min_articles
+    ]
+    rows.sort(key=lambda r: (-r.error_rate, -r.total))
+    return rows
+
+
+def error_report(
+    dataset: NewsDataset,
+    predictions: Dict[str, int],
+    probabilities: Dict[str, np.ndarray],
+    article_ids: Sequence[str],
+    top_k: int = 5,
+) -> str:
+    """Full text report: confusion matrix, hard examples, group breakdowns."""
+    y_true = [dataset.articles[a].label.class_index for a in article_ids]
+    y_pred = [predictions[a] for a in article_ids]
+    sections = ["== Confusion matrix ==", render_confusion(y_true, y_pred)]
+
+    hard = hardest_articles(dataset, probabilities, article_ids, top_k=top_k)
+    sections.append("\n== Most confidently wrong ==")
+    sections.extend(f"  {example}" for example in hard)
+
+    sections.append("\n== Worst creators (bi-class error rate) ==")
+    for row in errors_by_creator(dataset, predictions, article_ids)[:top_k]:
+        sections.append(f"  {row.name:<22s} {row.errors}/{row.total} = {row.error_rate:.0%}")
+    sections.append("\n== Worst subjects ==")
+    for row in errors_by_subject(dataset, predictions, article_ids)[:top_k]:
+        sections.append(f"  {row.name:<22s} {row.errors}/{row.total} = {row.error_rate:.0%}")
+    return "\n".join(sections)

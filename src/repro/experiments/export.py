@@ -1,0 +1,104 @@
+"""Sweep result persistence and export (JSON round-trip, CSV for plotting).
+
+A full θ-sweep is expensive; these helpers let a run be archived, reloaded
+for later analysis, and dumped as tidy CSV (one row per method × kind ×
+θ × fold × metric) for external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..metrics import BinaryMetrics, MultiClassMetrics
+from .harness import CellResult, SweepResult
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_sweep(result: SweepResult, path: PathLike) -> None:
+    """Serialize a :class:`SweepResult` to JSON."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "methods": result.methods,
+        "thetas": result.thetas,
+        "folds": result.folds,
+        "failures": [list(f) for f in result.failures],
+        "cells": {
+            method: {
+                kind: {
+                    str(theta): [
+                        {
+                            "binary": cell.binary.as_dict(),
+                            "multi": cell.multi.as_dict(),
+                            "train_seconds": cell.train_seconds,
+                            "num_test": cell.num_test,
+                        }
+                        for cell in by_theta[theta]
+                    ]
+                    for theta in result.thetas
+                }
+                for kind, by_theta in by_kind.items()
+            }
+            for method, by_kind in result.cells.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Load a sweep saved by :func:`save_sweep`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported sweep format {payload.get('format')!r}")
+    thetas = [float(t) for t in payload["thetas"]]
+    cells = {}
+    for method, by_kind in payload["cells"].items():
+        cells[method] = {}
+        for kind, by_theta in by_kind.items():
+            cells[method][kind] = {}
+            for theta_key, cell_list in by_theta.items():
+                cells[method][kind][float(theta_key)] = [
+                    CellResult(
+                        binary=BinaryMetrics(**cell["binary"]),
+                        multi=MultiClassMetrics(**cell["multi"]),
+                        train_seconds=cell["train_seconds"],
+                        num_test=cell["num_test"],
+                    )
+                    for cell in cell_list
+                ]
+    return SweepResult(
+        methods=list(payload["methods"]),
+        thetas=thetas,
+        folds=int(payload["folds"]),
+        cells=cells,
+        failures=[tuple(f) for f in payload.get("failures", [])],
+    )
+
+
+def sweep_to_csv(result: SweepResult, path: PathLike) -> int:
+    """Write tidy CSV; returns the number of data rows written."""
+    rows = 0
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["method", "kind", "theta", "fold", "problem", "metric", "value"]
+        )
+        for method, by_kind in result.cells.items():
+            for kind, by_theta in by_kind.items():
+                for theta, cell_list in by_theta.items():
+                    for fold, cell in enumerate(cell_list):
+                        for problem, metrics in (
+                            ("binary", cell.binary.as_dict()),
+                            ("multi", cell.multi.as_dict()),
+                        ):
+                            for metric, value in metrics.items():
+                                writer.writerow(
+                                    [method, kind, theta, fold, problem, metric, value]
+                                )
+                                rows += 1
+    return rows

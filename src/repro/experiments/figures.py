@@ -1,0 +1,232 @@
+"""Per-figure reproduction entry points.
+
+``figure4``/``figure5`` render a :class:`SweepResult` as the paper's 12-panel
+grids (text tables, one per panel). ``figure1`` and ``table1`` regenerate the
+dataset-analysis artifacts. ``check_paper_claims`` verifies the qualitative
+claims of §5.2 against a sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..data.analysis import (
+    creator_case_study,
+    creator_publication_distribution,
+    distinctive_words,
+    frequent_words,
+    label_distribution,
+    most_prolific_creator,
+    network_properties,
+    subject_credibility_table,
+)
+from ..data.schema import NewsDataset
+from .harness import BINARY_METRICS, ENTITY_KINDS, MULTI_METRICS, SweepResult
+
+_PANEL_LETTERS = "abcdefghijkl"
+
+
+def _render_panel(
+    result: SweepResult, kind: str, metric: str, problem: str, title: str
+) -> str:
+    lines = [title]
+    header = "method        " + "  ".join(f"θ={t:<4.1f}" for t in result.thetas)
+    lines.append(header)
+    for method in result.methods:
+        series = result.series(method, kind, metric, problem)
+        row = f"{method:13s} " + "  ".join(f"{v:.3f} " for v in series)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def figure4(result: SweepResult) -> str:
+    """Figure 4: bi-class Accuracy/F1/Precision/Recall × article/creator/subject."""
+    panels = []
+    i = 0
+    for kind in ENTITY_KINDS:
+        for metric in BINARY_METRICS:
+            title = (
+                f"Figure 4({_PANEL_LETTERS[i]}): Bi-Class {kind.capitalize()} "
+                f"{metric.replace('_', ' ').title()}"
+            )
+            panels.append(_render_panel(result, kind, metric, "binary", title))
+            i += 1
+    return "\n\n".join(panels)
+
+
+def figure5(result: SweepResult) -> str:
+    """Figure 5: multi-class Accuracy/Macro-F1/Precision/Recall grids."""
+    panels = []
+    i = 0
+    for kind in ENTITY_KINDS:
+        for metric in MULTI_METRICS:
+            title = (
+                f"Figure 5({_PANEL_LETTERS[i]}): Multi-Class {kind.capitalize()} "
+                f"{metric.replace('_', ' ').title()}"
+            )
+            panels.append(_render_panel(result, kind, metric, "multi", title))
+            i += 1
+    return "\n\n".join(panels)
+
+
+def render_timings(result: SweepResult) -> str:
+    """Mean training wall-clock per method across all (θ, fold) cells."""
+    lines = ["Mean training time per method (seconds per fit, all cells)"]
+    for method in result.methods:
+        times = [
+            cell.train_seconds
+            for by_theta in (result.cells[method]["article"],)
+            for cells in by_theta.values()
+            for cell in cells
+        ]
+        if times:
+            import numpy as np
+
+            lines.append(f"  {method:<13s} {np.mean(times):7.2f}s")
+    return "\n".join(lines)
+
+
+def table1(dataset: NewsDataset) -> str:
+    """Table 1: properties of the heterogeneous network."""
+    props = network_properties(dataset)
+    lines = [
+        "Table 1: Properties of the Heterogeneous Network",
+        f"  # node  articles              {props['articles']:>8d}",
+        f"          creators              {props['creators']:>8d}",
+        f"          subjects              {props['subjects']:>8d}",
+        f"  # link  creator-article       {props['creator_article_links']:>8d}",
+        f"          article-subject       {props['article_subject_links']:>8d}",
+    ]
+    return "\n".join(lines)
+
+
+def figure1(dataset: NewsDataset, top_words: int = 12, top_subjects: int = 20) -> str:
+    """Figure 1: all six dataset-analysis panels as text."""
+    sections: List[str] = []
+
+    fit = creator_publication_distribution(dataset)
+    name, count = most_prolific_creator(dataset)
+    sections.append(
+        "Figure 1(a): Creator publication distribution (log-log)\n"
+        f"  power-law exponent {fit.exponent:.2f}, R^2 {fit.r_squared:.2f}, "
+        f"power-law-like: {fit.is_power_law_like}\n"
+        f"  most prolific creator: {name} ({count} articles)"
+    )
+
+    words = frequent_words(dataset, top_k=top_words)
+    distinct = distinctive_words(dataset, top_k=8)
+    sections.append(
+        "Figure 1(b): Frequent words in TRUE articles\n  "
+        + ", ".join(f"{w}({c})" for w, c in words["true"])
+        + "\n  distinctive: "
+        + ", ".join(distinct["true"])
+    )
+    sections.append(
+        "Figure 1(c): Frequent words in FALSE articles\n  "
+        + ", ".join(f"{w}({c})" for w, c in words["false"])
+        + "\n  distinctive: "
+        + ", ".join(distinct["false"])
+    )
+
+    rows = subject_credibility_table(dataset, top_k=top_subjects)
+    table_lines = ["Figure 1(d): Top subjects by article count (true vs false)"]
+    for row in rows:
+        table_lines.append(
+            f"  {row.name:<14s} total={row.total:>6d}  true={row.true_count:>6d} "
+            f"({row.true_fraction:5.1%})  false={row.false_count:>6d}"
+        )
+    sections.append("\n".join(table_lines))
+
+    studies = creator_case_study(dataset)
+    case_lines = ["Figure 1(e)/(f): Case-study creator label histograms"]
+    for study in studies:
+        hist = "  ".join(
+            f"{label.display_name}={count}" for label, count in study.histogram.items()
+        )
+        case_lines.append(
+            f"  {study.name:<16s} total={study.total:>5d} true-frac={study.true_fraction:5.1%}\n"
+            f"    {hist}"
+        )
+    sections.append("\n".join(case_lines))
+
+    dist = label_distribution(dataset)
+    sections.append(
+        "Overall label distribution\n  "
+        + ", ".join(f"{label.display_name}={count}" for label, count in dist.items())
+    )
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Qualitative paper-claim checks
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ClaimCheck:
+    claim: str
+    passed: bool
+    detail: str
+
+
+def check_paper_claims(result: SweepResult) -> List[ClaimCheck]:
+    """Verify §5.2's qualitative findings against a sweep.
+
+    1. FakeDetector has the best θ-averaged bi-class Accuracy and F1 on each
+       node type ("can achieve the best performance ... for all the
+       evaluation metrics except Recall").
+    2. FakeDetector has the best multi-class Accuracy ("advantages ... much
+       more significant ... in the multi-class prediction setting").
+    3. Multi-class accuracy is lower than bi-class accuracy for every method
+       ("the multi-class credibility inference scenario is much more
+       difficult").
+    """
+    checks: List[ClaimCheck] = []
+    if "FakeDetector" not in result.methods:
+        return [ClaimCheck("FakeDetector present in sweep", False, "method missing")]
+
+    for kind in ENTITY_KINDS:
+        for metric in ("accuracy", "f1"):
+            best = result.best_method(kind, metric, "binary")
+            checks.append(
+                ClaimCheck(
+                    claim=f"FakeDetector best bi-class {metric} on {kind}s",
+                    passed=best == "FakeDetector",
+                    detail=f"best={best} "
+                    + ", ".join(
+                        f"{m}={result.mean_metric(m, kind, metric, 'binary'):.3f}"
+                        for m in result.methods
+                    ),
+                )
+            )
+        best_multi = result.best_method(kind, "accuracy", "multi")
+        checks.append(
+            ClaimCheck(
+                claim=f"FakeDetector best multi-class accuracy on {kind}s",
+                passed=best_multi == "FakeDetector",
+                detail=f"best={best_multi}",
+            )
+        )
+
+    harder: List[Tuple[str, float, float]] = []
+    for method in result.methods:
+        bi = result.mean_metric(method, "article", "accuracy", "binary")
+        multi = result.mean_metric(method, "article", "accuracy", "multi")
+        harder.append((method, bi, multi))
+    all_harder = all(multi < bi for _, bi, multi in harder)
+    checks.append(
+        ClaimCheck(
+            claim="multi-class article accuracy < bi-class for every method",
+            passed=all_harder,
+            detail="; ".join(f"{m}: bi={b:.3f} multi={mu:.3f}" for m, b, mu in harder),
+        )
+    )
+    return checks
+
+
+def render_claims(checks: List[ClaimCheck]) -> str:
+    lines = ["Paper-claim verification:"]
+    for check in checks:
+        status = "PASS" if check.passed else "MISS"
+        lines.append(f"  [{status}] {check.claim}")
+        lines.append(f"         {check.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Experiment harness: the paper's θ-sweep evaluation protocol (§5.1).
+
+For each method, each fold and each sampling ratio θ, the harness trains on
+the θ-subsampled training folds and evaluates on the held-out fold, for all
+three node types, under both the bi-class and the 6-class problem settings.
+One sweep therefore produces every series of both Figure 4 and Figure 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.schema import NewsDataset
+from ..graph.sampling import TriSplit, tri_splits
+from ..metrics import BinaryMetrics, MultiClassMetrics
+from .registry import MethodFactory
+
+ENTITY_KINDS = ("article", "creator", "subject")
+BINARY_METRICS = ("accuracy", "f1", "precision", "recall")
+MULTI_METRICS = ("accuracy", "macro_f1", "macro_precision", "macro_recall")
+
+#: Paper's sampling ratios θ ∈ {0.1, ..., 1.0}.
+PAPER_THETAS = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@dataclasses.dataclass
+class CellResult:
+    """Metrics of one (method, kind, θ, fold) evaluation."""
+
+    binary: BinaryMetrics
+    multi: MultiClassMetrics
+    train_seconds: float
+    num_test: int
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Aggregated sweep output.
+
+    ``cells[method][kind][theta]`` is the list of per-fold
+    :class:`CellResult`.
+    """
+
+    methods: List[str]
+    thetas: List[float]
+    folds: int
+    cells: Dict[str, Dict[str, Dict[float, List[CellResult]]]]
+    #: (method, theta, fold, error message) for cells lost to exceptions
+    failures: List[tuple] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def series(self, method: str, kind: str, metric: str, problem: str = "binary") -> List[float]:
+        """Mean metric value per θ (the y-series of one figure curve)."""
+        out = []
+        for theta in self.thetas:
+            values = [
+                getattr(cell.binary if problem == "binary" else cell.multi, metric)
+                for cell in self.cells[method][kind][theta]
+            ]
+            out.append(float(np.mean(values)))
+        return out
+
+    def mean_metric(self, method: str, kind: str, metric: str, problem: str = "binary") -> float:
+        """Metric averaged over every θ and fold."""
+        return float(np.mean(self.series(method, kind, metric, problem)))
+
+    def best_method(self, kind: str, metric: str, problem: str = "binary") -> str:
+        """Which method has the highest θ-averaged metric."""
+        return max(
+            self.methods, key=lambda m: self.mean_metric(m, kind, metric, problem)
+        )
+
+
+def evaluate_predictions(
+    dataset: NewsDataset, split: TriSplit, predictions_by_kind: Dict[str, Dict[str, int]]
+) -> Dict[str, CellResult]:
+    """Score one method's predictions on the held-out fold, per node type."""
+    entities = {
+        "article": (dataset.articles, split.articles.test),
+        "creator": (dataset.creators, split.creators.test),
+        "subject": (dataset.subjects, split.subjects.test),
+    }
+    results = {}
+    for kind, (store, test_ids) in entities.items():
+        labeled = [eid for eid in test_ids if store[eid].label is not None]
+        if not labeled:
+            continue
+        predictions = predictions_by_kind[kind]
+        y_true_multi = [store[eid].label.class_index for eid in labeled]
+        y_pred_multi = [predictions[eid] for eid in labeled]
+        # Bi-class grouping: {HT, MT, T} (class index >= 3) is positive.
+        y_true_bin = [int(c >= 3) for c in y_true_multi]
+        y_pred_bin = [int(c >= 3) for c in y_pred_multi]
+        results[kind] = CellResult(
+            binary=BinaryMetrics.compute(y_true_bin, y_pred_bin),
+            multi=MultiClassMetrics.compute(y_true_multi, y_pred_multi),
+            train_seconds=0.0,
+            num_test=len(labeled),
+        )
+    return results
+
+
+def run_sweep(
+    dataset: NewsDataset,
+    methods: Dict[str, MethodFactory],
+    thetas: Sequence[float] = (0.1, 0.5, 1.0),
+    folds: int = 1,
+    k: int = 10,
+    seed: int = 0,
+    verbose: bool = False,
+    raise_on_error: bool = False,
+) -> SweepResult:
+    """Run the full evaluation protocol.
+
+    Parameters
+    ----------
+    dataset:
+        The News-HSN corpus.
+    methods:
+        ``{legend name: factory(seed) -> CredibilityModel}``.
+    thetas:
+        Sampling ratios to sweep (the paper uses all of
+        :data:`PAPER_THETAS`; benchmarks use a subset for CPU budget).
+    folds:
+        How many of the ``k`` CV folds to actually run (paper: all 10).
+    k:
+        Number of CV folds to cut.
+    raise_on_error:
+        When False (default), a method that raises during fit/predict
+        loses that cell (recorded in ``result.failures``) but the sweep
+        continues — one broken baseline shouldn't void a long run.
+    """
+    thetas = [float(t) for t in thetas]
+    article_ids = sorted(dataset.articles)
+    creator_ids = sorted(dataset.creators)
+    subject_ids = sorted(dataset.subjects)
+    article_labels = [dataset.articles[a].label.class_index for a in article_ids]
+
+    all_splits = list(
+        itertools.islice(
+            tri_splits(article_ids, creator_ids, subject_ids, k=k, seed=seed,
+                       article_labels=article_labels),
+            folds,
+        )
+    )
+
+    cells: Dict[str, Dict[str, Dict[float, List[CellResult]]]] = {
+        name: {kind: {theta: [] for theta in thetas} for kind in ENTITY_KINDS}
+        for name in methods
+    }
+    failures: List[tuple] = []
+
+    for fold_index, base_split in enumerate(all_splits):
+        for theta in thetas:
+            rng = np.random.default_rng(seed * 1000 + fold_index * 100 + int(theta * 10))
+            split = base_split.subsample_train(theta, rng)
+            for name, factory in methods.items():
+                start = time.perf_counter()
+                try:
+                    model = factory(seed + fold_index)
+                    model.fit(dataset, split)
+                    predictions = {
+                        kind: model.predict(kind) for kind in ENTITY_KINDS
+                    }
+                except Exception as exc:  # noqa: BLE001 - shield the sweep
+                    if raise_on_error:
+                        raise
+                    failures.append((name, theta, fold_index, repr(exc)))
+                    if verbose:
+                        print(f"fold {fold_index} θ={theta:.1f} {name}: FAILED {exc!r}")
+                    continue
+                elapsed = time.perf_counter() - start
+                fold_results = evaluate_predictions(dataset, base_split, predictions)
+                for kind, cell in fold_results.items():
+                    cell.train_seconds = elapsed
+                    cells[name][kind][theta].append(cell)
+                if verbose:
+                    art = fold_results.get("article")
+                    acc = art.binary.accuracy if art else float("nan")
+                    print(
+                        f"fold {fold_index} θ={theta:.1f} {name:13s} "
+                        f"article bi-acc={acc:.3f} ({elapsed:.1f}s)"
+                    )
+
+    return SweepResult(
+        methods=list(methods),
+        thetas=thetas,
+        folds=len(all_splits),
+        cells=cells,
+        failures=failures,
+    )

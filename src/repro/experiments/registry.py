@@ -1,0 +1,85 @@
+"""Method registry: the paper's six comparison methods as factories.
+
+Factories take a seed and return a fresh :class:`CredibilityModel`, so the
+sweep harness can re-instantiate methods per fold/θ. ``fast=True`` shrinks
+training budgets for benchmark runs; ``fast=False`` uses fuller budgets for
+the headline evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..baselines import (
+    CredibilityModel,
+    DeepWalkBaseline,
+    FakeDetectorMethod,
+    LabelPropagationBaseline,
+    LINEBaseline,
+    RNNBaseline,
+    SVMBaseline,
+)
+from ..core.config import FakeDetectorConfig
+
+MethodFactory = Callable[[int], CredibilityModel]
+
+#: Legend order used in the paper's figures.
+PAPER_METHOD_ORDER = ("FakeDetector", "lp", "deepwalk", "line", "svm", "rnn")
+
+
+def default_methods(
+    fast: bool = True,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, MethodFactory]:
+    """All six methods of §5.1.2, keyed by the paper's legend names."""
+    if fast:
+        fd_config = dict(
+            epochs=120, explicit_dim=100, vocab_size=2000, max_seq_len=20,
+            embed_dim=12, rnn_hidden=16, latent_dim=12, gdu_hidden=24,
+            early_stop_patience=12, alpha=2e-3,
+        )
+        rnn_kwargs = dict(epochs=20, max_seq_len=20, embed_dim=12, hidden=16, latent=12)
+        dw_kwargs = dict(epochs=2, num_walks=5, walk_length=20, dim=24)
+        line_kwargs = dict(samples_per_edge=20, dim=24)
+        svm_kwargs = dict(epochs=150, explicit_dim=80)
+    else:
+        fd_config = dict(epochs=150, explicit_dim=120, vocab_size=4000, max_seq_len=30, alpha=2e-3, early_stop_patience=15)
+        rnn_kwargs = dict(epochs=40)
+        dw_kwargs = dict(epochs=3, num_walks=8, walk_length=30, dim=32)
+        line_kwargs = dict(samples_per_edge=40, dim=32)
+        svm_kwargs = dict(epochs=250, explicit_dim=120)
+
+    methods: Dict[str, MethodFactory] = {
+        "FakeDetector": lambda seed: FakeDetectorMethod(
+            FakeDetectorConfig(seed=seed, **fd_config)
+        ),
+        "lp": lambda seed: LabelPropagationBaseline(),
+        "deepwalk": lambda seed: DeepWalkBaseline(seed=seed, **dw_kwargs),
+        "line": lambda seed: LINEBaseline(seed=seed, **line_kwargs),
+        "svm": lambda seed: SVMBaseline(seed=seed, **svm_kwargs),
+        "rnn": lambda seed: RNNBaseline(seed=seed, **rnn_kwargs),
+    }
+    if only is not None:
+        unknown = set(only) - set(methods)
+        if unknown:
+            raise KeyError(f"unknown methods requested: {sorted(unknown)}")
+        methods = {name: methods[name] for name in only}
+    return methods
+
+
+def extended_methods(fast: bool = True) -> Dict[str, MethodFactory]:
+    """The paper's six methods plus the extension baselines (node2vec, GCN)."""
+    from ..baselines import GCNBaseline, Node2VecBaseline
+
+    methods = default_methods(fast=fast)
+    if fast:
+        methods["node2vec"] = lambda seed: Node2VecBaseline(
+            seed=seed, epochs=2, num_walks=5, walk_length=20, dim=24
+        )
+        methods["gcn"] = lambda seed: GCNBaseline(
+            seed=seed, epochs=60, explicit_dim=80, hidden=24
+        )
+    else:
+        methods["node2vec"] = lambda seed: Node2VecBaseline(seed=seed)
+        methods["gcn"] = lambda seed: GCNBaseline(seed=seed, epochs=120)
+    return methods

@@ -1,0 +1,111 @@
+"""Hyperparameter grid search for FakeDetector.
+
+Evaluates every combination of a parameter grid with cross-validation on
+the *training* side of a split (test folds stay untouched), scoring by
+held-out-fold bi-class article accuracy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import FakeDetectorConfig
+from ..core.trainer import FakeDetector
+from ..data.schema import NewsDataset
+from ..graph.sampling import Split, TriSplit, k_fold_splits
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """One grid point's cross-validated score."""
+
+    overrides: Dict[str, object]
+    scores: List[float]
+    seconds: float
+
+    @property
+    def mean_score(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std_score(self) -> float:
+        return float(np.std(self.scores))
+
+    def __str__(self):
+        config = ", ".join(f"{k}={v}" for k, v in self.overrides.items())
+        return f"{self.mean_score:.3f} ± {self.std_score:.3f}  ({config})"
+
+
+def expand_grid(grid: Dict[str, Sequence]) -> List[Dict[str, object]]:
+    """Cartesian product of a {field: [values...]} grid, as override dicts."""
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    combos = itertools.product(*(grid[k] for k in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+def grid_search(
+    dataset: NewsDataset,
+    split: TriSplit,
+    grid: Dict[str, Sequence],
+    base_config: Optional[FakeDetectorConfig] = None,
+    inner_folds: int = 3,
+    seed: int = 0,
+    verbose: bool = False,
+) -> List[TrialResult]:
+    """Cross-validated grid search over FakeDetectorConfig fields.
+
+    For each grid point, the outer split's training articles are re-cut into
+    ``inner_folds`` folds; the model trains on the inner-train side and is
+    scored on the inner-held-out articles (bi-class accuracy). Returns
+    trials sorted best-first.
+    """
+    if inner_folds < 2:
+        raise ValueError("inner_folds must be >= 2")
+    base_config = base_config or FakeDetectorConfig()
+    rng = np.random.default_rng(seed)
+    inner_article_splits = k_fold_splits(split.articles.train, inner_folds, rng)
+
+    trials: List[TrialResult] = []
+    for overrides in expand_grid(grid):
+        config = dataclasses.replace(base_config, **overrides)
+        scores: List[float] = []
+        start = time.perf_counter()
+        for inner in inner_article_splits:
+            inner_split = TriSplit(
+                articles=Split(train=inner.train, test=inner.test),
+                creators=split.creators,
+                subjects=split.subjects,
+            )
+            detector = FakeDetector(config).fit(dataset, inner_split)
+            predictions = detector.predict("article")
+            y = [
+                (dataset.articles[a].label.binary, int(predictions[a] >= 3))
+                for a in inner.test
+            ]
+            scores.append(float(np.mean([t == p for t, p in y])))
+        trial = TrialResult(
+            overrides=overrides, scores=scores, seconds=time.perf_counter() - start
+        )
+        trials.append(trial)
+        if verbose:
+            print(f"  {trial}")
+    trials.sort(key=lambda t: -t.mean_score)
+    return trials
+
+
+def best_config(
+    trials: Iterable[TrialResult], base_config: Optional[FakeDetectorConfig] = None
+) -> FakeDetectorConfig:
+    """The base config with the winning trial's overrides applied."""
+    trials = list(trials)
+    if not trials:
+        raise ValueError("no trials to choose from")
+    winner = max(trials, key=lambda t: t.mean_score)
+    return dataclasses.replace(base_config or FakeDetectorConfig(), **winner.overrides)

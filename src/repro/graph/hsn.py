@@ -1,0 +1,200 @@
+"""News Augmented Heterogeneous Social Network (News-HSN), Definition 2.4.
+
+``G = (V, E)`` with ``V = U ∪ N ∪ S`` (creators, articles, subjects) and
+``E = E_{u,n} ∪ E_{n,s}`` (authorship and subject-indication links). The
+class stores typed adjacency both ways, which is what the GDU diffusion,
+label propagation, random walks and LINE edge sampling all consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..data.schema import NewsDataset
+
+
+class NodeType(enum.Enum):
+    """The three node categories of the News-HSN."""
+
+    ARTICLE = "article"
+    CREATOR = "creator"
+    SUBJECT = "subject"
+
+
+class EdgeType(enum.Enum):
+    """The two link categories (undirected; stored both ways)."""
+
+    AUTHORSHIP = "authorship"          # creator — article
+    SUBJECT_INDICATION = "subject"     # article — subject
+
+
+class HeterogeneousNetwork:
+    """Typed node/edge store with O(1) adjacency queries.
+
+    Node handles are ``(NodeType, node_id)`` tuples; ``node_id`` values are
+    the dataset's entity ids so the network indexes directly into a
+    :class:`NewsDataset`.
+    """
+
+    def __init__(self):
+        self._nodes: Dict[NodeType, set] = {t: set() for t in NodeType}
+        # adjacency[(type, id)][edge_type] -> list of (type, id) neighbors
+        self._adj: Dict[Tuple[NodeType, str], Dict[EdgeType, List[Tuple[NodeType, str]]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+        self._num_edges: Dict[EdgeType, int] = {t: 0 for t in EdgeType}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_type: NodeType, node_id: str) -> None:
+        self._nodes[node_type].add(node_id)
+
+    def has_node(self, node_type: NodeType, node_id: str) -> bool:
+        return node_id in self._nodes[node_type]
+
+    def add_edge(
+        self,
+        edge_type: EdgeType,
+        a: Tuple[NodeType, str],
+        b: Tuple[NodeType, str],
+    ) -> None:
+        """Add an undirected typed edge; endpoints must already exist."""
+        for node_type, node_id in (a, b):
+            if node_id not in self._nodes[node_type]:
+                raise KeyError(f"unknown node {(node_type, node_id)}")
+        expected = _EDGE_ENDPOINTS[edge_type]
+        if {a[0], b[0]} != expected:
+            raise ValueError(
+                f"{edge_type} edges connect {expected}, got {a[0]} — {b[0]}"
+            )
+        self._adj[a][edge_type].append(b)
+        self._adj[b][edge_type].append(a)
+        self._num_edges[edge_type] += 1
+
+    @classmethod
+    def from_dataset(cls, dataset: NewsDataset) -> "HeterogeneousNetwork":
+        """Build the News-HSN from a corpus."""
+        net = cls()
+        for creator_id in dataset.creators:
+            net.add_node(NodeType.CREATOR, creator_id)
+        for subject_id in dataset.subjects:
+            net.add_node(NodeType.SUBJECT, subject_id)
+        for article in dataset.articles.values():
+            net.add_node(NodeType.ARTICLE, article.article_id)
+        for article in dataset.articles.values():
+            a = (NodeType.ARTICLE, article.article_id)
+            net.add_edge(EdgeType.AUTHORSHIP, a, (NodeType.CREATOR, article.creator_id))
+            for subject_id in article.subject_ids:
+                net.add_edge(
+                    EdgeType.SUBJECT_INDICATION, a, (NodeType.SUBJECT, subject_id)
+                )
+        return net
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self, node_type: Optional[NodeType] = None) -> List[Tuple[NodeType, str]]:
+        """All node handles, optionally restricted to one type (sorted)."""
+        types = [node_type] if node_type else list(NodeType)
+        out = []
+        for t in types:
+            out.extend((t, node_id) for node_id in sorted(self._nodes[t]))
+        return out
+
+    def num_nodes(self, node_type: Optional[NodeType] = None) -> int:
+        if node_type:
+            return len(self._nodes[node_type])
+        return sum(len(ids) for ids in self._nodes.values())
+
+    def num_edges(self, edge_type: Optional[EdgeType] = None) -> int:
+        if edge_type:
+            return self._num_edges[edge_type]
+        return sum(self._num_edges.values())
+
+    def neighbors(
+        self,
+        node: Tuple[NodeType, str],
+        edge_type: Optional[EdgeType] = None,
+    ) -> List[Tuple[NodeType, str]]:
+        """Neighbors of ``node``, optionally filtered by edge type."""
+        adj = self._adj.get(node)
+        if adj is None:
+            return []
+        if edge_type is not None:
+            return list(adj.get(edge_type, []))
+        out: List[Tuple[NodeType, str]] = []
+        for lst in adj.values():
+            out.extend(lst)
+        return out
+
+    def degree(self, node: Tuple[NodeType, str], edge_type: Optional[EdgeType] = None) -> int:
+        return len(self.neighbors(node, edge_type))
+
+    def edges(self, edge_type: Optional[EdgeType] = None) -> List[
+        Tuple[EdgeType, Tuple[NodeType, str], Tuple[NodeType, str]]
+    ]:
+        """Each undirected edge once, canonically (article endpoint first)."""
+        out = []
+        for node_id in sorted(self._nodes[NodeType.ARTICLE]):
+            node = (NodeType.ARTICLE, node_id)
+            for etype, neighbors in self._adj.get(node, {}).items():
+                if edge_type is not None and etype != edge_type:
+                    continue
+                for nb in neighbors:
+                    out.append((etype, node, nb))
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience accessors for the FakeDetector wiring
+    # ------------------------------------------------------------------
+    def article_creator(self, article_id: str) -> Optional[str]:
+        """The unique creator of an article (None if isolated)."""
+        nbs = self.neighbors((NodeType.ARTICLE, article_id), EdgeType.AUTHORSHIP)
+        return nbs[0][1] if nbs else None
+
+    def article_subjects(self, article_id: str) -> List[str]:
+        return [
+            nid
+            for _, nid in self.neighbors(
+                (NodeType.ARTICLE, article_id), EdgeType.SUBJECT_INDICATION
+            )
+        ]
+
+    def creator_articles(self, creator_id: str) -> List[str]:
+        return [
+            nid
+            for _, nid in self.neighbors((NodeType.CREATOR, creator_id), EdgeType.AUTHORSHIP)
+        ]
+
+    def subject_articles(self, subject_id: str) -> List[str]:
+        return [
+            nid
+            for _, nid in self.neighbors(
+                (NodeType.SUBJECT, subject_id), EdgeType.SUBJECT_INDICATION
+            )
+        ]
+
+    def validate(self) -> None:
+        """Structural invariants: every article has exactly one creator and
+        at least one subject; adjacency is symmetric."""
+        for node_id in self._nodes[NodeType.ARTICLE]:
+            node = (NodeType.ARTICLE, node_id)
+            authors = self.neighbors(node, EdgeType.AUTHORSHIP)
+            if len(authors) != 1:
+                raise ValueError(f"article {node_id!r} has {len(authors)} creators")
+            if not self.neighbors(node, EdgeType.SUBJECT_INDICATION):
+                raise ValueError(f"article {node_id!r} has no subjects")
+        for node, adj in self._adj.items():
+            for etype, neighbors in adj.items():
+                for nb in neighbors:
+                    if node not in self._adj.get(nb, {}).get(etype, []):
+                        raise ValueError(f"asymmetric edge {node} -> {nb}")
+
+
+_EDGE_ENDPOINTS = {
+    EdgeType.AUTHORSHIP: {NodeType.ARTICLE, NodeType.CREATOR},
+    EdgeType.SUBJECT_INDICATION: {NodeType.ARTICLE, NodeType.SUBJECT},
+}

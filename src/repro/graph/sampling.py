@@ -1,0 +1,167 @@
+"""Train/test splitting per the paper's protocol (§5.1.1).
+
+10-fold cross validation: each node set (articles, creators, subjects) is
+partitioned 9:1 into train/test; the training 9 folds are then subsampled by
+the ratio θ ∈ {0.1, ..., 1.0} to simulate varying amounts of supervision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Split:
+    """One CV split of a single node set (lists of entity ids)."""
+
+    train: List[str]
+    test: List[str]
+
+    def subsample_train(self, theta: float, rng: np.random.Generator) -> "Split":
+        """Keep a θ fraction of the training ids (at least one)."""
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        if theta == 1.0:
+            return Split(train=list(self.train), test=list(self.test))
+        k = max(1, int(round(theta * len(self.train))))
+        chosen = rng.choice(len(self.train), size=k, replace=False)
+        return Split(
+            train=[self.train[i] for i in sorted(chosen)],
+            test=list(self.test),
+        )
+
+
+@dataclasses.dataclass
+class TriSplit:
+    """Aligned splits for the three node sets of one fold."""
+
+    articles: Split
+    creators: Split
+    subjects: Split
+
+    def subsample_train(self, theta: float, rng: np.random.Generator) -> "TriSplit":
+        return TriSplit(
+            articles=self.articles.subsample_train(theta, rng),
+            creators=self.creators.subsample_train(theta, rng),
+            subjects=self.subjects.subsample_train(theta, rng),
+        )
+
+
+def save_tri_split(split: TriSplit, path) -> None:
+    """Persist a TriSplit as JSON so an experiment's exact folds can be
+    re-used across sessions/machines."""
+    import json
+    from pathlib import Path
+
+    payload = {
+        kind: {"train": part.train, "test": part.test}
+        for kind, part in (
+            ("articles", split.articles),
+            ("creators", split.creators),
+            ("subjects", split.subjects),
+        )
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_tri_split(path) -> TriSplit:
+    """Load a TriSplit saved by :func:`save_tri_split`."""
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text())
+    parts = {}
+    for kind in ("articles", "creators", "subjects"):
+        entry = payload.get(kind)
+        if entry is None or "train" not in entry or "test" not in entry:
+            raise ValueError(f"malformed split file: missing {kind!r}")
+        overlap = set(entry["train"]) & set(entry["test"])
+        if overlap:
+            raise ValueError(f"{kind} train/test overlap: {sorted(overlap)[:3]}")
+        parts[kind] = Split(train=list(entry["train"]), test=list(entry["test"]))
+    return TriSplit(articles=parts["articles"], creators=parts["creators"],
+                    subjects=parts["subjects"])
+
+
+def k_fold_indices(n: int, k: int, rng: np.random.Generator) -> List[np.ndarray]:
+    """Shuffle ``range(n)`` and cut it into ``k`` near-equal folds."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} items")
+    perm = rng.permutation(n)
+    return [fold for fold in np.array_split(perm, k)]
+
+
+def k_fold_splits(ids: Sequence[str], k: int, rng: np.random.Generator) -> List[Split]:
+    """k splits of ``ids``: fold i is the test set, the rest train."""
+    ids = list(ids)
+    folds = k_fold_indices(len(ids), k, rng)
+    splits = []
+    for i in range(k):
+        test_idx = set(folds[i].tolist())
+        splits.append(
+            Split(
+                train=[ids[j] for j in range(len(ids)) if j not in test_idx],
+                test=[ids[j] for j in sorted(test_idx)],
+            )
+        )
+    return splits
+
+
+def stratified_k_fold_splits(
+    ids: Sequence[str],
+    labels: Sequence[int],
+    k: int,
+    rng: np.random.Generator,
+) -> List[Split]:
+    """k-fold splits that roughly preserve the label distribution per fold.
+
+    Falls back to plain k-fold behaviour when classes are tiny.
+    """
+    ids = list(ids)
+    labels = list(labels)
+    if len(ids) != len(labels):
+        raise ValueError("ids and labels must align")
+    by_label: Dict[int, List[int]] = {}
+    for idx, label in enumerate(labels):
+        by_label.setdefault(label, []).append(idx)
+    fold_members: List[List[int]] = [[] for _ in range(k)]
+    for label in sorted(by_label):
+        members = np.asarray(by_label[label])
+        rng.shuffle(members)
+        for pos, idx in enumerate(members):
+            fold_members[pos % k].append(int(idx))
+    splits = []
+    for i in range(k):
+        test_idx = set(fold_members[i])
+        splits.append(
+            Split(
+                train=[ids[j] for j in range(len(ids)) if j not in test_idx],
+                test=[ids[j] for j in sorted(test_idx)],
+            )
+        )
+    return splits
+
+
+def tri_splits(
+    article_ids: Sequence[str],
+    creator_ids: Sequence[str],
+    subject_ids: Sequence[str],
+    k: int = 10,
+    seed: int = 0,
+    article_labels: Optional[Sequence[int]] = None,
+) -> Iterator[TriSplit]:
+    """Generate the paper's aligned 10-fold splits over all three node sets."""
+    rng = np.random.default_rng(seed)
+    if article_labels is not None:
+        article_splits = stratified_k_fold_splits(article_ids, article_labels, k, rng)
+    else:
+        article_splits = k_fold_splits(article_ids, k, rng)
+    creator_splits = k_fold_splits(creator_ids, k, rng)
+    subject_splits = k_fold_splits(subject_ids, k, rng)
+    for a, c, s in zip(article_splits, creator_splits, subject_splits):
+        yield TriSplit(articles=a, creators=c, subjects=s)

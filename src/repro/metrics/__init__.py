@@ -1,0 +1,58 @@
+"""Evaluation metrics (bi-class and multi-class, per paper §5.1.3)."""
+
+from .calibration import (
+    CalibrationBin,
+    TemperatureScaler,
+    calibration_bins,
+    expected_calibration_error,
+    render_reliability,
+)
+from .ordinal import (
+    kendall_tau,
+    mean_absolute_error,
+    mean_squared_error,
+    quadratic_weighted_kappa,
+    within_one_accuracy,
+)
+from .report import classification_report
+from .ranking import average_precision, precision_at_k, roc_auc, roc_curve
+from .classification import (
+    BinaryMetrics,
+    MultiClassMetrics,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    macro_precision,
+    macro_recall,
+    precision,
+    recall,
+)
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "macro_precision",
+    "macro_recall",
+    "macro_f1",
+    "confusion_matrix",
+    "BinaryMetrics",
+    "MultiClassMetrics",
+    "roc_auc",
+    "roc_curve",
+    "average_precision",
+    "precision_at_k",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "within_one_accuracy",
+    "kendall_tau",
+    "quadratic_weighted_kappa",
+    "classification_report",
+    "calibration_bins",
+    "expected_calibration_error",
+    "render_reliability",
+    "CalibrationBin",
+    "TemperatureScaler",
+]

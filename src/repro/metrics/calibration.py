@@ -1,0 +1,156 @@
+"""Probability calibration metrics for the softmax heads.
+
+A credibility system's probabilities matter (a 0.9-confident "False" should
+be wrong 10% of the time); these tools quantify that: expected calibration
+error over confidence bins and a printable reliability table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class CalibrationBin:
+    """One confidence bin of a reliability diagram."""
+
+    low: float
+    high: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence − accuracy| — the bin's calibration error."""
+        return abs(self.mean_confidence - self.accuracy)
+
+
+def calibration_bins(
+    y_true: Sequence[int],
+    probabilities: np.ndarray,
+    num_bins: int = 10,
+) -> List[CalibrationBin]:
+    """Bin predictions by top-class confidence; empty bins are skipped.
+
+    Parameters
+    ----------
+    y_true:
+        Integer labels, shape (N,).
+    probabilities:
+        Class distributions, shape (N, C); rows should sum to 1.
+    """
+    y_true = np.asarray(y_true)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or probabilities.shape[0] != y_true.shape[0]:
+        raise ValueError("probabilities must be (N, C) aligned with y_true")
+    if y_true.size == 0:
+        raise ValueError("calibration requires at least one sample")
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    confidence = probabilities.max(axis=1)
+    predicted = probabilities.argmax(axis=1)
+    correct = (predicted == y_true).astype(np.float64)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[CalibrationBin] = []
+    for i in range(num_bins):
+        low, high = edges[i], edges[i + 1]
+        if i == num_bins - 1:
+            mask = (confidence >= low) & (confidence <= high)
+        else:
+            mask = (confidence >= low) & (confidence < high)
+        if not mask.any():
+            continue
+        bins.append(
+            CalibrationBin(
+                low=float(low),
+                high=float(high),
+                count=int(mask.sum()),
+                mean_confidence=float(confidence[mask].mean()),
+                accuracy=float(correct[mask].mean()),
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    y_true: Sequence[int], probabilities: np.ndarray, num_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |confidence − accuracy| over bins."""
+    bins = calibration_bins(y_true, probabilities, num_bins)
+    total = sum(b.count for b in bins)
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+class TemperatureScaler:
+    """Post-hoc temperature scaling (Guo et al. 2017).
+
+    Fits a single scalar T > 0 minimizing NLL of ``softmax(logits / T)`` on
+    a held-out set (golden-section search — the objective is unimodal in T),
+    then rescales new logits. Leaves argmax predictions unchanged; only the
+    confidence calibration moves.
+    """
+
+    def __init__(self, low: float = 0.05, high: float = 20.0):
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        self.low = low
+        self.high = high
+        self.temperature: float = 1.0
+
+    @staticmethod
+    def _nll(logits: np.ndarray, y_true: np.ndarray, temperature: float) -> float:
+        scaled = logits / temperature
+        shifted = scaled - scaled.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return float(-log_probs[np.arange(len(y_true)), y_true].mean())
+
+    def fit(self, logits: np.ndarray, y_true: Sequence[int]) -> "TemperatureScaler":
+        logits = np.asarray(logits, dtype=np.float64)
+        y_true = np.asarray(y_true, dtype=np.intp)
+        if logits.ndim != 2 or logits.shape[0] != y_true.shape[0] or y_true.size == 0:
+            raise ValueError("logits must be (N, C) aligned with non-empty y_true")
+        phi = (np.sqrt(5.0) - 1.0) / 2.0
+        a, b = self.low, self.high
+        c, d = b - phi * (b - a), a + phi * (b - a)
+        fc = self._nll(logits, y_true, c)
+        fd = self._nll(logits, y_true, d)
+        for _ in range(80):
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - phi * (b - a)
+                fc = self._nll(logits, y_true, c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + phi * (b - a)
+                fd = self._nll(logits, y_true, d)
+        self.temperature = float(0.5 * (a + b))
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated class probabilities for new logits."""
+        logits = np.asarray(logits, dtype=np.float64) / self.temperature
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+
+def render_reliability(
+    y_true: Sequence[int], probabilities: np.ndarray, num_bins: int = 10
+) -> str:
+    """Text reliability diagram plus the ECE line."""
+    bins = calibration_bins(y_true, probabilities, num_bins)
+    ece = expected_calibration_error(y_true, probabilities, num_bins)
+    lines = [f"{'bin':>12s} {'n':>6s} {'conf':>7s} {'acc':>7s} {'gap':>7s}"]
+    for b in bins:
+        lines.append(
+            f"[{b.low:.1f}, {b.high:.1f}] {b.count:>6d} {b.mean_confidence:>7.3f} "
+            f"{b.accuracy:>7.3f} {b.gap:>7.3f}"
+        )
+    lines.append(f"expected calibration error: {ece:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Classification metrics used in the paper's evaluation (§5.1.3).
+
+Bi-class: Accuracy, Precision, Recall, F1 (positive class = the credible
+group {True, Mostly True, Half True}).
+Multi-class: Accuracy, Macro-Precision, Macro-Recall, Macro-F1 over the six
+Truth-O-Meter labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def _validate(y_true: Sequence[int], y_pred: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(
+    y_true: Sequence[int], y_pred: Sequence[int], num_classes: Optional[int] = None
+) -> np.ndarray:
+    """(num_classes, num_classes) matrix, rows = true class, cols = predicted."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision(y_true: Sequence[int], y_pred: Sequence[int], positive: int = 1) -> float:
+    """Binary precision of class ``positive``; 0 when nothing is predicted positive."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted = y_pred == positive
+    if not predicted.any():
+        return 0.0
+    return float((y_true[predicted] == positive).mean())
+
+
+def recall(y_true: Sequence[int], y_pred: Sequence[int], positive: int = 1) -> float:
+    """Binary recall of class ``positive``; 0 when no positives exist."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual = y_true == positive
+    if not actual.any():
+        return 0.0
+    return float((y_pred[actual] == positive).mean())
+
+
+def f1_score(y_true: Sequence[int], y_pred: Sequence[int], positive: int = 1) -> float:
+    """Binary F1 (harmonic mean of precision and recall)."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def macro_precision(y_true: Sequence[int], y_pred: Sequence[int], num_classes: int) -> float:
+    """Unweighted mean of per-class precision over all ``num_classes``."""
+    return float(np.mean([precision(y_true, y_pred, c) for c in range(num_classes)]))
+
+
+def macro_recall(y_true: Sequence[int], y_pred: Sequence[int], num_classes: int) -> float:
+    """Unweighted mean of per-class recall."""
+    return float(np.mean([recall(y_true, y_pred, c) for c in range(num_classes)]))
+
+
+def macro_f1(y_true: Sequence[int], y_pred: Sequence[int], num_classes: int) -> float:
+    """Unweighted mean of per-class F1."""
+    return float(np.mean([f1_score(y_true, y_pred, c) for c in range(num_classes)]))
+
+
+@dataclasses.dataclass
+class BinaryMetrics:
+    """The four Figure-4 metrics for one evaluation."""
+
+    accuracy: float
+    f1: float
+    precision: float
+    recall: float
+
+    @classmethod
+    def compute(cls, y_true: Sequence[int], y_pred: Sequence[int]) -> "BinaryMetrics":
+        return cls(
+            accuracy=accuracy(y_true, y_pred),
+            f1=f1_score(y_true, y_pred),
+            precision=precision(y_true, y_pred),
+            recall=recall(y_true, y_pred),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class MultiClassMetrics:
+    """The four Figure-5 metrics for one evaluation."""
+
+    accuracy: float
+    macro_f1: float
+    macro_precision: float
+    macro_recall: float
+
+    @classmethod
+    def compute(
+        cls, y_true: Sequence[int], y_pred: Sequence[int], num_classes: int = 6
+    ) -> "MultiClassMetrics":
+        return cls(
+            accuracy=accuracy(y_true, y_pred),
+            macro_f1=macro_f1(y_true, y_pred, num_classes),
+            macro_precision=macro_precision(y_true, y_pred, num_classes),
+            macro_recall=macro_recall(y_true, y_pred, num_classes),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)

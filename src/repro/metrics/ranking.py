@@ -1,0 +1,84 @@
+"""Ranking / threshold-free metrics: ROC-AUC and precision-recall curves.
+
+Extensions beyond the paper's Accuracy/Precision/Recall/F1 — useful because
+credibility inference is naturally score-based (the 6-level scale orders
+predictions even when the argmax label is wrong).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def roc_auc(y_true: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) statistic.
+
+    Ties in ``scores`` receive the standard midrank treatment.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must align")
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0  # midrank, 1-based
+        i = j + 1
+    rank_sum_pos = ranks[y_true == 1].sum()
+    return float((rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def roc_curve(
+    y_true: Sequence[int], scores: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) at every distinct score cut."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="mergesort")
+    y_sorted = y_true[order]
+    s_sorted = scores[order]
+    distinct = np.where(np.diff(s_sorted))[0]
+    cut_indices = np.concatenate([distinct, [len(s_sorted) - 1]])
+    tps = np.cumsum(y_sorted == 1)[cut_indices].astype(np.float64)
+    fps = np.cumsum(y_sorted == 0)[cut_indices].astype(np.float64)
+    n_pos = max(1, int((y_true == 1).sum()))
+    n_neg = max(1, int((y_true == 0).sum()))
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], s_sorted[cut_indices]])
+    return fpr, tpr, thresholds
+
+
+def average_precision(y_true: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the precision-recall curve (step interpolation)."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if (y_true == 1).sum() == 0:
+        raise ValueError("average_precision requires at least one positive")
+    order = np.argsort(-scores, kind="mergesort")
+    y_sorted = y_true[order]
+    tps = np.cumsum(y_sorted == 1)
+    precision_at_k = tps / np.arange(1, len(y_sorted) + 1)
+    return float((precision_at_k * (y_sorted == 1)).sum() / (y_true == 1).sum())
+
+
+def precision_at_k(y_true: Sequence[int], scores: Sequence[float], k: int) -> float:
+    """Precision among the top-k scored items."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    k = min(k, len(scores))
+    top = np.argsort(-scores, kind="mergesort")[:k]
+    return float((y_true[top] == 1).mean())

@@ -1,0 +1,65 @@
+"""Per-class classification report (sklearn-style, text-rendered)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .classification import accuracy, f1_score, precision, recall
+
+
+def classification_report(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    class_names: Optional[Sequence[str]] = None,
+    num_classes: Optional[int] = None,
+) -> str:
+    """Render per-class precision/recall/F1/support plus macro averages.
+
+    ``class_names`` defaults to the Truth-O-Meter labels when six classes
+    are in play, otherwise to ``class 0..k``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("y_true and y_pred must align and be non-empty")
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if class_names is None:
+        if num_classes == 6:
+            from ..data.schema import CredibilityLabel
+
+            class_names = [
+                CredibilityLabel.from_class_index(i).display_name
+                for i in range(6)
+            ]
+        else:
+            class_names = [f"class {i}" for i in range(num_classes)]
+    if len(class_names) != num_classes:
+        raise ValueError("class_names length must equal num_classes")
+
+    width = max(12, max(len(n) for n in class_names) + 1)
+    lines = [
+        f"{'':<{width}s} {'precision':>9s} {'recall':>9s} {'f1':>9s} {'support':>8s}"
+    ]
+    stats: Dict[str, list] = {"precision": [], "recall": [], "f1": []}
+    for c in range(num_classes):
+        p = precision(y_true, y_pred, positive=c)
+        r = recall(y_true, y_pred, positive=c)
+        f = f1_score(y_true, y_pred, positive=c)
+        support = int((y_true == c).sum())
+        stats["precision"].append(p)
+        stats["recall"].append(r)
+        stats["f1"].append(f)
+        lines.append(
+            f"{class_names[c]:<{width}s} {p:>9.3f} {r:>9.3f} {f:>9.3f} {support:>8d}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'macro avg':<{width}s} {np.mean(stats['precision']):>9.3f} "
+        f"{np.mean(stats['recall']):>9.3f} {np.mean(stats['f1']):>9.3f} "
+        f"{len(y_true):>8d}"
+    )
+    lines.append(f"{'accuracy':<{width}s} {accuracy(y_true, y_pred):>9.3f}")
+    return "\n".join(lines)

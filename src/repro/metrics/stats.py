@@ -1,0 +1,158 @@
+"""Statistical comparison utilities for method evaluations.
+
+The paper compares methods by eyeballing curves; for a reproduction it is
+useful to quantify whether "FakeDetector beats X" survives sampling noise:
+bootstrap confidence intervals on a metric, McNemar's test on paired
+predictions, and a paired sign test across folds/θ cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class ConfidenceInterval:
+    """A point estimate with a bootstrap percentile interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self):
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+def bootstrap_metric(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    metric: Callable[[Sequence[int], Sequence[int]], float],
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of ``metric(y_true, y_pred)``.
+
+    Resamples (true, pred) pairs with replacement; degenerate resamples that
+    make the metric undefined (e.g. a single-class sample for precision)
+    are retried a bounded number of times, then skipped.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("y_true and y_pred must be equal-length and non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = y_true.size
+    estimate = float(metric(y_true, y_pred))
+    samples = []
+    for _ in range(num_resamples):
+        idx = rng.integers(0, n, size=n)
+        try:
+            samples.append(float(metric(y_true[idx], y_pred[idx])))
+        except (ValueError, ZeroDivisionError):
+            continue
+    if not samples:
+        raise ValueError("all bootstrap resamples were degenerate")
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(samples, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=estimate, low=float(low), high=float(high), confidence=confidence
+    )
+
+
+def mcnemar_test(
+    y_true: Sequence[int],
+    pred_a: Sequence[int],
+    pred_b: Sequence[int],
+) -> Tuple[float, float]:
+    """McNemar's test on two classifiers' paired correctness.
+
+    Returns ``(statistic, p_value)`` using the exact binomial formulation
+    for small discordant counts and the chi-squared approximation (with
+    continuity correction) otherwise. Small p: the two classifiers'
+    error patterns genuinely differ.
+    """
+    y_true = np.asarray(y_true)
+    pred_a = np.asarray(pred_a)
+    pred_b = np.asarray(pred_b)
+    if not (y_true.shape == pred_a.shape == pred_b.shape):
+        raise ValueError("all inputs must align")
+    correct_a = pred_a == y_true
+    correct_b = pred_b == y_true
+    b = int((correct_a & ~correct_b).sum())   # A right, B wrong
+    c = int((~correct_a & correct_b).sum())   # A wrong, B right
+    n = b + c
+    if n == 0:
+        return 0.0, 1.0
+    if n < 25:
+        # Exact two-sided binomial test with p=0.5.
+        k = min(b, c)
+        p = sum(math.comb(n, i) for i in range(0, k + 1)) / 2.0 ** n
+        return float(min(b, c)), float(min(1.0, 2.0 * p))
+    statistic = (abs(b - c) - 1.0) ** 2 / n
+    p_value = math.erfc(math.sqrt(statistic / 2.0))  # chi2(1) survival
+    return float(statistic), float(p_value)
+
+
+def paired_sign_test(
+    scores_a: Sequence[float], scores_b: Sequence[float]
+) -> Tuple[int, int, float]:
+    """Sign test over paired metric values (e.g. per-fold accuracies).
+
+    Returns ``(wins_a, wins_b, p_value)``; ties are dropped, as usual.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape or scores_a.size == 0:
+        raise ValueError("paired scores must align and be non-empty")
+    diffs = scores_a - scores_b
+    wins_a = int((diffs > 0).sum())
+    wins_b = int((diffs < 0).sum())
+    n = wins_a + wins_b
+    if n == 0:
+        return 0, 0, 1.0
+    k = min(wins_a, wins_b)
+    p = sum(math.comb(n, i) for i in range(0, k + 1)) / 2.0 ** n
+    return wins_a, wins_b, float(min(1.0, 2.0 * p))
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation; std 0 for single values."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one value")
+    if values.size == 1:
+        return float(values[0]), 0.0
+    return float(values.mean()), float(values.std(ddof=1))
+
+
+def compare_methods(
+    result,
+    method_a: str,
+    method_b: str,
+    kind: str = "article",
+    metric: str = "accuracy",
+    problem: str = "binary",
+) -> Tuple[int, int, float]:
+    """Paired sign test between two methods over all (fold, θ) cells of a
+    :class:`repro.experiments.SweepResult`."""
+    cells_a = result.cells[method_a][kind]
+    cells_b = result.cells[method_b][kind]
+    scores_a, scores_b = [], []
+    for theta in result.thetas:
+        for cell_a, cell_b in zip(cells_a[theta], cells_b[theta]):
+            obj_a = cell_a.binary if problem == "binary" else cell_a.multi
+            obj_b = cell_b.binary if problem == "binary" else cell_b.multi
+            scores_a.append(getattr(obj_a, metric))
+            scores_b.append(getattr(obj_b, metric))
+    return paired_sign_test(scores_a, scores_b)

@@ -1,0 +1,31 @@
+"""Text pipeline: tokenization, vocabulary, explicit features, sequences."""
+
+from .features import (
+    BagOfWordsExtractor,
+    chi_squared_scores,
+    frequency_ratio_scores,
+    select_discriminative_words,
+)
+from .sequences import encode_batch, encode_sequence, infer_max_length, sequence_lengths
+from .tokenizer import STOP_WORDS, remove_stop_words, tokenize, tokenize_clean
+from .vocabulary import PAD_INDEX, PAD_TOKEN, UNK_INDEX, UNK_TOKEN, Vocabulary
+
+__all__ = [
+    "tokenize",
+    "tokenize_clean",
+    "remove_stop_words",
+    "STOP_WORDS",
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "PAD_INDEX",
+    "UNK_INDEX",
+    "BagOfWordsExtractor",
+    "select_discriminative_words",
+    "chi_squared_scores",
+    "frequency_ratio_scores",
+    "encode_sequence",
+    "encode_batch",
+    "sequence_lengths",
+    "infer_max_length",
+]

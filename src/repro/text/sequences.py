@@ -1,0 +1,81 @@
+"""Padded index-sequence encoding for the latent-feature RNN.
+
+The paper represents an article as a word-vector sequence
+``(x_1, ..., x_q)`` where ``q`` is the maximum article length and shorter
+texts are zero-padded (§4.1.2). This module turns token lists into fixed
+shape integer matrices feeding :class:`repro.autograd.GRUEncoder`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .vocabulary import PAD_INDEX, Vocabulary
+
+
+def encode_sequence(
+    tokens: Sequence[str],
+    vocab: Vocabulary,
+    max_length: int,
+    truncate: str = "tail",
+) -> np.ndarray:
+    """Encode one token list to a length-``max_length`` index vector.
+
+    Parameters
+    ----------
+    tokens:
+        The token list.
+    vocab:
+        Token dictionary (unknown tokens map to the UNK index).
+    max_length:
+        Target length ``q``; shorter sequences are right-padded with zeros.
+    truncate:
+        ``"tail"`` keeps the first ``max_length`` tokens; ``"head"`` keeps
+        the last ones.
+    """
+    if max_length <= 0:
+        raise ValueError("max_length must be positive")
+    indices = vocab.encode(tokens)
+    if len(indices) > max_length:
+        if truncate == "tail":
+            indices = indices[:max_length]
+        elif truncate == "head":
+            indices = indices[-max_length:]
+        else:
+            raise ValueError(f"unknown truncate mode {truncate!r}")
+    out = np.full(max_length, PAD_INDEX, dtype=np.int64)
+    out[: len(indices)] = indices
+    return out
+
+
+def encode_batch(
+    documents: Sequence[Sequence[str]],
+    vocab: Vocabulary,
+    max_length: int,
+    truncate: str = "tail",
+) -> np.ndarray:
+    """Encode many token lists into an (n, max_length) index matrix."""
+    out = np.full((len(documents), max_length), PAD_INDEX, dtype=np.int64)
+    for i, doc in enumerate(documents):
+        out[i] = encode_sequence(doc, vocab, max_length, truncate=truncate)
+    return out
+
+
+def sequence_lengths(batch: np.ndarray) -> np.ndarray:
+    """Number of non-pad positions per row of an encoded batch."""
+    return (np.asarray(batch) != PAD_INDEX).sum(axis=-1)
+
+
+def infer_max_length(documents: Sequence[Sequence[str]], percentile: float = 95.0, cap: int = 64) -> int:
+    """Choose ``q`` as a percentile of observed lengths, capped for CPU cost.
+
+    The paper sets q to "the maximum length of articles"; on a pure-numpy
+    substrate that is wasteful, so the default covers the 95th percentile.
+    """
+    if not documents:
+        return 1
+    lengths: List[int] = [len(d) for d in documents]
+    q = int(np.ceil(np.percentile(lengths, percentile)))
+    return int(max(1, min(q, cap)))

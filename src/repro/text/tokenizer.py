@@ -1,0 +1,56 @@
+"""Tokenization and stop-word handling for PolitiFact-style political text.
+
+The paper's Figure 1(b)/(c) word clouds are built "where the stop words have
+been removed already"; :data:`STOP_WORDS` reproduces a conventional English
+stop list sufficient for that analysis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9']+")
+
+# A compact English stop list (Fox 1989 style) covering the function words
+# that dominate political statements.
+STOP_WORDS = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can can't cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm i've
+    if in into is isn't it it's its itself let's me more most mustn't my myself
+    no nor not of off on once only or other ought our ours ourselves out over
+    own same shan't she she'd she'll she's should shouldn't so some such than
+    that that's the their theirs them themselves then there there's these they
+    they'd they'll they're they've this those through to too under until up
+    very was wasn't we we'd we'll we're we've were weren't what what's when
+    when's where where's which while who who's whom why why's will with won't
+    would wouldn't you you'd you'll you're you've your yours yourself
+    yourselves
+    """.split()
+)
+
+
+def tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    Keeps alphanumerics and internal apostrophes ("don't" stays one token),
+    drops punctuation. Lowercases by default so the explicit feature counts
+    are case-insensitive, matching the paper's word-frequency treatment.
+    """
+    if lowercase:
+        text = text.lower()
+    return _TOKEN_RE.findall(text)
+
+
+def remove_stop_words(tokens: Iterable[str]) -> List[str]:
+    """Filter out stop words (used for Figure 1 frequent-word analysis)."""
+    return [t for t in tokens if t not in STOP_WORDS]
+
+
+def tokenize_clean(text: str) -> List[str]:
+    """Tokenize then remove stop words in one call."""
+    return remove_stop_words(tokenize(text))

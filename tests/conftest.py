@@ -1,0 +1,57 @@
+"""Shared fixtures: small seeded corpora and splits reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, PolitiFactGenerator
+from repro.graph.sampling import tri_splits
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A ~300-article corpus; session-scoped because generation is pure."""
+    config = GeneratorConfig(scale=0.02, seed=11)
+    return PolitiFactGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A minimal corpus for fast structural tests."""
+    config = GeneratorConfig(
+        num_articles=60, num_creators=12, num_subjects=10, seed=3,
+        include_case_studies=False,
+    )
+    return PolitiFactGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return next(
+        tri_splits(
+            sorted(small_dataset.articles),
+            sorted(small_dataset.creators),
+            sorted(small_dataset.subjects),
+            k=10,
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return next(
+        tri_splits(
+            sorted(tiny_dataset.articles),
+            sorted(tiny_dataset.creators),
+            sorted(tiny_dataset.subjects),
+            k=5,
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,225 @@
+"""Tests for 1-D convolution and the CNN sentence encoder."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import CNNEncoder, Conv1d, Tensor, conv1d, max_pool_over_time
+
+from tests.helpers import finite_difference_check
+
+
+class TestConv1d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.standard_normal((2, 10, 3)))
+        w = Tensor(rng.standard_normal((4, 3, 5)))
+        assert conv1d(x, w).shape == (2, 7, 5)
+
+    def test_known_values(self):
+        # Kernel of ones over a single channel = moving window sums.
+        x = Tensor(np.arange(5, dtype=float).reshape(1, 5, 1))
+        w = Tensor(np.ones((2, 1, 1)))
+        out = conv1d(x, w)
+        np.testing.assert_allclose(out.data[0, :, 0], [1, 3, 5, 7])
+
+    def test_bias_added(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 2)))
+        w = Tensor(rng.standard_normal((2, 2, 3)))
+        b = Tensor(np.full(3, 10.0))
+        with_bias = conv1d(x, w, b)
+        without = conv1d(x, w)
+        np.testing.assert_allclose(with_bias.data, without.data + 10.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            conv1d(Tensor(rng.standard_normal((4, 2))), Tensor(rng.standard_normal((2, 2, 3))))
+        with pytest.raises(ValueError):
+            conv1d(
+                Tensor(rng.standard_normal((1, 4, 2))),
+                Tensor(rng.standard_normal((2, 3, 3))),  # wrong in_channels
+            )
+        with pytest.raises(ValueError):
+            conv1d(
+                Tensor(rng.standard_normal((1, 2, 2))),
+                Tensor(rng.standard_normal((3, 2, 3))),  # kernel longer than seq
+            )
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((2, 6, 2)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3)), requires_grad=True)
+        finite_difference_check(lambda x, w: (conv1d(x, w) ** 2).sum(), [x, w], tol=1e-4)
+
+    def test_layer_parameters(self, rng):
+        layer = Conv1d(3, 5, 4, rng=rng)
+        assert layer.weight.shape == (4, 3, 5)
+        assert layer.bias.shape == (5,)
+        assert "Conv1d" in repr(layer)
+
+    def test_layer_validation(self, rng):
+        with pytest.raises(ValueError):
+            Conv1d(0, 5, 3, rng=rng)
+
+
+class TestMaxPool:
+    def test_pools_over_time(self, rng):
+        x = Tensor(rng.standard_normal((2, 7, 4)))
+        out = max_pool_over_time(x)
+        assert out.shape == (2, 4)
+        np.testing.assert_allclose(out.data, x.data.max(axis=1))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            max_pool_over_time(Tensor(rng.standard_normal((2, 7))))
+
+    def test_gradient_flows_to_max_positions(self):
+        x = Tensor(np.array([[[1.0], [5.0], [3.0]]]), requires_grad=True)
+        max_pool_over_time(x).sum().backward()
+        np.testing.assert_allclose(x.grad[0, :, 0], [0, 1, 0])
+
+
+class TestCNNEncoder:
+    def test_output_shape_and_range(self, rng):
+        enc = CNNEncoder(vocab_size=40, embed_dim=6, num_filters=5, output_size=7, rng=rng)
+        out = enc(rng.integers(1, 40, size=(3, 12)))
+        assert out.shape == (3, 7)
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+    def test_short_sequence_padded_to_kernel(self, rng):
+        enc = CNNEncoder(
+            vocab_size=40, embed_dim=6, num_filters=5, output_size=7,
+            kernel_sizes=(2, 3, 5), rng=rng,
+        )
+        out = enc(rng.integers(1, 40, size=(2, 3)))  # shorter than widest kernel
+        assert out.shape == (2, 7)
+
+    def test_1d_input_promoted(self, rng):
+        enc = CNNEncoder(vocab_size=40, embed_dim=6, num_filters=5, output_size=7, rng=rng)
+        assert enc(rng.integers(1, 40, size=8)).shape == (1, 7)
+
+    def test_empty_kernel_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CNNEncoder(40, 6, 5, 7, kernel_sizes=(), rng=rng)
+
+    def test_position_invariance_of_bigram_activation(self, rng):
+        """A bigram's window activation is identical wherever it occurs, and
+        the pooled value is at least that activation (max-pool property)."""
+        from repro.autograd import Tensor, conv1d, max_pool_over_time
+
+        embed = Tensor(rng.standard_normal((30, 6)))
+        kernel = Tensor(rng.standard_normal((2, 6, 8)))
+
+        def pooled_and_window(seq, window_start):
+            x = embed.data[np.asarray(seq)][None, :, :]
+            activations = conv1d(Tensor(x), kernel).relu()
+            pooled = max_pool_over_time(activations)
+            return pooled.data[0], activations.data[0, window_start]
+
+        early_pool, early_win = pooled_and_window([5, 6, 1, 1, 1, 1], 0)
+        late_pool, late_win = pooled_and_window([1, 1, 1, 1, 5, 6], 4)
+        np.testing.assert_allclose(early_win, late_win)  # same bigram, same act
+        assert (early_pool >= early_win - 1e-12).all()
+        assert (late_pool >= late_win - 1e-12).all()
+
+    def test_gradients_flow(self, rng):
+        enc = CNNEncoder(vocab_size=30, embed_dim=5, num_filters=4, output_size=3, rng=rng)
+        out = enc(rng.integers(1, 30, size=(2, 8)))
+        (out ** 2).sum().backward()
+        for name, p in enc.named_parameters():
+            assert p.grad is not None, name
+
+    def test_learns_token_detection(self, rng):
+        from repro.autograd import Linear
+        from repro.autograd import functional as F
+        from repro.autograd import optim
+
+        enc = CNNEncoder(vocab_size=15, embed_dim=6, num_filters=8, output_size=6,
+                         kernel_sizes=(2, 3), rng=rng)
+        head = Linear(6, 2, rng=rng)
+        seqs = rng.integers(1, 15, size=(60, 8))
+        labels = (seqs == 4).any(axis=1).astype(int)
+        params = list(enc.parameters()) + list(head.parameters())
+        opt = optim.Adam(params, lr=0.02)
+        for _ in range(80):
+            loss = F.cross_entropy(head(enc(seqs)), labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        acc = (head(enc(seqs)).data.argmax(axis=1) == labels).mean()
+        assert acc > 0.9
+
+
+class TestEncoderVariants:
+    def test_bigru_encoder_path(self, rng):
+        from repro.autograd import GRUEncoder
+
+        enc = GRUEncoder(vocab_size=30, embed_dim=5, hidden_size=6, output_size=4,
+                         rng=rng, cell="bigru")
+        out = enc(rng.integers(1, 30, size=(3, 7)))
+        assert out.shape == (3, 4)
+
+    def test_bigru_padding_invariance(self, rng):
+        from repro.autograd import GRUEncoder
+
+        enc = GRUEncoder(vocab_size=30, embed_dim=5, hidden_size=6, output_size=4,
+                         rng=rng, cell="bigru")
+        a = enc(np.array([[3, 7, 5, 0, 0]]))
+        b = enc(np.array([[3, 7, 5, 0, 0, 0, 0]]))
+        np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_bigru_sees_both_directions(self, rng):
+        """The backward GRU gives early positions context from late tokens:
+        sequences differing only in the last token yield different first-
+        position contributions, unlike a purely causal encoder would."""
+        from repro.autograd import GRUEncoder
+
+        enc = GRUEncoder(vocab_size=30, embed_dim=5, hidden_size=6, output_size=4,
+                         rng=rng, cell="bigru")
+        a = enc(np.array([[1, 2, 3, 4]]))
+        b = enc(np.array([[1, 2, 3, 9]]))
+        assert not np.allclose(a.data, b.data)
+
+    def test_bigru_fakedetector_trains(self, tiny_dataset, tiny_split):
+        from repro.core import FakeDetector, FakeDetectorConfig
+
+        config = FakeDetectorConfig(
+            epochs=3, explicit_dim=20, vocab_size=300, max_seq_len=8,
+            embed_dim=4, rnn_hidden=6, latent_dim=4, gdu_hidden=8,
+            rnn_cell="bigru",
+        )
+        det = FakeDetector(config).fit(tiny_dataset, tiny_split)
+        assert det.record.total[-1] < det.record.total[0]
+
+    def test_lstm_encoder_path(self, rng):
+        from repro.autograd import GRUEncoder
+
+        enc = GRUEncoder(vocab_size=30, embed_dim=5, hidden_size=6, output_size=4,
+                         rng=rng, cell="lstm")
+        out = enc(rng.integers(1, 30, size=(3, 7)))
+        assert out.shape == (3, 4)
+
+    def test_lstm_padding_invariance(self, rng):
+        from repro.autograd import GRUEncoder
+
+        enc = GRUEncoder(vocab_size=30, embed_dim=5, hidden_size=6, output_size=4,
+                         rng=rng, cell="lstm")
+        a = enc(np.array([[3, 7, 5, 0, 0]]))
+        b = enc(np.array([[3, 7, 5, 0, 0, 0, 0]]))
+        np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_hflu_cnn_variant(self, rng):
+        from repro.core import HFLU
+
+        hflu = HFLU(vocab_size=30, embed_dim=5, rnn_hidden=6, latent_dim=4,
+                    rng=rng, rnn_cell="cnn")
+        out = hflu(rng.random((2, 9)), rng.integers(1, 30, size=(2, 8)))
+        assert out.shape == (2, 13)
+
+    def test_fakedetector_cnn_config_trains(self, tiny_dataset, tiny_split):
+        from repro.core import FakeDetector, FakeDetectorConfig
+
+        config = FakeDetectorConfig(
+            epochs=3, explicit_dim=20, vocab_size=300, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8,
+            rnn_cell="cnn",
+        )
+        det = FakeDetector(config).fit(tiny_dataset, tiny_split)
+        assert det.record.total[-1] < det.record.total[0]

@@ -1,0 +1,164 @@
+"""Tests for functional ops: softmax, cross-entropy, losses, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+from tests.helpers import finite_difference_check
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((4, 6))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_nonnegative(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((4, 6))))
+        assert (out.data >= 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_large_logits_stable(self):
+        out = F.softmax(Tensor([[1000.0, -1000.0]]))
+        np.testing.assert_allclose(out.data, [[1.0, 0.0]], atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        finite_difference_check(lambda x: (F.softmax(x) ** 2).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((5, 6)))
+        loss = F.cross_entropy(logits, np.zeros(5, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(6))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-8
+
+    def test_reductions(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        per = F.cross_entropy(logits, targets, reduction="none")
+        assert per.shape == (4,)
+        np.testing.assert_allclose(
+            F.cross_entropy(logits, targets, reduction="sum").item(), per.data.sum()
+        )
+        np.testing.assert_allclose(
+            F.cross_entropy(logits, targets, reduction="mean").item(), per.data.mean()
+        )
+
+    def test_bad_reduction(self, rng):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 1]), reduction="bogus")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(4)), np.array([0]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_gradcheck(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        targets = np.array([0, 3, 2, 4])
+        finite_difference_check(lambda l: F.cross_entropy(l, targets), [logits])
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        F.cross_entropy(logits, targets, reduction="sum").backward()
+        probs = F.softmax(Tensor(logits.data)).data
+        expected = probs.copy()
+        expected[np.arange(3), targets] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_nll_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((4, 5)))
+        targets = np.array([0, 1, 2, 3])
+        ce = F.cross_entropy(logits, targets).item()
+        nll = F.nll_loss(F.log_softmax(logits), targets).item()
+        np.testing.assert_allclose(ce, nll, atol=1e-10)
+
+
+class TestOtherLosses:
+    def test_mse_zero_for_equal(self, rng):
+        x = Tensor(rng.standard_normal(5))
+        assert F.mse_loss(x, x).item() == 0.0
+
+    def test_mse_gradcheck(self, rng):
+        pred = Tensor(rng.standard_normal(6), requires_grad=True)
+        target = Tensor(rng.standard_normal(6))
+        finite_difference_check(lambda p: F.mse_loss(p, target), [pred])
+
+    def test_mse_reductions(self, rng):
+        pred = Tensor(rng.standard_normal((2, 3)))
+        target = Tensor(rng.standard_normal((2, 3)))
+        assert F.mse_loss(pred, target, reduction="none").shape == (2, 3)
+
+    def test_hinge_zero_when_margins_large(self):
+        scores = Tensor([[10.0, -10.0]])
+        targets = np.array([[1.0, -1.0]])
+        assert F.hinge_loss(scores, targets).item() == 0.0
+
+    def test_hinge_penalizes_violations(self):
+        scores = Tensor([[0.0, 0.0]])
+        targets = np.array([[1.0, -1.0]])
+        np.testing.assert_allclose(F.hinge_loss(scores, targets).item(), 1.0)
+
+    def test_l2_regularization_value(self):
+        params = [Tensor([1.0, 2.0], requires_grad=True), Tensor([[3.0]], requires_grad=True)]
+        np.testing.assert_allclose(
+            F.l2_regularization(params, 0.5).item(), 0.5 * (1 + 4 + 9)
+        )
+
+    def test_l2_regularization_empty(self):
+        assert F.l2_regularization([], 1.0).item() == 0.0
+
+    def test_l2_gradcheck(self, rng):
+        p = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        finite_difference_check(lambda p: F.l2_regularization([p], 0.3), [p])
+
+
+class TestDropout:
+    def test_zero_rate_is_identity(self, rng):
+        mask = F.dropout_mask((10, 10), 0.0, rng)
+        np.testing.assert_allclose(mask, np.ones((10, 10)))
+
+    def test_mask_values(self, rng):
+        mask = F.dropout_mask((1000,), 0.4, rng)
+        survivors = mask[mask > 0]
+        np.testing.assert_allclose(survivors, 1.0 / 0.6)
+
+    def test_survival_rate(self, rng):
+        mask = F.dropout_mask((10000,), 0.3, rng)
+        assert abs((mask > 0).mean() - 0.7) < 0.03
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout_mask((2,), 1.0, rng)
+        with pytest.raises(ValueError):
+            F.dropout_mask((2,), -0.1, rng)
+
+
+class TestAliases:
+    def test_sigmoid_tanh_relu_wrappers(self, rng):
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(F.sigmoid(Tensor(x)).data, 1 / (1 + np.exp(-x)))
+        np.testing.assert_allclose(F.tanh(Tensor(x)).data, np.tanh(x))
+        np.testing.assert_allclose(F.relu(Tensor(x)).data, np.maximum(x, 0))

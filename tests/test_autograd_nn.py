@@ -1,0 +1,209 @@
+"""Tests for Module/Parameter machinery and core layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Dropout,
+    Embedding,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    Tensor,
+)
+
+from tests.helpers import finite_difference_check
+
+
+class TestModule:
+    def test_parameter_registration(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_module_registration(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(3, 4, rng=rng)
+                self.b = Linear(4, 2, rng=rng)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "a.weight" in names and "b.bias" in names
+        assert len(list(net.parameters())) == 4
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None and layer.bias.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng=rng), Dropout(0.5, rng=rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(3, 2, rng=rng)
+        b = Linear(3, 2, rng=np.random.default_rng(999))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        state = layer.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_load_state_dict_validates_keys(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_validates_shapes(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(rng.standard_normal((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng=rng)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)))
+        finite_difference_check(
+            lambda w, b: ((x @ w + b) ** 2).sum(), [layer.weight, layer.bias]
+        )
+
+    def test_repr(self, rng):
+        assert "Linear(in=3, out=2" in repr(Linear(3, 2, rng=rng))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([3]))
+        np.testing.assert_allclose(out.data[0], emb.weight.data[3])
+
+    def test_padding_idx_zeroed(self, rng):
+        emb = Embedding(10, 4, rng=rng, padding_idx=0)
+        np.testing.assert_allclose(emb(np.array([0])).data, np.zeros((1, 4)))
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_on_repeats(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        out = emb(np.array([2, 2, 2])).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(3, 3.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(0, 3, rng=rng)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        drop = Dropout(0.9, rng=rng)
+        drop.eval()
+        x = Tensor(rng.standard_normal((5, 5)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_zeroes_in_train(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x)
+        zero_frac = (out.data == 0).mean()
+        assert 0.4 < zero_frac < 0.6
+
+    def test_expectation_preserved(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(100000))
+        assert abs(drop(x).data.mean() - 1.0) < 0.02
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndActivations:
+    def test_sequential_applies_in_order(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng), Tanh())
+        out = net(Tensor(rng.standard_normal((5, 3))))
+        assert out.shape == (5, 2)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_sequential_parameters_collected(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(list(net.parameters())) == 4
+
+    def test_relu_tanh_repr(self):
+        assert repr(ReLU()) == "ReLU()"
+        assert repr(Tanh()) == "Tanh()"
+
+    def test_training_through_sequential(self, rng):
+        # A 2-layer MLP must be able to fit XOR (nonlinear separability).
+        from repro.autograd import functional as F
+        from repro.autograd import optim
+
+        net = Sequential(Linear(2, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+        x = Tensor([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0, 1, 1, 0])
+        opt = optim.Adam(net.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = F.cross_entropy(net(x), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert (net(x).data.argmax(axis=1) == y).all()

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the autodiff engine.
+
+These check algebraic identities the engine must satisfy for arbitrary
+shapes/values — the invariants gradient correctness rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, concatenate
+from repro.autograd import functional as F
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def small_arrays(max_side=5):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(1, max_side), st.integers(1, max_side)),
+        elements=finite,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_addition_commutative(x):
+    a, b = Tensor(x), Tensor(x[::-1].copy())
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_double_negation(x):
+    a = Tensor(x)
+    np.testing.assert_allclose((-(-a)).data, x)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sum_matches_numpy(x):
+    np.testing.assert_allclose(Tensor(x).sum().item(), x.sum(), rtol=1e-10, atol=1e-10)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_mean_of_sum_consistency(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(
+        t.mean().item() * x.size, t.sum().item(), rtol=1e-9, atol=1e-9
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_softmax_rows_on_simplex(x):
+    out = F.softmax(Tensor(x)).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(x.shape[0]), atol=1e-9)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_sigmoid_symmetry(x):
+    # σ(-x) == 1 - σ(x)
+    a = Tensor(x).sigmoid().data
+    b = Tensor(-x).sigmoid().data
+    np.testing.assert_allclose(a + b, np.ones_like(x), atol=1e-12)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_tanh_via_sigmoid_identity(x):
+    # tanh(x) == 2σ(2x) - 1
+    lhs = Tensor(x).tanh().data
+    rhs = 2.0 * Tensor(2 * x).sigmoid().data - 1.0
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_relu_idempotent(x):
+    once = Tensor(x).relu()
+    twice = once.relu()
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@given(small_arrays(), small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_concat_then_split_is_identity(x, y):
+    if x.shape[0] != y.shape[0]:
+        y = np.resize(y, (x.shape[0], y.shape[1]))
+    joined = concatenate([Tensor(x), Tensor(y)], axis=1)
+    np.testing.assert_allclose(joined.data[:, : x.shape[1]], x)
+    np.testing.assert_allclose(joined.data[:, x.shape[1]:], y)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_gradient_of_sum_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@given(small_arrays(), finite)
+@settings(max_examples=40, deadline=None)
+def test_gradient_of_scalar_scale(x, c):
+    t = Tensor(x, requires_grad=True)
+    (t * c).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, c))
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_linearity_of_backward(x):
+    """grad(2f) == 2 grad(f) for f = sum of squares."""
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * t1).sum().backward()
+    t2 = Tensor(x, requires_grad=True)
+    ((t2 * t2).sum() * 2.0).backward()
+    np.testing.assert_allclose(t2.grad, 2 * t1.grad, rtol=1e-9, atol=1e-9)
+
+
+@given(
+    arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 6)), elements=finite),
+    st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_cross_entropy_nonnegative(logits, seed):
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, logits.shape[1], size=logits.shape[0])
+    loss = F.cross_entropy(Tensor(logits), targets)
+    assert loss.item() >= -1e-9

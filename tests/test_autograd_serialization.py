@@ -1,0 +1,68 @@
+"""Tests for model checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Linear, Sequential, Tanh, Tensor, load_state, save_state
+
+
+def test_roundtrip_restores_exact_weights(tmp_path, rng):
+    a = Sequential(Linear(4, 8, rng=rng), Tanh(), Linear(8, 2, rng=rng))
+    b = Sequential(
+        Linear(4, 8, rng=np.random.default_rng(77)),
+        Tanh(),
+        Linear(8, 2, rng=np.random.default_rng(78)),
+    )
+    path = tmp_path / "model.npz"
+    save_state(a, path)
+    load_state(b, path)
+    x = Tensor(rng.standard_normal((3, 4)))
+    np.testing.assert_allclose(a(x).data, b(x).data)
+
+
+def test_missing_file_raises(tmp_path, rng):
+    with pytest.raises(FileNotFoundError):
+        load_state(Linear(2, 2, rng=rng), tmp_path / "nope.npz")
+
+
+def test_accepts_path_without_npz_suffix(tmp_path, rng):
+    layer = Linear(2, 2, rng=rng)
+    # np.savez appends .npz when missing; load_state must find it either way.
+    save_state(layer, tmp_path / "ckpt")
+    other = Linear(2, 2, rng=np.random.default_rng(5))
+    load_state(other, tmp_path / "ckpt")
+    np.testing.assert_allclose(layer.weight.data, other.weight.data)
+
+
+def test_shape_mismatch_rejected(tmp_path, rng):
+    save_state(Linear(2, 2, rng=rng), tmp_path / "m.npz")
+    with pytest.raises((KeyError, ValueError)):
+        load_state(Linear(3, 3, rng=rng), tmp_path / "m.npz")
+
+
+def test_format_version_enforced(tmp_path, rng):
+    path = tmp_path / "bad.npz"
+    np.savez(path, weight=np.zeros((2, 2)), bias=np.zeros(2))
+    with pytest.raises(ValueError):
+        load_state(Linear(2, 2, rng=rng), path)
+
+
+def test_fakedetector_model_roundtrip(tmp_path, small_dataset, small_split):
+    """Full model save/load must reproduce logits exactly."""
+    from repro.core import FakeDetector, FakeDetectorConfig
+
+    config = FakeDetectorConfig(
+        epochs=3, explicit_dim=40, vocab_size=500, max_seq_len=12,
+        embed_dim=6, rnn_hidden=8, latent_dim=6, gdu_hidden=10,
+    )
+    det = FakeDetector(config).fit(small_dataset, small_split)
+    logits_before = det.predict_logits()["article"]
+    path = tmp_path / "fd.npz"
+    save_state(det.model, path)
+
+    # Perturb then restore.
+    for p in det.model.parameters():
+        p.data += 1.0
+    load_state(det.model, path)
+    logits_after = det.predict_logits()["article"]
+    np.testing.assert_allclose(logits_before, logits_after)

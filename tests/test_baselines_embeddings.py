@@ -1,0 +1,116 @@
+"""Tests for the SGNS embedding trainer shared by DeepWalk and LINE."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NegativeSampler, SkipGramModel, walks_to_pairs
+
+
+class TestNegativeSampler:
+    def test_respects_frequency_skew(self, rng):
+        freqs = np.array([1000.0, 1.0, 1.0, 1.0])
+        sampler = NegativeSampler(freqs)
+        draws = sampler.sample((5000,), rng)
+        assert (draws == 0).mean() > 0.5
+
+    def test_power_flattens_distribution(self, rng):
+        freqs = np.array([1000.0, 1.0])
+        flat = NegativeSampler(freqs, power=0.0)
+        draws = flat.sample((4000,), rng)
+        assert abs((draws == 0).mean() - 0.5) < 0.05
+
+    def test_zero_frequency_items_possible_but_rare(self, rng):
+        sampler = NegativeSampler(np.array([100.0, 0.0]))
+        draws = sampler.sample((2000,), rng)
+        assert (draws == 1).mean() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([[1.0]]))
+
+
+class TestWalksToPairs:
+    def test_window_pairs(self):
+        centers, contexts = walks_to_pairs([[10, 20, 30]], window=1)
+        pairs = set(zip(centers.tolist(), contexts.tolist()))
+        assert pairs == {(10, 20), (20, 10), (20, 30), (30, 20)}
+
+    def test_window_two(self):
+        centers, contexts = walks_to_pairs([[1, 2, 3]], window=2)
+        assert (1, 3) in set(zip(centers.tolist(), contexts.tolist()))
+
+    def test_empty_walks(self):
+        centers, contexts = walks_to_pairs([], window=2)
+        assert centers.size == 0 and contexts.size == 0
+
+    def test_singleton_walk_no_pairs(self):
+        centers, _ = walks_to_pairs([[5]], window=3)
+        assert centers.size == 0
+
+    def test_symmetric(self):
+        centers, contexts = walks_to_pairs([[1, 2, 3, 4]], window=2)
+        pairs = set(zip(centers.tolist(), contexts.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+
+class TestSkipGramModel:
+    def test_embedding_shape(self):
+        model = SkipGramModel(num_nodes=10, dim=8)
+        assert model.embeddings.shape == (10, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramModel(num_nodes=0, dim=4)
+        model = SkipGramModel(num_nodes=5, dim=4)
+        sampler = NegativeSampler(np.ones(5))
+        with pytest.raises(ValueError):
+            model.train_pairs(np.array([0, 1]), np.array([0]), sampler)
+
+    def test_empty_pairs_noop(self):
+        model = SkipGramModel(num_nodes=5, dim=4)
+        sampler = NegativeSampler(np.ones(5))
+        before = model.embeddings.copy()
+        loss = model.train_pairs(np.array([], dtype=int), np.array([], dtype=int), sampler)
+        assert loss == 0.0
+        np.testing.assert_allclose(model.embeddings, before)
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        # Two clusters: nodes 0-4 co-occur, nodes 5-9 co-occur.
+        centers, contexts = [], []
+        for _ in range(400):
+            group = rng.integers(2)
+            lo = group * 5
+            a, b = rng.integers(lo, lo + 5, size=2)
+            centers.append(a)
+            contexts.append(b)
+        centers, contexts = np.array(centers), np.array(contexts)
+        sampler = NegativeSampler(np.ones(10))
+        model = SkipGramModel(num_nodes=10, dim=8, seed=1)
+        first = model.train_pairs(centers, contexts, sampler, epochs=1)
+        last = model.train_pairs(centers, contexts, sampler, epochs=5)
+        assert last < first
+
+    def test_cluster_structure_emerges(self):
+        """Nodes that co-occur end up closer than nodes that do not."""
+        rng = np.random.default_rng(0)
+        centers, contexts = [], []
+        for _ in range(600):
+            group = rng.integers(2)
+            lo = group * 5
+            a, b = rng.integers(lo, lo + 5, size=2)
+            if a != b:
+                centers.append(a)
+                contexts.append(b)
+        sampler = NegativeSampler(np.ones(10))
+        model = SkipGramModel(num_nodes=10, dim=8, seed=1, lr=0.1)
+        model.train_pairs(np.array(centers), np.array(contexts), sampler, epochs=8)
+        emb = model.embeddings / (np.linalg.norm(model.embeddings, axis=1, keepdims=True) + 1e-12)
+        sims = emb @ emb.T
+        within = np.mean([sims[i, j] for i in range(5) for j in range(5) if i != j])
+        across = np.mean([sims[i, j] for i in range(5) for j in range(5, 10)])
+        assert within > across

@@ -1,0 +1,180 @@
+"""Tests for the structure-only baselines: DeepWalk, LINE, label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepWalkBaseline,
+    LabelPropagationBaseline,
+    LINEBaseline,
+    LINEEmbedding,
+)
+from repro.data.credibility import derive_entity_label
+
+
+class TestDeepWalk:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        dataset = request.getfixturevalue("tiny_dataset")
+        split = request.getfixturevalue("tiny_split")
+        model = DeepWalkBaseline(dim=16, num_walks=3, walk_length=12, epochs=2, seed=0)
+        return model.fit(dataset, split), dataset, split
+
+    def test_embeddings_cover_all_nodes(self, fitted):
+        model, dataset, _ = fitted
+        total = dataset.num_articles + dataset.num_creators + dataset.num_subjects
+        assert model.embeddings.shape == (total, 16)
+
+    def test_predictions_complete(self, fitted):
+        model, dataset, _ = fitted
+        for kind, store in (
+            ("article", dataset.articles),
+            ("creator", dataset.creators),
+            ("subject", dataset.subjects),
+        ):
+            preds = model.predict(kind)
+            assert set(preds) == set(store)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DeepWalkBaseline().predict("article")
+
+    def test_connected_nodes_embed_closer(self, fitted):
+        """A creator should be closer to its own articles than to random ones."""
+        model, dataset, _ = fitted
+        from repro.graph import NodeType
+
+        emb = model.embeddings
+        index = model._node_index
+        by_creator = dataset.articles_by_creator()
+        prolific = max(by_creator, key=lambda c: len(by_creator[c]))
+        own_articles = [a.article_id for a in by_creator[prolific]]
+        other_articles = [
+            a for a in dataset.articles if a not in set(own_articles)
+        ]
+        c_vec = emb[index[(NodeType.CREATOR, prolific)]]
+
+        def mean_sim(article_ids):
+            vecs = np.array([emb[index[(NodeType.ARTICLE, a)]] for a in article_ids])
+            norms = np.linalg.norm(vecs, axis=1) * (np.linalg.norm(c_vec) + 1e-12)
+            return float(((vecs @ c_vec) / (norms + 1e-12)).mean())
+
+        assert mean_sim(own_articles) > mean_sim(other_articles[:30])
+
+
+class TestLINE:
+    def test_embedding_dim_split(self):
+        with pytest.raises(ValueError):
+            LINEEmbedding(dim=7)
+
+    def test_edge_shape_validation(self):
+        line = LINEEmbedding(dim=4)
+        with pytest.raises(ValueError):
+            line.fit(np.zeros((3,)), 5, np.ones(5))
+
+    def test_fit_predict(self, tiny_dataset, tiny_split):
+        model = LINEBaseline(dim=8, samples_per_edge=6, seed=0)
+        model.fit(tiny_dataset, tiny_split)
+        preds = model.predict("article")
+        assert set(preds) == set(tiny_dataset.articles)
+
+    def test_embeddings_concatenate_orders(self, tiny_dataset, tiny_split):
+        model = LINEBaseline(dim=8, samples_per_edge=4, seed=0)
+        model.embed(tiny_dataset)
+        total = (
+            tiny_dataset.num_articles
+            + tiny_dataset.num_creators
+            + tiny_dataset.num_subjects
+        )
+        assert model.embeddings.shape == (total, 8)
+
+    def test_connected_endpoints_correlate(self, tiny_dataset, tiny_split):
+        from repro.graph import HeterogeneousNetwork
+
+        model = LINEBaseline(dim=16, samples_per_edge=30, seed=0)
+        model.embed(tiny_dataset)
+        emb = model.embeddings[:, :8]  # first-order half
+        network = HeterogeneousNetwork.from_dataset(tiny_dataset)
+        edges = network.edges()
+        index = model._node_index
+        rng = np.random.default_rng(0)
+
+        def sim(u, v):
+            a, b = emb[index[u]], emb[index[v]]
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        edge_sims = [sim(a, b) for _, a, b in edges[:80]]
+        nodes = network.nodes()
+        rand_sims = []
+        for _ in range(80):
+            u = nodes[rng.integers(len(nodes))]
+            v = nodes[rng.integers(len(nodes))]
+            if u != v:
+                rand_sims.append(sim(u, v))
+        assert np.mean(edge_sims) > np.mean(rand_sims)
+
+
+class TestLabelPropagation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelPropagationBaseline(damping=0)
+        with pytest.raises(ValueError):
+            LabelPropagationBaseline(iterations=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelPropagationBaseline().predict("article")
+
+    def test_scores_within_label_range(self, small_dataset, small_split):
+        model = LabelPropagationBaseline().fit(small_dataset, small_split)
+        for kind in ("article", "creator", "subject"):
+            scores = model.predict_scores(kind)
+            assert all(1.0 <= s <= 6.0 for s in scores.values())
+
+    def test_train_labels_steer_scores(self, small_dataset, small_split):
+        """Label spreading re-injects training scores: known-true articles
+        must end up with higher scores than known-false ones on average."""
+        model = LabelPropagationBaseline().fit(small_dataset, small_split)
+        scores = model.predict_scores("article")
+        true_scores = [
+            scores[a]
+            for a in small_split.articles.train
+            if small_dataset.articles[a].label.is_true_class
+        ]
+        false_scores = [
+            scores[a]
+            for a in small_split.articles.train
+            if not small_dataset.articles[a].label.is_true_class
+        ]
+        assert np.mean(true_scores) > np.mean(false_scores) + 0.3
+
+    def test_converges(self, small_dataset, small_split):
+        model = LabelPropagationBaseline(iterations=200, tolerance=1e-8)
+        model.fit(small_dataset, small_split)
+        assert model.converged_iterations_ < 200
+
+    def test_creator_prediction_tracks_derived_label(self, small_dataset, small_split):
+        """With θ=1 training labels, a creator's propagated score should be
+        close to the weighted-sum ground truth of its articles."""
+        model = LabelPropagationBaseline(damping=0.95).fit(small_dataset, small_split)
+        preds = model.predict("creator")
+        by_creator = small_dataset.articles_by_creator()
+        hits = total = 0
+        for cid in small_split.creators.test:
+            articles = by_creator[cid]
+            if len(articles) < 3:
+                continue
+            derived = derive_entity_label(a.label for a in articles)
+            total += 1
+            if abs(preds[cid] - derived.class_index) <= 1:
+                hits += 1
+        if total:
+            assert hits / total > 0.6
+
+    def test_beats_chance_on_articles(self, small_dataset, small_split):
+        model = LabelPropagationBaseline().fit(small_dataset, small_split)
+        preds = model.predict("article")
+        test_ids = small_split.articles.test
+        y_true = [small_dataset.articles[a].label.binary for a in test_ids]
+        y_pred = [int(preds[a] >= 3) for a in test_ids]
+        assert np.mean([t == p for t, p in zip(y_true, y_pred)]) > 0.45

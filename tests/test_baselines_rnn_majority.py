@@ -1,0 +1,67 @@
+"""Tests for the RNN text baseline and the majority floor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MajorityBaseline, RNNBaseline
+
+
+class TestMajority:
+    def test_predicts_single_class(self, tiny_dataset, tiny_split):
+        model = MajorityBaseline().fit(tiny_dataset, tiny_split)
+        preds = model.predict("article")
+        assert len(set(preds.values())) == 1
+
+    def test_picks_most_common_train_label(self, tiny_dataset, tiny_split):
+        model = MajorityBaseline().fit(tiny_dataset, tiny_split)
+        train_labels = [
+            tiny_dataset.articles[a].label.class_index
+            for a in tiny_split.articles.train
+        ]
+        expected = max(set(train_labels), key=train_labels.count)
+        assert set(model.predict("article").values()) == {expected}
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MajorityBaseline().predict("article")
+
+
+class TestRNNBaseline:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        dataset = request.getfixturevalue("tiny_dataset")
+        split = request.getfixturevalue("tiny_split")
+        model = RNNBaseline(
+            vocab_size=500, embed_dim=6, hidden=8, latent=6,
+            max_seq_len=12, epochs=8, seed=0,
+        )
+        return model.fit(dataset, split), dataset, split
+
+    def test_predictions_complete(self, fitted):
+        model, dataset, _ = fitted
+        for kind, store in (
+            ("article", dataset.articles),
+            ("creator", dataset.creators),
+            ("subject", dataset.subjects),
+        ):
+            preds = model.predict(kind)
+            assert set(preds) == set(store)
+            assert all(0 <= v <= 5 for v in preds.values())
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RNNBaseline().predict("article")
+
+    def test_unknown_kind_rejected(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            model.predict("blog")
+
+    def test_fits_training_set_better_than_chance(self, fitted):
+        model, dataset, split = fitted
+        preds = model.predict("article")
+        train = split.articles.train
+        y_true = [dataset.articles[a].label.binary for a in train]
+        y_pred = [int(preds[a] >= 3) for a in train]
+        majority = max(np.mean(y_true), 1 - np.mean(y_true))
+        assert np.mean([t == p for t, p in zip(y_true, y_pred)]) >= majority - 0.05

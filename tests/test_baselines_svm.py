@@ -1,0 +1,100 @@
+"""Tests for the from-scratch linear SVM and its baseline wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearSVM, SVMBaseline
+
+
+def linearly_separable(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal([-2, -2], 0.5, size=(n // 2, 2))
+    x1 = rng.normal([2, 2], 0.5, size=(n // 2, 2))
+    features = np.vstack([x0, x1])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return features, labels
+
+
+class TestLinearSVM:
+    def test_separates_linear_data(self):
+        features, labels = linearly_separable()
+        svm = LinearSVM(num_classes=2, epochs=100).fit(features, labels)
+        assert (svm.predict(features) == labels).all()
+
+    def test_three_class_one_vs_rest(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[0, 4], [4, -2], [-4, -2]])
+        features = np.vstack([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+        labels = np.repeat([0, 1, 2], 30)
+        svm = LinearSVM(num_classes=3, epochs=150).fit(features, labels)
+        assert (svm.predict(features) == labels).mean() > 0.95
+
+    def test_objective_decreases(self):
+        features, labels = linearly_separable()
+        svm_short = LinearSVM(num_classes=2, epochs=5, seed=3).fit(features, labels)
+        obj_short = svm_short.hinge_objective(features, labels)
+        svm_long = LinearSVM(num_classes=2, epochs=200, seed=3).fit(features, labels)
+        obj_long = svm_long.hinge_objective(features, labels)
+        assert obj_long < obj_short
+
+    def test_decision_function_shape(self):
+        features, labels = linearly_separable()
+        svm = LinearSVM(num_classes=2, epochs=10).fit(features, labels)
+        assert svm.decision_function(features).shape == (60, 2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM(num_classes=2).predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(num_classes=1)
+        svm = LinearSVM(num_classes=2)
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((3,)), [0, 1, 0])
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((3, 2)), [0, 1])
+        with pytest.raises(ValueError):
+            svm.fit(np.zeros((0, 2)), [])
+
+    def test_regularization_shrinks_weights(self):
+        features, labels = linearly_separable()
+        light = LinearSVM(num_classes=2, reg=1e-5, epochs=150, seed=0).fit(features, labels)
+        heavy = LinearSVM(num_classes=2, reg=1.0, epochs=150, seed=0).fit(features, labels)
+        assert np.abs(heavy.weights).sum() < np.abs(light.weights).sum()
+
+    def test_deterministic_for_seed(self):
+        features, labels = linearly_separable()
+        a = LinearSVM(num_classes=2, epochs=30, seed=7).fit(features, labels)
+        b = LinearSVM(num_classes=2, epochs=30, seed=7).fit(features, labels)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+
+class TestSVMBaseline:
+    def test_fit_predict_all_kinds(self, small_dataset, small_split):
+        baseline = SVMBaseline(explicit_dim=40, epochs=60).fit(small_dataset, small_split)
+        for kind, store in (
+            ("article", small_dataset.articles),
+            ("creator", small_dataset.creators),
+            ("subject", small_dataset.subjects),
+        ):
+            preds = baseline.predict(kind)
+            assert set(preds) == set(store)
+            assert all(0 <= c <= 5 for c in preds.values())
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVMBaseline().predict("article")
+
+    def test_unknown_kind(self, small_dataset, small_split):
+        baseline = SVMBaseline(explicit_dim=30, epochs=10).fit(small_dataset, small_split)
+        with pytest.raises(ValueError):
+            baseline.predict("meme")
+
+    def test_beats_chance_on_binary_articles(self, small_dataset, small_split):
+        baseline = SVMBaseline(explicit_dim=60, epochs=120).fit(small_dataset, small_split)
+        preds = baseline.predict("article")
+        test_ids = small_split.articles.test
+        y_true = [small_dataset.articles[a].label.binary for a in test_ids]
+        y_pred = [int(preds[a] >= 3) for a in test_ids]
+        assert np.mean([t == p for t, p in zip(y_true, y_pred)]) > 0.5

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "out.jsonl", "--scale", "0.01"])
+        assert args.command == "generate"
+        assert args.scale == 0.01
+
+    def test_evaluate_methods_subset(self):
+        args = build_parser().parse_args(["evaluate", "--methods", "svm", "lp"])
+        assert args.methods == ["svm", "lp"]
+
+
+class TestCommands:
+    def test_generate_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        code = main(["generate", str(out), "--scale", "0.01", "--seed", "3"])
+        assert code == 0
+        dataset = load_dataset(out)
+        assert dataset.num_articles > 50
+        assert "wrote" in capsys.readouterr().out
+
+    def test_analyze_prints_table1(self, tmp_path, capsys):
+        code = main(["analyze", "--scale", "0.01", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 1(a)" in out
+
+    def test_analyze_from_file(self, tmp_path, capsys):
+        path = tmp_path / "c.jsonl"
+        main(["generate", str(path), "--scale", "0.01"])
+        capsys.readouterr()
+        code = main(["analyze", "--dataset", str(path)])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_train_reports_metrics(self, tmp_path, capsys):
+        ckpt = tmp_path / "model.npz"
+        code = main([
+            "train", "--scale", "0.01", "--seed", "3", "--epochs", "3",
+            "--explicit-dim", "30", "--max-seq-len", "10",
+            "--checkpoint", str(ckpt),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "article" in out and "bi-acc=" in out
+        assert ckpt.exists()
+
+    def test_evaluate_subset(self, capsys):
+        code = main([
+            "evaluate", "--scale", "0.01", "--seed", "3",
+            "--thetas", "1.0", "--methods", "svm", "lp",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "svm" in out
+
+
+class TestTune:
+    def test_parse_grid(self):
+        from repro.cli import _parse_grid
+
+        grid = _parse_grid("gdu_hidden=8,16;alpha=0.001,0.01;rnn_cell=gru,cnn")
+        assert grid["gdu_hidden"] == [8, 16]
+        assert grid["alpha"] == [0.001, 0.01]
+        assert grid["rnn_cell"] == ["gru", "cnn"]
+
+    def test_parse_grid_validation(self):
+        from repro.cli import _parse_grid
+
+        with pytest.raises(ValueError):
+            _parse_grid("")
+        with pytest.raises(ValueError):
+            _parse_grid("no-equals-here")
+
+    def test_tune_command_runs(self, capsys):
+        code = main([
+            "tune", "--scale", "0.01", "--seed", "3", "--epochs", "2",
+            "--inner-folds", "2", "--grid", "gdu_hidden=8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranking" in out
+        assert "gdu_hidden=8" in out

@@ -1,0 +1,151 @@
+"""Tests for the Gated Diffusive Unit — the paper's central contribution."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import GDU
+
+from tests.helpers import finite_difference_check
+
+
+@pytest.fixture()
+def gdu(rng):
+    return GDU(input_dim=5, hidden_dim=4, rng=rng)
+
+
+def make_inputs(rng, batch=3, input_dim=5, hidden_dim=4, requires_grad=False):
+    x = Tensor(rng.standard_normal((batch, input_dim)), requires_grad=requires_grad)
+    z = Tensor(rng.standard_normal((batch, hidden_dim)), requires_grad=requires_grad)
+    t = Tensor(rng.standard_normal((batch, hidden_dim)), requires_grad=requires_grad)
+    return x, z, t
+
+
+class TestForward:
+    def test_output_shape(self, gdu, rng):
+        x, z, t = make_inputs(rng)
+        assert gdu(x, z, t).shape == (3, 4)
+
+    def test_output_bounded(self, gdu, rng):
+        # h is a convex-ish gate mixture of tanh candidates -> |h| <= ~2
+        # (sum of four gated tanh terms, gates partition at most mass 1 per
+        # (g, r) factorization: g*r + (1-g)*r + g*(1-r) + (1-g)*(1-r) = 1).
+        x, z, t = make_inputs(rng, batch=16)
+        h = gdu(x, z, t)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_batch_mismatch_rejected(self, gdu, rng):
+        x, z, t = make_inputs(rng)
+        bad_z = Tensor(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            gdu(x, bad_z, t)
+
+    def test_zero_state_port(self, gdu, rng):
+        """§4.2: an unused port takes the zero default and still works."""
+        x, z, _ = make_inputs(rng)
+        h = gdu(x, z, gdu.zero_state(3))
+        assert h.shape == (3, 4)
+
+    def test_gate_mixture_weights_sum_to_one(self, gdu, rng):
+        """The four (g, r) products partition unit mass per entry."""
+        x, z, t = make_inputs(rng)
+        from repro.autograd import concatenate
+
+        xzt = concatenate([x, z, t], axis=1)
+        g = (xzt @ gdu.w_g + gdu.b_g).sigmoid().data
+        r = (xzt @ gdu.w_r + gdu.b_r).sigmoid().data
+        total = g * r + (1 - g) * r + g * (1 - r) + (1 - g) * (1 - r)
+        np.testing.assert_allclose(total, np.ones_like(total))
+
+    def test_forget_gate_zero_suppresses_z(self, rng):
+        """With f ≈ 0 the candidate sees z̃ ≈ 0: changing z while forcing
+        selection to the z̃-only branch must not change the output."""
+        gdu = GDU(input_dim=3, hidden_dim=4, rng=rng)
+        gdu.b_f.data[:] = -60.0   # forget gate ≈ 0 everywhere
+        gdu.b_g.data[:] = 60.0    # g ≈ 1
+        gdu.b_r.data[:] = 60.0    # r ≈ 1 -> only candidate(z̃, t̃) survives
+        # Kill gate dependence on inputs so z only enters via z̃.
+        gdu.w_g.data[:] = 0.0
+        gdu.w_r.data[:] = 0.0
+        gdu.w_f.data[:] = 0.0
+        gdu.w_e.data[:] = 0.0
+        x = Tensor(rng.standard_normal((2, 3)))
+        t = Tensor(rng.standard_normal((2, 4)))
+        z1 = Tensor(rng.standard_normal((2, 4)))
+        z2 = Tensor(rng.standard_normal((2, 4)))
+        np.testing.assert_allclose(gdu(x, z1, t).data, gdu(x, z2, t).data, atol=1e-10)
+
+    def test_adjust_gate_zero_suppresses_t(self, rng):
+        gdu = GDU(input_dim=3, hidden_dim=4, rng=rng)
+        gdu.b_e.data[:] = -60.0   # adjust gate ≈ 0
+        gdu.b_g.data[:] = 60.0    # g ≈ 1
+        gdu.b_r.data[:] = 60.0    # r ≈ 1 -> candidate(z̃, t̃) only
+        gdu.w_g.data[:] = 0.0
+        gdu.w_r.data[:] = 0.0
+        gdu.w_f.data[:] = 0.0
+        gdu.w_e.data[:] = 0.0
+        x = Tensor(rng.standard_normal((2, 3)))
+        z = Tensor(rng.standard_normal((2, 4)))
+        t1 = Tensor(rng.standard_normal((2, 4)))
+        t2 = Tensor(rng.standard_normal((2, 4)))
+        np.testing.assert_allclose(gdu(x, z, t1).data, gdu(x, z, t2).data, atol=1e-10)
+
+
+class TestGradients:
+    def test_gradcheck_parameters(self, rng):
+        gdu = GDU(input_dim=2, hidden_dim=3, rng=rng)
+        x, z, t = make_inputs(rng, batch=2, input_dim=2, hidden_dim=3)
+        finite_difference_check(
+            lambda *p: (gdu(x, z, t) ** 2).sum(), list(gdu.parameters()), tol=1e-4
+        )
+
+    def test_gradcheck_inputs(self, rng):
+        gdu = GDU(input_dim=2, hidden_dim=3, rng=rng)
+        x, z, t = make_inputs(rng, batch=2, input_dim=2, hidden_dim=3, requires_grad=True)
+        finite_difference_check(lambda x, z, t: (gdu(x, z, t) ** 2).sum(), [x, z, t], tol=1e-4)
+
+    def test_gradient_flows_to_all_parameters(self, gdu, rng):
+        x, z, t = make_inputs(rng)
+        (gdu(x, z, t) ** 2).sum().backward()
+        for name, p in gdu.named_parameters():
+            assert p.grad is not None, f"{name} got no gradient"
+            assert np.abs(p.grad).sum() > 0, f"{name} gradient identically zero"
+
+
+class TestAblations:
+    def test_no_forget_gate_passes_z_through(self, rng):
+        gdu = GDU(input_dim=3, hidden_dim=4, rng=rng, use_forget_gate=False)
+        assert not hasattr(gdu, "w_f")
+        x, z, t = make_inputs(rng, input_dim=3)
+        assert gdu(x, z, t).shape == (3, 4)
+
+    def test_no_adjust_gate(self, rng):
+        gdu = GDU(input_dim=3, hidden_dim=4, rng=rng, use_adjust_gate=False)
+        assert not hasattr(gdu, "w_e")
+        x, z, t = make_inputs(rng, input_dim=3)
+        assert gdu(x, z, t).shape == (3, 4)
+
+    def test_no_selection_gates_single_candidate(self, rng):
+        gdu = GDU(input_dim=3, hidden_dim=4, rng=rng, use_selection_gates=False)
+        assert not hasattr(gdu, "w_g")
+        x, z, t = make_inputs(rng, input_dim=3)
+        h = gdu(x, z, t)
+        # Output is a plain tanh candidate.
+        assert np.all(np.abs(h.data) < 1.0)
+
+    def test_parameter_counts_shrink_with_ablation(self, rng):
+        full = GDU(3, 4, rng=np.random.default_rng(0))
+        bare = GDU(
+            3, 4, rng=np.random.default_rng(0),
+            use_forget_gate=False, use_adjust_gate=False, use_selection_gates=False,
+        )
+        assert bare.num_parameters() < full.num_parameters()
+        # Bare GDU = just W_u + b_u.
+        concat = 3 + 2 * 4
+        assert bare.num_parameters() == concat * 4 + 4
+
+    def test_full_param_count(self, rng):
+        gdu = GDU(5, 4, rng=rng)
+        concat = 5 + 2 * 4
+        # 5 weight matrices (f, e, g, r, u) + 5 biases.
+        assert gdu.num_parameters() == 5 * (concat * 4 + 4)

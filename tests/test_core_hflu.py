@@ -1,0 +1,68 @@
+"""Tests for the Hybrid Feature Learning Unit."""
+
+import numpy as np
+import pytest
+
+from repro.core import HFLU
+
+
+@pytest.fixture()
+def hflu(rng):
+    return HFLU(vocab_size=30, embed_dim=5, rnn_hidden=7, latent_dim=6, rng=rng)
+
+
+class TestForward:
+    def test_concatenated_dimension(self, hflu, rng):
+        explicit = rng.random((4, 10))
+        seqs = rng.integers(1, 30, size=(4, 8))
+        out = hflu(explicit, seqs)
+        assert out.shape == (4, 16)  # 10 explicit + 6 latent
+
+    def test_explicit_half_passes_through_unchanged(self, hflu, rng):
+        explicit = rng.random((3, 10))
+        seqs = rng.integers(1, 30, size=(3, 8))
+        out = hflu(explicit, seqs)
+        np.testing.assert_allclose(out.data[:, :10], explicit)
+
+    def test_latent_half_in_sigmoid_range(self, hflu, rng):
+        explicit = rng.random((3, 10))
+        seqs = rng.integers(1, 30, size=(3, 8))
+        out = hflu(explicit, seqs)
+        latent = out.data[:, 10:]
+        assert np.all((latent >= 0) & (latent <= 1))
+
+
+class TestAblations:
+    def test_explicit_only(self, rng):
+        hflu = HFLU(30, 5, 7, 6, rng=rng, use_latent=False)
+        explicit = rng.random((2, 9))
+        out = hflu(explicit, rng.integers(1, 30, size=(2, 4)))
+        assert out.shape == (2, 9)
+        np.testing.assert_allclose(out.data, explicit)
+        assert hflu.encoder is None
+
+    def test_latent_only(self, rng):
+        hflu = HFLU(30, 5, 7, 6, rng=rng, use_explicit=False)
+        out = hflu(rng.random((2, 9)), rng.integers(1, 30, size=(2, 4)))
+        assert out.shape == (2, 6)
+
+    def test_both_disabled_rejected(self, rng):
+        with pytest.raises(ValueError):
+            HFLU(30, 5, 7, 6, rng=rng, use_explicit=False, use_latent=False)
+
+
+class TestTraining:
+    def test_gradients_reach_encoder(self, hflu, rng):
+        explicit = rng.random((3, 10))
+        seqs = rng.integers(1, 30, size=(3, 8))
+        (hflu(explicit, seqs) ** 2).sum().backward()
+        for name, p in hflu.named_parameters():
+            assert p.grad is not None, name
+
+    def test_no_gradient_into_explicit_features(self, hflu, rng):
+        """Explicit counts are data, not parameters — nothing to learn."""
+        explicit = rng.random((3, 10))
+        seqs = rng.integers(1, 30, size=(3, 8))
+        out = hflu(explicit, seqs)
+        # The concat's explicit part is a fresh constant Tensor.
+        assert not out._parents[0].requires_grad

@@ -1,0 +1,115 @@
+"""Tests for the feature pipeline and graph index construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_features, build_graph_index
+
+
+@pytest.fixture(scope="module")
+def features(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    small_split = request.getfixturevalue("small_split")
+    return build_features(
+        small_dataset,
+        small_split.articles.train,
+        small_split.creators.train,
+        small_split.subjects.train,
+        explicit_dim=40,
+        vocab_size=800,
+        max_seq_len=16,
+    )
+
+
+class TestEntityFeatures:
+    def test_alignment(self, features, small_dataset):
+        assert features.articles.num == small_dataset.num_articles
+        assert features.creators.num == small_dataset.num_creators
+        assert features.subjects.num == small_dataset.num_subjects
+
+    def test_ids_sorted_and_indexed(self, features):
+        assert features.articles.ids == sorted(features.articles.ids)
+        for i, eid in enumerate(features.articles.ids[:10]):
+            assert features.articles.index[eid] == i
+
+    def test_explicit_shapes(self, features):
+        assert features.articles.explicit.shape == (features.articles.num, 40)
+        assert features.articles.explicit.dtype == np.float64
+
+    def test_sequences_shape_and_range(self, features):
+        seqs = features.articles.sequences
+        assert seqs.shape == (features.articles.num, 16)
+        assert seqs.min() >= 0
+        assert seqs.max() < len(features.vocab)
+
+    def test_labels_fully_known_for_articles(self, features):
+        assert (features.articles.labels >= 0).all()
+        assert (features.articles.labels <= 5).all()
+
+    def test_rows_lookup(self, features):
+        ids = features.articles.ids[:5]
+        rows = features.articles.rows(ids)
+        np.testing.assert_array_equal(rows, np.arange(5))
+
+    def test_by_type_dispatch(self, features):
+        assert features.by_type("article") is features.articles
+        assert features.by_type("creator") is features.creators
+        with pytest.raises(ValueError):
+            features.by_type("meme")
+
+    def test_word_sets_fit_per_type(self, features):
+        words_n = set(features.extractors["article"].words)
+        words_u = set(features.extractors["creator"].words)
+        # Article statements and creator bios have different vocabularies.
+        assert words_n != words_u
+
+    def test_explicit_normalized_rows(self, features):
+        norms = np.linalg.norm(features.articles.explicit, axis=1)
+        nonzero = norms[norms > 0]
+        np.testing.assert_allclose(nonzero, np.ones_like(nonzero))
+
+
+class TestGraphIndex:
+    def test_shapes(self, features, small_dataset, small_split):
+        graph = build_graph_index(small_dataset, features)
+        n = small_dataset.num_articles
+        links = small_dataset.num_article_subject_links
+        assert graph.article_creator.shape == (n,)
+        assert graph.article_subject_gather.shape == (links,)
+        assert graph.article_subject_segment.shape == (links,)
+        assert graph.creator_article_gather.shape == (n,)
+        assert graph.subject_article_gather.shape == (links,)
+
+    def test_creator_pointers_correct(self, features, small_dataset):
+        graph = build_graph_index(small_dataset, features)
+        for aid in features.articles.ids[:20]:
+            row = features.articles.index[aid]
+            creator_row = graph.article_creator[row]
+            creator_id = features.creators.ids[creator_row]
+            assert small_dataset.articles[aid].creator_id == creator_id
+
+    def test_subject_links_correct(self, features, small_dataset):
+        graph = build_graph_index(small_dataset, features)
+        # Rebuild each article's subject set from the edge arrays.
+        from collections import defaultdict
+
+        per_article = defaultdict(set)
+        for s_row, a_row in zip(
+            graph.article_subject_gather, graph.article_subject_segment
+        ):
+            per_article[a_row].add(features.subjects.ids[s_row])
+        for aid in features.articles.ids[:20]:
+            row = features.articles.index[aid]
+            assert per_article[row] == set(small_dataset.articles[aid].subject_ids)
+
+    def test_reverse_edges_are_transposes(self, features, small_dataset):
+        graph = build_graph_index(small_dataset, features)
+        np.testing.assert_array_equal(
+            graph.subject_article_gather, graph.article_subject_segment
+        )
+        np.testing.assert_array_equal(
+            graph.subject_article_segment, graph.article_subject_gather
+        )
+        np.testing.assert_array_equal(
+            graph.creator_article_segment, graph.article_creator
+        )

@@ -1,0 +1,117 @@
+"""Tests for FakeDetector training and inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import FakeDetector, FakeDetectorConfig
+
+
+@pytest.fixture(scope="module")
+def trained(request):
+    dataset = request.getfixturevalue("small_dataset")
+    split = request.getfixturevalue("small_split")
+    config = FakeDetectorConfig(
+        epochs=25, explicit_dim=50, vocab_size=1200, max_seq_len=16,
+        embed_dim=8, rnn_hidden=12, latent_dim=8, gdu_hidden=16, seed=1,
+    )
+    return FakeDetector(config).fit(dataset, split)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        FakeDetectorConfig()
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            FakeDetectorConfig(epochs=0)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            FakeDetectorConfig(learning_rate=-0.1)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            FakeDetectorConfig(alpha=-1)
+
+    def test_feature_families_validation(self):
+        with pytest.raises(ValueError):
+            FakeDetectorConfig(use_explicit_features=False, use_latent_features=False)
+
+    def test_feature_dim(self):
+        config = FakeDetectorConfig(explicit_dim=100, latent_dim=16)
+        assert config.feature_dim == 116
+        explicit_only = FakeDetectorConfig(explicit_dim=100, use_latent_features=False)
+        assert explicit_only.feature_dim == 100
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        record = trained.record
+        assert len(record.total) == 25
+        assert record.total[-1] < record.total[0] * 0.7
+
+    def test_per_type_losses_recorded(self, trained):
+        assert len(trained.record.article) == len(trained.record.total)
+        assert all(v >= 0 for v in trained.record.article)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FakeDetector().predict_logits()
+
+    def test_training_is_seeded(self, small_dataset, small_split):
+        config = FakeDetectorConfig(
+            epochs=3, explicit_dim=30, vocab_size=500, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8, seed=9,
+        )
+        a = FakeDetector(config).fit(small_dataset, small_split)
+        b = FakeDetector(config).fit(small_dataset, small_split)
+        np.testing.assert_allclose(
+            a.predict_logits()["article"], b.predict_logits()["article"]
+        )
+
+    def test_early_stopping(self, small_dataset, small_split):
+        config = FakeDetectorConfig(
+            epochs=50, explicit_dim=30, vocab_size=500, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8,
+            early_stop_patience=2, learning_rate=1e-7,  # stalls immediately
+        )
+        det = FakeDetector(config).fit(small_dataset, small_split)
+        assert len(det.record.total) < 50
+
+
+class TestPrediction:
+    def test_predictions_cover_all_nodes(self, trained, small_dataset):
+        preds = trained.predict("article")
+        assert set(preds) == set(small_dataset.articles)
+        assert all(0 <= c <= 5 for c in preds.values())
+
+    def test_proba_rows_normalized(self, trained):
+        probs = trained.predict_proba("creator")
+        for vec in list(probs.values())[:10]:
+            assert vec.shape == (6,)
+            np.testing.assert_allclose(vec.sum(), 1.0)
+            assert (vec >= 0).all()
+
+    def test_argmax_consistent_with_predict(self, trained):
+        preds = trained.predict("subject")
+        probs = trained.predict_proba("subject")
+        for eid in list(preds)[:10]:
+            assert preds[eid] == int(np.argmax(probs[eid]))
+
+    def test_beats_majority_on_train_articles(self, trained, small_dataset, small_split):
+        """Fitting the training set is the minimum bar for the full model."""
+        preds = trained.predict("article")
+        train_ids = small_split.articles.train
+        y_true = [small_dataset.articles[a].label.class_index for a in train_ids]
+        y_pred = [preds[a] for a in train_ids]
+        acc = np.mean([t == p for t, p in zip(y_true, y_pred)])
+        majority = max(np.bincount(y_true)) / len(y_true)
+        assert acc > majority
+
+    def test_binary_test_accuracy_beats_chance(self, trained, small_dataset, small_split):
+        preds = trained.predict("article")
+        test_ids = small_split.articles.test
+        y_true = [small_dataset.articles[a].label.binary for a in test_ids]
+        y_pred = [int(preds[a] >= 3) for a in test_ids]
+        acc = np.mean([t == p for t, p in zip(y_true, y_pred)])
+        assert acc > 0.5

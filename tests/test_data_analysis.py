@@ -1,0 +1,189 @@
+"""Tests for the Figure 1 / Table 1 dataset analyses."""
+
+import pytest
+
+from repro.data import Article, Creator, CredibilityLabel, NewsDataset, Subject
+from repro.data.analysis import (
+    average_articles_per_creator,
+    average_subjects_per_article,
+    creator_case_study,
+    creator_publication_distribution,
+    distinctive_words,
+    frequent_words,
+    label_distribution,
+    most_prolific_creator,
+    network_properties,
+    subject_credibility_table,
+)
+
+
+@pytest.fixture()
+def toy_dataset():
+    ds = NewsDataset()
+    ds.add_creator(Creator("u1", "Alice Adams", "profile one"))
+    ds.add_creator(Creator("u2", "Bob Brown", "profile two"))
+    ds.add_subject(Subject("s1", "health", "about health"))
+    ds.add_subject(Subject("s2", "economy", "about economy"))
+    ds.add_article(
+        Article("n1", "taxes help growth economy", CredibilityLabel.TRUE, "u1", ["s1", "s2"])
+    )
+    ds.add_article(
+        Article("n2", "obamacare hoax scandal", CredibilityLabel.FALSE, "u1", ["s1"])
+    )
+    ds.add_article(
+        Article("n3", "taxes taxes percent", CredibilityLabel.MOSTLY_TRUE, "u2", ["s2"])
+    )
+    return ds
+
+
+class TestNetworkProperties:
+    def test_table1_fields(self, toy_dataset):
+        props = network_properties(toy_dataset)
+        assert props == {
+            "articles": 3,
+            "creators": 2,
+            "subjects": 2,
+            "creator_article_links": 3,
+            "article_subject_links": 4,
+        }
+
+    def test_averages(self, toy_dataset):
+        assert average_articles_per_creator(toy_dataset) == pytest.approx(1.5)
+        assert average_subjects_per_article(toy_dataset) == pytest.approx(4 / 3)
+
+    def test_averages_empty(self):
+        ds = NewsDataset()
+        assert average_articles_per_creator(ds) == 0.0
+        assert average_subjects_per_article(ds) == 0.0
+
+
+class TestPublicationDistribution:
+    def test_fractions_sum_to_one(self, toy_dataset):
+        fit = creator_publication_distribution(toy_dataset)
+        assert sum(fit.counts.values()) == pytest.approx(1.0)
+
+    def test_counts_keyed_by_articles(self, toy_dataset):
+        fit = creator_publication_distribution(toy_dataset)
+        assert fit.counts == {1: 0.5, 2: 0.5}
+
+    def test_most_prolific(self, toy_dataset):
+        assert most_prolific_creator(toy_dataset) == ("Alice Adams", 2)
+
+    def test_most_prolific_empty_raises(self):
+        with pytest.raises(ValueError):
+            most_prolific_creator(NewsDataset())
+
+    def test_single_point_fit_degenerate(self):
+        ds = NewsDataset()
+        ds.add_creator(Creator("u1", "A", "p"))
+        ds.add_subject(Subject("s1", "x", "d"))
+        ds.add_article(Article("n1", "t", 6, "u1", ["s1"]))
+        fit = creator_publication_distribution(ds)
+        assert fit.r_squared == 0.0
+        assert not fit.is_power_law_like
+
+
+class TestFrequentWords:
+    def test_partitions_by_binary_label(self, toy_dataset):
+        words = frequent_words(toy_dataset, top_k=10)
+        true_words = dict(words["true"])
+        false_words = dict(words["false"])
+        assert true_words["taxes"] == 3
+        assert "obamacare" in false_words
+        assert "obamacare" not in true_words
+
+    def test_top_k_respected(self, toy_dataset):
+        assert len(frequent_words(toy_dataset, top_k=1)["true"]) == 1
+
+    def test_distinctive_words_disjoint(self, small_dataset):
+        distinct = distinctive_words(small_dataset, top_k=8)
+        assert not (set(distinct["true"]) & set(distinct["false"]))
+
+
+class TestSubjectTable:
+    def test_ordering_and_splits(self, toy_dataset):
+        rows = subject_credibility_table(toy_dataset)
+        assert rows[0].name == "health"  # 2 articles vs 1
+        assert rows[0].true_count == 1 and rows[0].false_count == 1
+        assert rows[0].true_fraction == pytest.approx(0.5)
+
+    def test_top_k(self, toy_dataset):
+        assert len(subject_credibility_table(toy_dataset, top_k=1)) == 1
+
+    def test_health_vs_economy_bias(self):
+        """Fig 1(d): health leans false relative to economy.
+
+        Needs a few hundred health/economy articles for the planted skew to
+        dominate sampling noise, so this uses a mid-size corpus.
+        """
+        from repro.data import generate_dataset
+
+        ds = generate_dataset(scale=0.08, seed=11)
+        rows = {r.name: r for r in subject_credibility_table(ds, top_k=5)}
+        assert rows["health"].true_fraction < rows["economy"].true_fraction
+
+
+class TestCaseStudy:
+    def test_missing_creators_skipped(self, toy_dataset):
+        assert creator_case_study(toy_dataset) == []
+
+    def test_custom_names(self, toy_dataset):
+        studies = creator_case_study(toy_dataset, names=["Alice Adams"])
+        assert len(studies) == 1
+        assert studies[0].total == 2
+        # Alice wrote one True and one False article.
+        assert studies[0].true_fraction == pytest.approx(0.5)
+        assert studies[0].histogram[CredibilityLabel.TRUE] == 1
+        assert studies[0].histogram[CredibilityLabel.FALSE] == 1
+
+    def test_histogram_covers_all_labels(self, toy_dataset):
+        study = creator_case_study(toy_dataset, names=["Bob Brown"])[0]
+        assert set(study.histogram) == set(CredibilityLabel)
+
+
+class TestLabelDistribution:
+    def test_counts(self, toy_dataset):
+        dist = label_distribution(toy_dataset)
+        assert dist[CredibilityLabel.TRUE] == 1
+        assert dist[CredibilityLabel.FALSE] == 1
+        assert dist[CredibilityLabel.PANTS_ON_FIRE] == 0
+        assert sum(dist.values()) == 3
+
+
+class TestGraphStatistics:
+    def test_toy_values(self, toy_dataset):
+        from repro.data.analysis import graph_statistics
+
+        stats = graph_statistics(toy_dataset)
+        # 4 subject links + 3 authorship links over 3 articles.
+        assert stats.article_degree_mean == pytest.approx(7 / 3)
+        assert stats.creator_degree_mean == pytest.approx(1.5)
+        assert stats.creator_degree_max == 2
+        assert stats.subject_degree_max == 2
+        assert stats.bipartite_density_cs == pytest.approx(4 / 6)
+        assert stats.isolated_creators == 0
+        assert stats.isolated_subjects == 0
+
+    def test_synthetic_corpus_no_isolates(self, small_dataset):
+        from repro.data.analysis import graph_statistics
+
+        stats = graph_statistics(small_dataset)
+        assert stats.isolated_creators == 0
+        assert stats.isolated_subjects == 0
+        # Paper ratios: ~3.86 articles/creator, ~3.5+1 links/article.
+        assert stats.creator_degree_mean == pytest.approx(3.86, abs=0.2)
+        assert stats.article_degree_mean == pytest.approx(4.47, abs=0.2)
+
+    def test_isolated_entities_counted(self):
+        from repro.data import Article, Creator, NewsDataset, Subject
+        from repro.data.analysis import graph_statistics
+
+        ds = NewsDataset()
+        ds.add_creator(Creator("u1", "A", "p"))
+        ds.add_creator(Creator("u2", "B", "p"))  # no articles
+        ds.add_subject(Subject("s1", "x", "d"))
+        ds.add_subject(Subject("s2", "y", "d"))  # no articles
+        ds.add_article(Article("n1", "t", 6, "u1", ["s1"]))
+        stats = graph_statistics(ds)
+        assert stats.isolated_creators == 1
+        assert stats.isolated_subjects == 1

@@ -1,0 +1,122 @@
+"""Tests for the credibility score arithmetic of §5.1.1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Article,
+    Creator,
+    CredibilityLabel,
+    NewsDataset,
+    Subject,
+    assign_derived_labels,
+    binary_split_counts,
+    derive_entity_label,
+    label_to_score,
+    score_to_label,
+    weighted_credibility_score,
+)
+
+
+class TestScoreMapping:
+    def test_label_to_score(self):
+        assert label_to_score(CredibilityLabel.TRUE) == 6
+        assert label_to_score(CredibilityLabel.PANTS_ON_FIRE) == 1
+
+    def test_score_to_label_exact(self):
+        for label in CredibilityLabel:
+            assert score_to_label(float(int(label))) is label
+
+    def test_score_to_label_rounds(self):
+        assert score_to_label(5.4) is CredibilityLabel.MOSTLY_TRUE
+        assert score_to_label(5.6) is CredibilityLabel.TRUE
+
+    def test_half_rounds_up(self):
+        assert score_to_label(4.5) is CredibilityLabel.MOSTLY_TRUE
+
+    def test_clamping(self):
+        assert score_to_label(0.0) is CredibilityLabel.PANTS_ON_FIRE
+        assert score_to_label(99.0) is CredibilityLabel.TRUE
+
+    @given(st.floats(min_value=1.0, max_value=6.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip_within_half(self, score):
+        label = score_to_label(score)
+        assert abs(int(label) - score) <= 0.5
+
+
+class TestWeightedScore:
+    def test_empty_is_none(self):
+        assert weighted_credibility_score([]) is None
+        assert derive_entity_label([]) is None
+
+    def test_single_label(self):
+        assert weighted_credibility_score([CredibilityLabel.TRUE]) == 6.0
+
+    def test_is_the_mean(self):
+        labels = [CredibilityLabel.TRUE, CredibilityLabel.FALSE]  # 6, 2
+        assert weighted_credibility_score(labels) == 4.0
+
+    def test_weighted_by_class_fraction(self):
+        # 3x True (6) + 1x PoF (1): weighted sum = 6*0.75 + 1*0.25 = 4.75.
+        labels = [CredibilityLabel.TRUE] * 3 + [CredibilityLabel.PANTS_ON_FIRE]
+        assert weighted_credibility_score(labels) == pytest.approx(4.75)
+        assert derive_entity_label(labels) is CredibilityLabel.MOSTLY_TRUE
+
+    @given(st.lists(st.sampled_from(list(CredibilityLabel)), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_property_score_bounded(self, labels):
+        score = weighted_credibility_score(labels)
+        assert 1.0 <= score <= 6.0
+
+    @given(st.sampled_from(list(CredibilityLabel)), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_homogeneous_bag_recovers_label(self, label, n):
+        assert derive_entity_label([label] * n) is label
+
+
+class TestAssignDerivedLabels:
+    def _make(self):
+        ds = NewsDataset()
+        ds.add_creator(Creator("u1", "Ann", "p"))
+        ds.add_creator(Creator("u2", "Bob", "p"))  # no articles
+        ds.add_subject(Subject("s1", "health", "d"))
+        ds.add_article(Article("n1", "t", CredibilityLabel.TRUE, "u1", ["s1"]))
+        ds.add_article(Article("n2", "t", CredibilityLabel.FALSE, "u1", ["s1"]))
+        return ds
+
+    def test_creator_gets_mean_label(self):
+        ds = self._make()
+        assign_derived_labels(ds)
+        # (6 + 2) / 2 = 4 -> Half True.
+        assert ds.creators["u1"].label is CredibilityLabel.HALF_TRUE
+
+    def test_subject_gets_mean_label(self):
+        ds = self._make()
+        assign_derived_labels(ds)
+        assert ds.subjects["s1"].label is CredibilityLabel.HALF_TRUE
+
+    def test_articleless_creator_unlabeled(self):
+        ds = self._make()
+        assign_derived_labels(ds)
+        assert ds.creators["u2"].label is None
+
+    def test_existing_label_preserved_when_articleless(self):
+        ds = self._make()
+        ds.creators["u2"].label = CredibilityLabel.TRUE
+        assign_derived_labels(ds)
+        assert ds.creators["u2"].label is CredibilityLabel.TRUE
+
+
+class TestBinarySplitCounts:
+    def test_counts(self):
+        articles = [
+            Article("n1", "t", CredibilityLabel.TRUE, "u"),
+            Article("n2", "t", CredibilityLabel.HALF_TRUE, "u"),
+            Article("n3", "t", CredibilityLabel.PANTS_ON_FIRE, "u"),
+        ]
+        assert binary_split_counts(articles) == (2, 1)
+
+    def test_empty(self):
+        assert binary_split_counts([]) == (0, 0)

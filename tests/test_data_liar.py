@@ -1,0 +1,149 @@
+"""Tests for the LIAR TSV converter."""
+
+import pytest
+
+from repro.data import CredibilityLabel
+from repro.data.liar import LIAR_LABELS, load_liar
+
+ROW = (
+    "{rid}\t{label}\t{statement}\t{subjects}\t{speaker}\t{job}\t{state}\t{party}"
+    "\t0\t1\t2\t3\t4\tsome context"
+)
+
+
+def write_tsv(path, rows):
+    path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+
+
+@pytest.fixture()
+def liar_file(tmp_path):
+    rows = [
+        ROW.format(rid="1.json", label="true", statement="taxes fell last year",
+                   subjects="taxes,economy", speaker="jane-doe", job="senator",
+                   state="ohio", party="democrat"),
+        ROW.format(rid="2.json", label="pants-fire", statement="aliens run congress",
+                   subjects="conspiracy", speaker="max-blog", job="blogger",
+                   state="texas", party="none"),
+        ROW.format(rid="3.json", label="half-true", statement="jobs grew somewhat",
+                   subjects="economy,jobs", speaker="jane-doe", job="senator",
+                   state="ohio", party="democrat"),
+    ]
+    path = tmp_path / "train.tsv"
+    write_tsv(path, rows)
+    return path
+
+
+class TestLabelMap:
+    def test_all_six_levels(self):
+        assert set(LIAR_LABELS.values()) == set(CredibilityLabel)
+
+    def test_barely_true_maps_to_mostly_false(self):
+        # LIAR's "barely-true" is PolitiFact's "Mostly False".
+        assert LIAR_LABELS["barely-true"] is CredibilityLabel.MOSTLY_FALSE
+
+
+class TestLoad:
+    def test_counts(self, liar_file):
+        dataset, stats = load_liar(liar_file)
+        assert stats.loaded == 3
+        assert dataset.num_articles == 3
+        assert dataset.num_creators == 2   # jane-doe, max-blog
+        assert dataset.num_subjects == 4   # taxes, economy, conspiracy, jobs
+
+    def test_article_fields(self, liar_file):
+        dataset, _ = load_liar(liar_file)
+        article = dataset.articles["liar_1_json"]
+        assert article.label is CredibilityLabel.TRUE
+        assert article.text == "taxes fell last year"
+        assert article.creator_id == "u_jane_doe"
+        assert article.subject_ids == ["s_taxes", "s_economy"]
+
+    def test_creator_profile_text(self, liar_file):
+        dataset, _ = load_liar(liar_file)
+        profile = dataset.creators["u_jane_doe"].profile
+        for token in ("jane-doe", "senator", "ohio", "democrat"):
+            assert token in profile
+
+    def test_derived_labels(self, liar_file):
+        dataset, _ = load_liar(liar_file)
+        # jane-doe: True(6) + Half True(4) -> mean 5 -> Mostly True.
+        assert dataset.creators["u_jane_doe"].label is CredibilityLabel.MOSTLY_TRUE
+
+    def test_derivation_can_be_disabled(self, liar_file):
+        dataset, _ = load_liar(liar_file, derive_entity_labels=False)
+        assert dataset.creators["u_jane_doe"].label is None
+
+    def test_multiple_files_merge(self, liar_file, tmp_path):
+        other = tmp_path / "valid.tsv"
+        write_tsv(other, [
+            ROW.format(rid="9.json", label="false", statement="more claims",
+                       subjects="economy", speaker="jane-doe", job="senator",
+                       state="ohio", party="democrat"),
+        ])
+        dataset, stats = load_liar(liar_file, other)
+        assert stats.loaded == 4
+        assert dataset.num_creators == 2  # speaker deduplicated across files
+
+    def test_bad_rows_skipped(self, tmp_path):
+        path = tmp_path / "messy.tsv"
+        write_tsv(path, [
+            "too\tshort",
+            ROW.format(rid="1.json", label="not-a-label", statement="x",
+                       subjects="a", speaker="s", job="", state="", party=""),
+            ROW.format(rid="2.json", label="true", statement="fine",
+                       subjects="a", speaker="s", job="", state="", party=""),
+            ROW.format(rid="2.json", label="true", statement="duplicate id",
+                       subjects="a", speaker="s", job="", state="", party=""),
+        ])
+        dataset, stats = load_liar(path)
+        assert stats.loaded == 1
+        assert stats.skipped_short == 1
+        assert stats.skipped_label == 1
+        assert stats.skipped_duplicate == 1
+
+    def test_empty_subjects_get_uncategorized(self, tmp_path):
+        path = tmp_path / "nosubj.tsv"
+        write_tsv(path, [
+            ROW.format(rid="1.json", label="true", statement="x",
+                       subjects="", speaker="s", job="", state="", party=""),
+        ])
+        dataset, _ = load_liar(path)
+        assert "s_uncategorized" in dataset.subjects
+
+    def test_requires_paths(self):
+        with pytest.raises(ValueError):
+            load_liar()
+
+    def test_trains_end_to_end(self, tmp_path):
+        """A LIAR-shaped corpus flows through the whole pipeline."""
+        rows = []
+        labels = list(LIAR_LABELS)
+        for i in range(60):
+            rows.append(
+                ROW.format(
+                    rid=f"{i}.json", label=labels[i % 6],
+                    statement=f"statement number {i} about policy and spending",
+                    subjects=["economy", "health", "taxes"][i % 3],
+                    speaker=f"speaker-{i % 8}", job="job", state="state",
+                    party="party",
+                )
+            )
+        path = tmp_path / "big.tsv"
+        write_tsv(path, rows)
+        dataset, _ = load_liar(path)
+
+        from repro.core import FakeDetector, FakeDetectorConfig
+        from repro.graph.sampling import tri_splits
+
+        split = next(
+            tri_splits(
+                sorted(dataset.articles), sorted(dataset.creators),
+                sorted(dataset.subjects), k=3, seed=0,  # only 3 subjects
+            )
+        )
+        config = FakeDetectorConfig(
+            epochs=2, explicit_dim=15, vocab_size=200, max_seq_len=8,
+            embed_dim=4, rnn_hidden=5, latent_dim=4, gdu_hidden=6, seed=0,
+        )
+        detector = FakeDetector(config).fit(dataset, split)
+        assert detector.predict("article")

@@ -1,0 +1,104 @@
+"""Tests for JSON-lines dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    Article,
+    Creator,
+    CredibilityLabel,
+    NewsDataset,
+    Subject,
+    load_dataset,
+    save_dataset,
+)
+
+
+def test_roundtrip_small_dataset(small_dataset, tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    save_dataset(small_dataset, path)
+    loaded = load_dataset(path)
+    assert loaded.num_articles == small_dataset.num_articles
+    assert loaded.num_creators == small_dataset.num_creators
+    assert loaded.num_subjects == small_dataset.num_subjects
+    for aid, article in small_dataset.articles.items():
+        other = loaded.articles[aid]
+        assert other.text == article.text
+        assert other.label is article.label
+        assert other.creator_id == article.creator_id
+        assert other.subject_ids == article.subject_ids
+    for cid, creator in small_dataset.creators.items():
+        assert loaded.creators[cid].label is creator.label
+        assert loaded.creators[cid].profile == creator.profile
+
+
+def test_labels_stored_as_display_names(tmp_path):
+    ds = NewsDataset()
+    ds.add_creator(Creator("u1", "Ann", "p"))
+    ds.add_subject(Subject("s1", "health", "d"))
+    ds.add_article(Article("n1", "t", CredibilityLabel.PANTS_ON_FIRE, "u1", ["s1"]))
+    path = tmp_path / "c.jsonl"
+    save_dataset(ds, path)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    article_record = next(r for r in records if r["kind"] == "article")
+    assert article_record["label"] == "Pants on Fire!"
+
+
+def test_none_labels_roundtrip(tmp_path):
+    ds = NewsDataset()
+    ds.add_creator(Creator("u1", "Ann", "p"))  # label None
+    ds.add_subject(Subject("s1", "health", "d"))
+    ds.add_article(Article("n1", "t", CredibilityLabel.TRUE, "u1", ["s1"]))
+    path = tmp_path / "c.jsonl"
+    save_dataset(ds, path)
+    loaded = load_dataset(path, validate=False)
+    assert loaded.creators["u1"].label is None
+
+
+def test_invalid_json_reports_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "creator"\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        load_dataset(path)
+
+
+def test_unknown_kind_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "meme"}) + "\n")
+    with pytest.raises(ValueError, match="unknown record kind"):
+        load_dataset(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    ds = NewsDataset()
+    ds.add_creator(Creator("u1", "Ann", "p"))
+    ds.add_subject(Subject("s1", "health", "d"))
+    ds.add_article(Article("n1", "t", CredibilityLabel.TRUE, "u1", ["s1"]))
+    path = tmp_path / "c.jsonl"
+    save_dataset(ds, path)
+    path.write_text(path.read_text() + "\n\n")
+    loaded = load_dataset(path)
+    assert loaded.num_articles == 1
+
+
+def test_validation_catches_dangling_links(tmp_path):
+    path = tmp_path / "dangling.jsonl"
+    lines = [
+        json.dumps({"kind": "creator", "creator_id": "u1", "name": "A", "profile": "p", "label": None}),
+        json.dumps(
+            {
+                "kind": "article",
+                "article_id": "n1",
+                "text": "t",
+                "label": "True",
+                "creator_id": "u1",
+                "subject_ids": ["missing"],
+            }
+        ),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError):
+        load_dataset(path)
+    loaded = load_dataset(path, validate=False)
+    assert loaded.num_articles == 1

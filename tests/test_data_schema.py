@@ -1,0 +1,132 @@
+"""Tests for the dataset schema and label scale."""
+
+import pytest
+
+from repro.data import Article, Creator, CredibilityLabel, NewsDataset, Subject
+from repro.data.schema import NUM_CLASSES
+
+
+class TestCredibilityLabel:
+    def test_paper_score_mapping(self):
+        # §5.1.1: True=6, Mostly True=5, Half True=4, Mostly False=3,
+        # False=2, Pants on Fire!=1.
+        assert int(CredibilityLabel.TRUE) == 6
+        assert int(CredibilityLabel.MOSTLY_TRUE) == 5
+        assert int(CredibilityLabel.HALF_TRUE) == 4
+        assert int(CredibilityLabel.MOSTLY_FALSE) == 3
+        assert int(CredibilityLabel.FALSE) == 2
+        assert int(CredibilityLabel.PANTS_ON_FIRE) == 1
+
+    def test_num_classes(self):
+        assert NUM_CLASSES == 6
+
+    def test_binary_grouping(self):
+        # {True, Mostly True, Half True} positive; rest negative (§5.1.3).
+        positives = {
+            CredibilityLabel.TRUE,
+            CredibilityLabel.MOSTLY_TRUE,
+            CredibilityLabel.HALF_TRUE,
+        }
+        for label in CredibilityLabel:
+            assert label.is_true_class == (label in positives)
+            assert label.binary == int(label in positives)
+
+    def test_display_names(self):
+        assert CredibilityLabel.PANTS_ON_FIRE.display_name == "Pants on Fire!"
+        assert CredibilityLabel.MOSTLY_TRUE.display_name == "Mostly True"
+
+    def test_from_display_name(self):
+        for label in CredibilityLabel:
+            assert CredibilityLabel.from_display_name(label.display_name) is label
+
+    def test_from_display_name_case_insensitive(self):
+        assert CredibilityLabel.from_display_name("half true") is CredibilityLabel.HALF_TRUE
+
+    def test_from_display_name_unknown(self):
+        with pytest.raises(ValueError):
+            CredibilityLabel.from_display_name("Sorta True")
+
+    def test_class_index_roundtrip(self):
+        for label in CredibilityLabel:
+            assert CredibilityLabel.from_class_index(label.class_index) is label
+
+    def test_class_index_range(self):
+        with pytest.raises(ValueError):
+            CredibilityLabel.from_class_index(6)
+        with pytest.raises(ValueError):
+            CredibilityLabel.from_class_index(-1)
+
+
+class TestEntities:
+    def test_article_label_coercion(self):
+        article = Article("n1", "text", 6, creator_id="u1")
+        assert article.label is CredibilityLabel.TRUE
+
+    def test_creator_optional_label(self):
+        creator = Creator("u1", "Ann", "profile")
+        assert creator.label is None
+        creator2 = Creator("u2", "Bob", "profile", label=3)
+        assert creator2.label is CredibilityLabel.MOSTLY_FALSE
+
+    def test_subject_label_coercion(self):
+        subject = Subject("s1", "health", "desc", label=4)
+        assert subject.label is CredibilityLabel.HALF_TRUE
+
+
+class TestNewsDataset:
+    def _make(self):
+        ds = NewsDataset()
+        ds.add_creator(Creator("u1", "Ann", "profile"))
+        ds.add_subject(Subject("s1", "health", "desc"))
+        ds.add_subject(Subject("s2", "economy", "desc"))
+        ds.add_article(
+            Article("n1", "text", CredibilityLabel.TRUE, "u1", ["s1", "s2"])
+        )
+        ds.add_article(Article("n2", "text", CredibilityLabel.FALSE, "u1", ["s1"]))
+        return ds
+
+    def test_counts(self):
+        ds = self._make()
+        assert ds.num_articles == 2
+        assert ds.num_creators == 1
+        assert ds.num_subjects == 2
+        assert ds.num_creator_article_links == 2
+        assert ds.num_article_subject_links == 3
+
+    def test_duplicate_ids_rejected(self):
+        ds = self._make()
+        with pytest.raises(ValueError):
+            ds.add_article(Article("n1", "x", 1, "u1"))
+        with pytest.raises(ValueError):
+            ds.add_creator(Creator("u1", "x", "y"))
+        with pytest.raises(ValueError):
+            ds.add_subject(Subject("s1", "x", "y"))
+
+    def test_grouping(self):
+        ds = self._make()
+        by_creator = ds.articles_by_creator()
+        assert {a.article_id for a in by_creator["u1"]} == {"n1", "n2"}
+        by_subject = ds.articles_by_subject()
+        assert len(by_subject["s1"]) == 2
+        assert len(by_subject["s2"]) == 1
+
+    def test_validate_ok(self):
+        self._make().validate()
+
+    def test_validate_dangling_creator(self):
+        ds = self._make()
+        ds.articles["n1"].creator_id = "ghost"
+        with pytest.raises(ValueError, match="unknown creator"):
+            ds.validate()
+
+    def test_validate_dangling_subject(self):
+        ds = self._make()
+        ds.articles["n1"].subject_ids.append("ghost")
+        with pytest.raises(ValueError, match="unknown subject"):
+            ds.validate()
+
+    def test_validate_duplicate_subject_link(self):
+        ds = self._make()
+        ds.articles["n1"].subject_ids.append("s1")
+        with pytest.raises(ValueError, match="twice"):
+            ds.validate()

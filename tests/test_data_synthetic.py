@@ -1,0 +1,235 @@
+"""Tests for the calibrated synthetic PolitiFact generator.
+
+These check every statistic the generator claims to reproduce from the
+paper's Section 3 (see DESIGN.md §2 for the substitution rationale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CASE_STUDY_CREATORS,
+    PAPER_NUM_ARTICLE_SUBJECT_LINKS,
+    PAPER_NUM_ARTICLES,
+    PAPER_NUM_CREATORS,
+    GeneratorConfig,
+    PolitiFactGenerator,
+    generate_dataset,
+)
+from repro.data.analysis import (
+    average_articles_per_creator,
+    average_subjects_per_article,
+    creator_case_study,
+    creator_publication_distribution,
+    most_prolific_creator,
+)
+
+
+class TestConfig:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0)
+
+    def test_resolved_counts_at_full_scale(self):
+        n_articles, n_creators, n_subjects, links = GeneratorConfig(scale=1.0).resolved_counts()
+        assert n_articles == PAPER_NUM_ARTICLES
+        assert n_creators == PAPER_NUM_CREATORS
+        assert n_subjects == 152
+        assert links == PAPER_NUM_ARTICLE_SUBJECT_LINKS
+
+    def test_explicit_overrides_win(self):
+        config = GeneratorConfig(scale=1.0, num_articles=100, num_creators=10, num_subjects=12)
+        n_articles, n_creators, n_subjects, _ = config.resolved_counts()
+        assert (n_articles, n_creators, n_subjects) == (100, 10, 12)
+
+    def test_creators_capped_by_articles(self):
+        config = GeneratorConfig(num_articles=5, num_creators=50, num_subjects=10)
+        _, n_creators, _, _ = config.resolved_counts()
+        assert n_creators <= 5
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(creator_weight=-1)
+
+
+class TestTable1Counts:
+    """Table 1 of the paper, scaled."""
+
+    def test_exact_scaled_counts(self, small_dataset):
+        config = GeneratorConfig(scale=0.02, seed=11)
+        n_articles, n_creators, n_subjects, links = config.resolved_counts()
+        assert small_dataset.num_articles == n_articles
+        assert small_dataset.num_creators == n_creators
+        assert small_dataset.num_subjects == n_subjects
+        assert small_dataset.num_article_subject_links == links
+
+    def test_one_creator_per_article(self, small_dataset):
+        assert small_dataset.num_creator_article_links == small_dataset.num_articles
+
+    def test_averages_match_paper(self, small_dataset):
+        # §3.1: 3.86 articles/creator, ~3.5 subjects/article.
+        assert average_articles_per_creator(small_dataset) == pytest.approx(3.86, abs=0.15)
+        assert average_subjects_per_article(small_dataset) == pytest.approx(3.47, abs=0.15)
+
+    def test_referential_integrity(self, small_dataset):
+        small_dataset.validate()
+
+    def test_every_subject_has_articles(self, small_dataset):
+        for subject_id, articles in small_dataset.articles_by_subject().items():
+            assert articles, f"subject {subject_id} has no articles"
+
+    def test_every_creator_has_articles(self, small_dataset):
+        for creator_id, articles in small_dataset.articles_by_creator().items():
+            assert articles, f"creator {creator_id} has no articles"
+
+
+class TestFigure1a:
+    def test_power_law_shape(self):
+        # Log-log linearity needs a few hundred creators to be detectable;
+        # use a mid-size corpus rather than the tiny session fixture.
+        ds = generate_dataset(scale=0.05, seed=11)
+        fit = creator_publication_distribution(ds)
+        assert fit.is_power_law_like, (
+            f"exponent={fit.exponent:.2f}, r2={fit.r_squared:.2f}"
+        )
+
+    def test_fraction_decreases_with_count(self, small_dataset):
+        """Even at tiny scale, few-article creators dominate many-article ones."""
+        fit = creator_publication_distribution(small_dataset)
+        counts = fit.counts
+        low = sum(frac for k, frac in counts.items() if k <= 3)
+        high = sum(frac for k, frac in counts.items() if k > 3)
+        assert low > high
+
+    def test_most_creators_publish_few(self, small_dataset):
+        by_creator = small_dataset.articles_by_creator()
+        few = sum(1 for arts in by_creator.values() if len(arts) < 10)
+        assert few / len(by_creator) > 0.7
+
+    def test_obama_most_prolific(self, small_dataset):
+        name, _ = most_prolific_creator(small_dataset)
+        assert name == "Barack Obama"
+
+
+class TestFigure1ef:
+    def test_case_study_creators_present(self, small_dataset):
+        studies = {s.name: s for s in creator_case_study(small_dataset)}
+        assert set(studies) == set(CASE_STUDY_CREATORS)
+
+    def test_trump_mostly_false(self, small_dataset):
+        studies = {s.name: s for s in creator_case_study(small_dataset)}
+        # Paper: ~69% of Trump statements rated false.
+        assert studies["Donald Trump"].true_fraction == pytest.approx(0.31, abs=0.08)
+
+    def test_obama_mostly_true(self, small_dataset):
+        studies = {s.name: s for s in creator_case_study(small_dataset)}
+        assert studies["Barack Obama"].true_fraction == pytest.approx(0.75, abs=0.08)
+
+    def test_clinton_mostly_true(self, small_dataset):
+        studies = {s.name: s for s in creator_case_study(small_dataset)}
+        assert studies["Hillary Clinton"].true_fraction == pytest.approx(0.73, abs=0.10)
+
+    def test_exact_histograms_at_full_counts(self):
+        """With scale=1 article counts the case-study histograms are exact."""
+        config = GeneratorConfig(
+            num_articles=3000, num_creators=100, num_subjects=20, seed=5
+        )
+        ds = PolitiFactGenerator(config).generate()
+        studies = {s.name: s for s in creator_case_study(ds)}
+        scale = 3000 / PAPER_NUM_ARTICLES
+        for name, paper_hist in CASE_STUDY_CREATORS.items():
+            expected_total = sum(max(0, round(c * scale)) for c in paper_hist)
+            assert studies[name].total == max(1, expected_total)
+
+    def test_case_studies_can_be_disabled(self):
+        config = GeneratorConfig(
+            num_articles=80, num_creators=15, num_subjects=10, seed=1,
+            include_case_studies=False,
+        )
+        ds = PolitiFactGenerator(config).generate()
+        names = {c.name for c in ds.creators.values()}
+        assert not (names & set(CASE_STUDY_CREATORS))
+
+
+class TestSignals:
+    def test_labels_cover_both_binary_groups(self, small_dataset):
+        binaries = {a.label.binary for a in small_dataset.articles.values()}
+        assert binaries == {0, 1}
+
+    def test_labels_cover_most_classes(self, small_dataset):
+        classes = {a.label for a in small_dataset.articles.values()}
+        assert len(classes) >= 5
+
+    def test_text_signal_exists(self, small_dataset):
+        """True articles use true-leaning words more often than false ones."""
+        from repro.data.wordpools import TRUE_LEANING_WORDS
+
+        true_pool = set(TRUE_LEANING_WORDS)
+
+        def pool_rate(articles):
+            hits = total = 0
+            for a in articles:
+                tokens = a.text.split()
+                hits += sum(1 for t in tokens if t in true_pool)
+                total += len(tokens)
+            return hits / total
+
+        arts = list(small_dataset.articles.values())
+        rate_true = pool_rate([a for a in arts if a.label.is_true_class])
+        rate_false = pool_rate([a for a in arts if not a.label.is_true_class])
+        assert rate_true > rate_false * 1.15
+
+    def test_zero_signal_strength_removes_text_signal(self):
+        config = GeneratorConfig(
+            num_articles=400, num_creators=60, num_subjects=12, seed=2,
+            text_signal_strength=0.0, include_case_studies=False,
+        )
+        ds = PolitiFactGenerator(config).generate()
+        from repro.data.wordpools import TRUE_LEANING_WORDS
+
+        true_pool = set(TRUE_LEANING_WORDS)
+
+        def pool_rate(articles):
+            hits = total = 0
+            for a in articles:
+                tokens = a.text.split()
+                hits += sum(1 for t in tokens if t in true_pool)
+                total += len(tokens)
+            return hits / max(1, total)
+
+        arts = list(ds.articles.values())
+        rate_true = pool_rate([a for a in arts if a.label.is_true_class])
+        rate_false = pool_rate([a for a in arts if not a.label.is_true_class])
+        assert abs(rate_true - rate_false) < 0.05
+
+    def test_creator_homophily(self, small_dataset):
+        """Articles of one creator should share labels more than random pairs."""
+        by_creator = small_dataset.articles_by_creator()
+        same = []
+        for articles in by_creator.values():
+            if len(articles) >= 2:
+                binaries = [a.label.binary for a in articles]
+                mean = np.mean(binaries)
+                same.append(mean * mean + (1 - mean) * (1 - mean))
+        overall = np.mean([a.label.binary for a in small_dataset.articles.values()])
+        baseline = overall ** 2 + (1 - overall) ** 2
+        assert np.mean(same) > baseline + 0.05
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = generate_dataset(scale=0.01, seed=42)
+        b = generate_dataset(scale=0.01, seed=42)
+        assert [x.text for x in a.articles.values()] == [
+            x.text for x in b.articles.values()
+        ]
+        assert [x.label for x in a.articles.values()] == [
+            x.label for x in b.articles.values()
+        ]
+
+    def test_different_seed_different_corpus(self):
+        a = generate_dataset(scale=0.01, seed=1)
+        b = generate_dataset(scale=0.01, seed=2)
+        assert [x.text for x in a.articles.values()] != [
+            x.text for x in b.articles.values()
+        ]

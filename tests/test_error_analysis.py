@@ -1,0 +1,132 @@
+"""Tests for the error-analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.data import Article, Creator, CredibilityLabel, NewsDataset, Subject
+from repro.experiments import (
+    error_report,
+    errors_by_creator,
+    errors_by_subject,
+    hardest_articles,
+    render_confusion,
+)
+
+
+@pytest.fixture()
+def toy():
+    ds = NewsDataset()
+    ds.add_creator(Creator("u1", "Reliable Rita", "p"))
+    ds.add_creator(Creator("u2", "Fibbing Fred", "p"))
+    ds.add_subject(Subject("s1", "health", "d"))
+    ds.add_subject(Subject("s2", "economy", "d"))
+    specs = [
+        ("n1", CredibilityLabel.TRUE, "u1", ["s1"]),
+        ("n2", CredibilityLabel.MOSTLY_TRUE, "u1", ["s2"]),
+        ("n3", CredibilityLabel.FALSE, "u2", ["s1"]),
+        ("n4", CredibilityLabel.PANTS_ON_FIRE, "u2", ["s1", "s2"]),
+    ]
+    for aid, label, cid, sids in specs:
+        ds.add_article(Article(aid, f"text of {aid}", label, cid, sids))
+    # Predictions: n1, n2 correct group; n3, n4 predicted credible (wrong).
+    predictions = {"n1": 5, "n2": 4, "n3": 4, "n4": 5}
+    probabilities = {
+        "n1": _one_hot(5, 0.9),
+        "n2": _one_hot(4, 0.6),
+        "n3": _one_hot(4, 0.95),
+        "n4": _one_hot(5, 0.7),
+    }
+    return ds, predictions, probabilities
+
+
+def _one_hot(index, confidence):
+    probs = np.full(6, (1 - confidence) / 5)
+    probs[index] = confidence
+    return probs
+
+
+class TestConfusion:
+    def test_labels_rendered(self):
+        out = render_confusion([0, 5], [0, 5])
+        assert "Pants on Fire!" in out
+        assert "rows = truth" in out
+
+    def test_diagonal_counts(self):
+        out = render_confusion([0, 0, 1], [0, 0, 1], num_classes=2)
+        assert "2" in out and "1" in out
+
+
+class TestHardestArticles:
+    def test_correct_predictions_excluded(self, toy):
+        ds, _, probs = toy
+        hard = hardest_articles(ds, probs, ["n1", "n2", "n3", "n4"])
+        ids = {e.article_id for e in hard}
+        # n1 prediction 5 != truth 5? truth TRUE = class 5 -> correct, excluded.
+        assert "n1" not in ids
+
+    def test_sorted_by_confidence(self, toy):
+        ds, _, probs = toy
+        hard = hardest_articles(ds, probs, ["n1", "n2", "n3", "n4"])
+        confidences = [e.confidence for e in hard]
+        assert confidences == sorted(confidences, reverse=True)
+        assert hard[0].article_id == "n3"  # 0.95 confident, wrong
+
+    def test_top_k(self, toy):
+        ds, _, probs = toy
+        assert len(hardest_articles(ds, probs, ["n1", "n2", "n3", "n4"], top_k=1)) == 1
+
+    def test_str_mentions_labels(self, toy):
+        ds, _, probs = toy
+        hard = hardest_articles(ds, probs, ["n3"])
+        assert "Half True" in str(hard[0]) or "Mostly True" in str(hard[0])
+
+
+class TestGroupErrors:
+    def test_creator_error_rates(self, toy):
+        ds, preds, _ = toy
+        rows = errors_by_creator(ds, preds, ["n1", "n2", "n3", "n4"], min_articles=1)
+        by_name = {r.name: r for r in rows}
+        assert by_name["Fibbing Fred"].error_rate == 1.0  # both misclassified
+        assert by_name["Reliable Rita"].error_rate == 0.0
+
+    def test_worst_first(self, toy):
+        ds, preds, _ = toy
+        rows = errors_by_creator(ds, preds, ["n1", "n2", "n3", "n4"], min_articles=1)
+        assert rows[0].name == "Fibbing Fred"
+
+    def test_subject_grouping_counts_multi_membership(self, toy):
+        ds, preds, _ = toy
+        rows = errors_by_subject(ds, preds, ["n1", "n2", "n3", "n4"], min_articles=1)
+        by_name = {r.name: r for r in rows}
+        assert by_name["health"].total == 3   # n1, n3, n4
+        assert by_name["economy"].total == 2  # n2, n4
+
+    def test_min_articles_filters(self, toy):
+        ds, preds, _ = toy
+        rows = errors_by_creator(ds, preds, ["n1"], min_articles=2)
+        assert rows == []
+
+
+class TestFullReport:
+    def test_sections_present(self, toy):
+        ds, preds, probs = toy
+        report = error_report(ds, preds, probs, ["n1", "n2", "n3", "n4"])
+        for marker in ("Confusion matrix", "confidently wrong", "Worst creators",
+                       "Worst subjects", "Fibbing Fred"):
+            assert marker in report
+
+    def test_on_trained_model(self, small_dataset, small_split):
+        from repro.core import FakeDetector, FakeDetectorConfig
+
+        config = FakeDetectorConfig(
+            epochs=8, explicit_dim=30, vocab_size=600, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8, seed=0,
+        )
+        det = FakeDetector(config).fit(small_dataset, small_split)
+        report = error_report(
+            small_dataset,
+            det.predict("article"),
+            det.predict_proba("article"),
+            small_split.articles.test,
+        )
+        assert "Confusion matrix" in report

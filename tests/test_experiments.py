@@ -1,0 +1,184 @@
+"""Tests for the experiment harness, registry and figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MajorityBaseline
+from repro.experiments import (
+    PAPER_THETAS,
+    check_paper_claims,
+    default_methods,
+    evaluate_predictions,
+    figure1,
+    figure4,
+    figure5,
+    render_claims,
+    run_sweep,
+    table1,
+)
+from repro.experiments.harness import SweepResult
+
+
+class TestRegistry:
+    def test_all_six_methods(self):
+        methods = default_methods()
+        assert set(methods) == {"FakeDetector", "lp", "deepwalk", "line", "svm", "rnn"}
+
+    def test_factories_produce_fresh_models(self):
+        methods = default_methods()
+        a = methods["svm"](0)
+        b = methods["svm"](0)
+        assert a is not b
+
+    def test_only_filter(self):
+        methods = default_methods(only=["svm", "lp"])
+        assert set(methods) == {"svm", "lp"}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            default_methods(only=["bert"])
+
+    def test_paper_thetas(self):
+        assert PAPER_THETAS == (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class TestEvaluatePredictions:
+    def test_perfect_predictions(self, tiny_dataset, tiny_split):
+        predictions = {
+            "article": {
+                a: tiny_dataset.articles[a].label.class_index
+                for a in tiny_dataset.articles
+            },
+            "creator": {
+                c: (tiny_dataset.creators[c].label.class_index
+                    if tiny_dataset.creators[c].label else 0)
+                for c in tiny_dataset.creators
+            },
+            "subject": {
+                s: (tiny_dataset.subjects[s].label.class_index
+                    if tiny_dataset.subjects[s].label else 0)
+                for s in tiny_dataset.subjects
+            },
+        }
+        results = evaluate_predictions(tiny_dataset, tiny_split, predictions)
+        assert results["article"].binary.accuracy == 1.0
+        assert results["article"].multi.accuracy == 1.0
+
+    def test_binary_grouping_rule(self, tiny_dataset, tiny_split):
+        """Predicting Half True (index 3) for everything is binary-positive."""
+        predictions = {
+            kind: {eid: 3 for eid in store}
+            for kind, store in (
+                ("article", tiny_dataset.articles),
+                ("creator", tiny_dataset.creators),
+                ("subject", tiny_dataset.subjects),
+            )
+        }
+        results = evaluate_predictions(tiny_dataset, tiny_split, predictions)
+        assert results["article"].binary.recall == 1.0  # everything positive
+
+    def test_counts_test_nodes_only(self, tiny_dataset, tiny_split):
+        predictions = {
+            kind: {eid: 0 for eid in store}
+            for kind, store in (
+                ("article", tiny_dataset.articles),
+                ("creator", tiny_dataset.creators),
+                ("subject", tiny_dataset.subjects),
+            )
+        }
+        results = evaluate_predictions(tiny_dataset, tiny_split, predictions)
+        assert results["article"].num_test == len(tiny_split.articles.test)
+
+
+@pytest.fixture(scope="module")
+def mini_sweep(request):
+    """A real (tiny) sweep using two cheap methods."""
+    dataset = request.getfixturevalue("tiny_dataset")
+    methods = {
+        "FakeDetector": default_methods(fast=True)["FakeDetector"],
+        "lp": lambda seed: MajorityBaseline(),  # stand-in: cheap, deterministic
+    }
+    # Shrink FakeDetector further for test speed.
+    from repro.baselines import FakeDetectorMethod
+    from repro.core import FakeDetectorConfig
+
+    methods["FakeDetector"] = lambda seed: FakeDetectorMethod(
+        FakeDetectorConfig(
+            epochs=5, explicit_dim=20, vocab_size=300, max_seq_len=8,
+            embed_dim=4, rnn_hidden=6, latent_dim=4, gdu_hidden=8, seed=seed,
+        )
+    )
+    return run_sweep(dataset, methods, thetas=(0.5, 1.0), folds=2, k=5, seed=0)
+
+
+class TestRunSweep:
+    def test_structure(self, mini_sweep):
+        assert mini_sweep.methods == ["FakeDetector", "lp"]
+        assert mini_sweep.thetas == [0.5, 1.0]
+        assert mini_sweep.folds == 2
+
+    def test_cells_populated(self, mini_sweep):
+        for method in mini_sweep.methods:
+            for theta in mini_sweep.thetas:
+                cells = mini_sweep.cells[method]["article"][theta]
+                assert len(cells) == 2  # one per fold
+
+    def test_series_length(self, mini_sweep):
+        series = mini_sweep.series("FakeDetector", "article", "accuracy", "binary")
+        assert len(series) == 2
+        assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_mean_metric_consistent_with_series(self, mini_sweep):
+        series = mini_sweep.series("lp", "article", "f1", "binary")
+        assert mini_sweep.mean_metric("lp", "article", "f1", "binary") == pytest.approx(
+            float(np.mean(series))
+        )
+
+    def test_best_method_returns_member(self, mini_sweep):
+        assert mini_sweep.best_method("article", "accuracy") in mini_sweep.methods
+
+    def test_train_seconds_recorded(self, mini_sweep):
+        cell = mini_sweep.cells["FakeDetector"]["article"][0.5][0]
+        assert cell.train_seconds > 0
+
+
+class TestRenderers:
+    def test_figure4_contains_all_panels(self, mini_sweep):
+        text = figure4(mini_sweep)
+        for letter, label in zip("abcdefghijkl", range(12)):
+            assert f"Figure 4({letter})" in text
+        assert "FakeDetector" in text
+        assert "θ=0.5" in text
+
+    def test_figure5_macro_metrics(self, mini_sweep):
+        text = figure5(mini_sweep)
+        assert "Macro F1" in text
+        assert "Multi-Class" in text
+
+    def test_table1(self, tiny_dataset):
+        text = table1(tiny_dataset)
+        assert "articles" in text
+        assert str(tiny_dataset.num_articles) in text
+        assert str(tiny_dataset.num_article_subject_links) in text
+
+    def test_figure1_sections(self, small_dataset):
+        text = figure1(small_dataset)
+        for marker in (
+            "Figure 1(a)", "Figure 1(b)", "Figure 1(c)", "Figure 1(d)",
+            "Figure 1(e)/(f)", "Barack Obama",
+        ):
+            assert marker in text
+
+    def test_claims_structure(self, mini_sweep):
+        checks = check_paper_claims(mini_sweep)
+        assert len(checks) >= 10
+        rendered = render_claims(checks)
+        assert "PASS" in rendered or "MISS" in rendered
+
+    def test_claims_without_fakedetector(self, mini_sweep):
+        crippled = SweepResult(
+            methods=["lp"], thetas=mini_sweep.thetas, folds=1,
+            cells={"lp": mini_sweep.cells["lp"]},
+        )
+        checks = check_paper_claims(crippled)
+        assert len(checks) == 1 and not checks[0].passed

@@ -1,0 +1,106 @@
+"""Tests for sweep persistence (JSON) and CSV export, plus the report."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.baselines import MajorityBaseline
+from repro.experiments import load_sweep, run_sweep, save_sweep, sweep_to_csv
+from repro.metrics import classification_report
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    dataset = request.getfixturevalue("tiny_dataset")
+    methods = {"majority": lambda seed: MajorityBaseline()}
+    return run_sweep(dataset, methods, thetas=(0.5, 1.0), folds=2, k=5, seed=0)
+
+
+class TestSweepRoundTrip:
+    def test_json_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.methods == sweep.methods
+        assert loaded.thetas == sweep.thetas
+        assert loaded.folds == sweep.folds
+        for kind in ("article", "creator", "subject"):
+            for metric in ("accuracy", "f1"):
+                np.testing.assert_allclose(
+                    loaded.series("majority", kind, metric, "binary"),
+                    sweep.series("majority", kind, metric, "binary"),
+                )
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99}')
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_loaded_result_renders(self, sweep, tmp_path):
+        from repro.experiments import figure4
+
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        rendered = figure4(load_sweep(path))
+        assert "Figure 4(a)" in rendered
+
+
+class TestCsvExport:
+    def test_row_count_and_columns(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        rows = sweep_to_csv(sweep, path)
+        with path.open() as fh:
+            records = list(csv.DictReader(fh))
+        assert len(records) == rows
+        # methods(1) x kinds(3) x thetas(2) x folds(2) x problems(2) x metrics(4)
+        assert rows == 1 * 3 * 2 * 2 * 2 * 4
+        assert set(records[0]) == {
+            "method", "kind", "theta", "fold", "problem", "metric", "value",
+        }
+
+    def test_values_match_cells(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sweep, path)
+        with path.open() as fh:
+            records = list(csv.DictReader(fh))
+        sample = next(
+            r for r in records
+            if r["kind"] == "article" and r["problem"] == "binary"
+            and r["metric"] == "accuracy" and r["fold"] == "0"
+            and float(r["theta"]) == 0.5
+        )
+        cell = sweep.cells["majority"]["article"][0.5][0]
+        assert float(sample["value"]) == pytest.approx(cell.binary.accuracy)
+
+
+class TestClassificationReport:
+    def test_six_class_names_default(self):
+        y = [0, 1, 2, 3, 4, 5]
+        report = classification_report(y, y, num_classes=6)
+        assert "Pants on Fire!" in report
+        assert "Mostly True" in report
+        assert "accuracy" in report
+
+    def test_perfect_prediction_scores(self):
+        y = [0, 1, 0, 1]
+        report = classification_report(y, y)
+        assert "1.000" in report
+
+    def test_custom_names(self):
+        report = classification_report([0, 1], [0, 1], class_names=["fake", "real"])
+        assert "fake" in report and "real" in report
+
+    def test_name_length_validation(self):
+        with pytest.raises(ValueError):
+            classification_report([0, 1], [0, 1], class_names=["only-one"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_report([], [])
+
+    def test_support_column(self):
+        report = classification_report([0, 0, 1], [0, 0, 1])
+        lines = report.splitlines()
+        assert any(line.strip().endswith("2") for line in lines)  # support of class 0

@@ -1,0 +1,48 @@
+"""Tests for the method registries and timing renderer."""
+
+import pytest
+
+from repro.baselines import GCNBaseline, Node2VecBaseline
+from repro.experiments import (
+    PAPER_METHOD_ORDER,
+    default_methods,
+    extended_methods,
+    render_timings,
+)
+
+
+class TestRegistries:
+    def test_paper_order_matches_default_methods(self):
+        assert set(PAPER_METHOD_ORDER) == set(default_methods())
+
+    def test_extended_superset(self):
+        extended = extended_methods()
+        assert set(default_methods()) < set(extended)
+        assert isinstance(extended["node2vec"](0), Node2VecBaseline)
+        assert isinstance(extended["gcn"](0), GCNBaseline)
+
+    def test_slow_variants_exist(self):
+        for registry in (default_methods(fast=False), extended_methods(fast=False)):
+            assert "FakeDetector" in registry
+
+    def test_factories_respect_seed(self):
+        factory = default_methods()["deepwalk"]
+        assert factory(7).seed == 7
+
+
+class TestRenderTimings:
+    def test_lists_every_method(self, tiny_dataset):
+        from repro.baselines import MajorityBaseline
+        from repro.experiments import run_sweep
+
+        result = run_sweep(
+            tiny_dataset,
+            {"majority": lambda seed: MajorityBaseline()},
+            thetas=(1.0,),
+            folds=1,
+            k=5,
+            seed=0,
+        )
+        rendered = render_timings(result)
+        assert "majority" in rendered
+        assert "s" in rendered

@@ -1,0 +1,67 @@
+"""Tests for the one-call reproduction report."""
+
+import pytest
+
+from repro.baselines import MajorityBaseline
+from repro.experiments import generate_full_report, load_sweep, run_sweep
+
+
+@pytest.fixture(scope="module")
+def mini_sweep(request):
+    dataset = request.getfixturevalue("tiny_dataset")
+    return run_sweep(
+        dataset,
+        {"majority": lambda seed: MajorityBaseline()},
+        thetas=(1.0,),
+        folds=1,
+        k=5,
+        seed=0,
+    )
+
+
+class TestGenerateFullReport:
+    def test_writes_every_artifact(self, tiny_dataset, mini_sweep, tmp_path):
+        paths = generate_full_report(
+            tiny_dataset, tmp_path / "report", sweep=mini_sweep
+        )
+        for attr in (
+            "table1", "figure1", "figure4", "figure5", "claims",
+            "sweep_json", "sweep_csv", "summary",
+        ):
+            path = getattr(paths, attr)
+            assert path.exists(), attr
+            assert path.stat().st_size > 0, attr
+
+    def test_summary_contents(self, tiny_dataset, mini_sweep, tmp_path):
+        paths = generate_full_report(
+            tiny_dataset, tmp_path / "report", sweep=mini_sweep
+        )
+        summary = paths.summary.read_text()
+        assert "claims passed" in summary
+        assert str(tiny_dataset.num_articles) in summary
+
+    def test_archived_sweep_reloads(self, tiny_dataset, mini_sweep, tmp_path):
+        paths = generate_full_report(
+            tiny_dataset, tmp_path / "report", sweep=mini_sweep
+        )
+        loaded = load_sweep(paths.sweep_json)
+        assert loaded.methods == mini_sweep.methods
+
+    def test_creates_directory(self, tiny_dataset, mini_sweep, tmp_path):
+        target = tmp_path / "deep" / "nested" / "dir"
+        generate_full_report(tiny_dataset, target, sweep=mini_sweep)
+        assert target.is_dir()
+
+
+class TestReportCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report"
+        code = main([
+            "report", str(out), "--scale", "0.01", "--seed", "3",
+            "--thetas", "1.0",
+        ])
+        assert code == 0
+        assert (out / "SUMMARY.txt").exists()
+        assert "artifacts written" in capsys.readouterr().out

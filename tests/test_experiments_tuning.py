@@ -1,0 +1,89 @@
+"""Tests for the hyperparameter grid search."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import FakeDetectorConfig
+from repro.experiments.tuning import TrialResult, best_config, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_single_axis(self):
+        combos = expand_grid({"gdu_hidden": [8, 16]})
+        assert combos == [{"gdu_hidden": 8}, {"gdu_hidden": 16}]
+
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": [10, 20, 30]})
+        assert len(combos) == 6
+        assert {"a": 2, "b": 30} in combos
+
+    def test_deterministic_key_order(self):
+        a = expand_grid({"b": [1], "a": [2]})
+        b = expand_grid({"a": [2], "b": [1]})
+        assert a == b
+
+
+class TestTrialResult:
+    def test_aggregates(self):
+        trial = TrialResult(overrides={"x": 1}, scores=[0.5, 0.7], seconds=1.0)
+        assert trial.mean_score == pytest.approx(0.6)
+        assert trial.std_score == pytest.approx(0.1)
+        assert "x=1" in str(trial)
+
+
+class TestBestConfig:
+    def test_applies_winner(self):
+        trials = [
+            TrialResult({"gdu_hidden": 8}, [0.5], 1.0),
+            TrialResult({"gdu_hidden": 16}, [0.8], 1.0),
+        ]
+        config = best_config(trials)
+        assert config.gdu_hidden == 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_config([])
+
+
+class TestGridSearch:
+    def test_runs_and_ranks(self, tiny_dataset, tiny_split):
+        base = FakeDetectorConfig(
+            epochs=3, explicit_dim=20, vocab_size=300, max_seq_len=8,
+            embed_dim=4, rnn_hidden=6, latent_dim=4, gdu_hidden=8, seed=0,
+        )
+        trials = grid_search(
+            tiny_dataset, tiny_split,
+            grid={"diffusion_iterations": [1, 2]},
+            base_config=base, inner_folds=2, seed=0,
+        )
+        assert len(trials) == 2
+        assert trials[0].mean_score >= trials[1].mean_score
+        for trial in trials:
+            assert len(trial.scores) == 2
+            assert all(0 <= s <= 1 for s in trial.scores)
+            assert trial.seconds > 0
+
+    def test_test_fold_untouched(self, tiny_dataset, tiny_split):
+        """Inner CV only re-cuts the outer training articles."""
+        base = FakeDetectorConfig(
+            epochs=2, explicit_dim=20, vocab_size=300, max_seq_len=8,
+            embed_dim=4, rnn_hidden=6, latent_dim=4, gdu_hidden=8, seed=0,
+        )
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        from repro.graph.sampling import k_fold_splits
+
+        inner = k_fold_splits(tiny_split.articles.train, 2, rng)
+        outer_test = set(tiny_split.articles.test)
+        for s in inner:
+            assert not (set(s.train) & outer_test)
+            assert not (set(s.test) & outer_test)
+
+    def test_inner_folds_validation(self, tiny_dataset, tiny_split):
+        with pytest.raises(ValueError):
+            grid_search(tiny_dataset, tiny_split, grid={}, inner_folds=1)

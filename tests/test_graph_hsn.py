@@ -1,0 +1,117 @@
+"""Tests for the heterogeneous network structure."""
+
+import pytest
+
+from repro.graph import EdgeType, HeterogeneousNetwork, NodeType
+
+
+@pytest.fixture()
+def toy_network():
+    net = HeterogeneousNetwork()
+    net.add_node(NodeType.CREATOR, "u1")
+    net.add_node(NodeType.ARTICLE, "n1")
+    net.add_node(NodeType.ARTICLE, "n2")
+    net.add_node(NodeType.SUBJECT, "s1")
+    net.add_edge(EdgeType.AUTHORSHIP, (NodeType.ARTICLE, "n1"), (NodeType.CREATOR, "u1"))
+    net.add_edge(EdgeType.AUTHORSHIP, (NodeType.ARTICLE, "n2"), (NodeType.CREATOR, "u1"))
+    net.add_edge(
+        EdgeType.SUBJECT_INDICATION, (NodeType.ARTICLE, "n1"), (NodeType.SUBJECT, "s1")
+    )
+    net.add_edge(
+        EdgeType.SUBJECT_INDICATION, (NodeType.ARTICLE, "n2"), (NodeType.SUBJECT, "s1")
+    )
+    return net
+
+
+class TestConstruction:
+    def test_node_counts(self, toy_network):
+        assert toy_network.num_nodes() == 4
+        assert toy_network.num_nodes(NodeType.ARTICLE) == 2
+
+    def test_edge_counts(self, toy_network):
+        assert toy_network.num_edges() == 4
+        assert toy_network.num_edges(EdgeType.AUTHORSHIP) == 2
+
+    def test_unknown_endpoint_rejected(self, toy_network):
+        with pytest.raises(KeyError):
+            toy_network.add_edge(
+                EdgeType.AUTHORSHIP, (NodeType.ARTICLE, "ghost"), (NodeType.CREATOR, "u1")
+            )
+
+    def test_wrong_endpoint_types_rejected(self, toy_network):
+        with pytest.raises(ValueError):
+            toy_network.add_edge(
+                EdgeType.AUTHORSHIP, (NodeType.SUBJECT, "s1"), (NodeType.CREATOR, "u1")
+            )
+
+
+class TestQueries:
+    def test_neighbors_by_edge_type(self, toy_network):
+        article = (NodeType.ARTICLE, "n1")
+        authors = toy_network.neighbors(article, EdgeType.AUTHORSHIP)
+        assert authors == [(NodeType.CREATOR, "u1")]
+        all_neighbors = toy_network.neighbors(article)
+        assert len(all_neighbors) == 2
+
+    def test_degree(self, toy_network):
+        assert toy_network.degree((NodeType.CREATOR, "u1")) == 2
+        assert toy_network.degree((NodeType.SUBJECT, "s1")) == 2
+
+    def test_neighbors_of_unknown_node_empty(self, toy_network):
+        assert toy_network.neighbors((NodeType.ARTICLE, "ghost")) == []
+
+    def test_convenience_accessors(self, toy_network):
+        assert toy_network.article_creator("n1") == "u1"
+        assert toy_network.article_subjects("n1") == ["s1"]
+        assert sorted(toy_network.creator_articles("u1")) == ["n1", "n2"]
+        assert sorted(toy_network.subject_articles("s1")) == ["n1", "n2"]
+
+    def test_nodes_sorted(self, toy_network):
+        articles = toy_network.nodes(NodeType.ARTICLE)
+        assert articles == [(NodeType.ARTICLE, "n1"), (NodeType.ARTICLE, "n2")]
+
+    def test_edges_listed_once(self, toy_network):
+        assert len(toy_network.edges()) == 4
+        assert len(toy_network.edges(EdgeType.AUTHORSHIP)) == 2
+
+
+class TestFromDataset:
+    def test_counts_match_dataset(self, small_dataset):
+        net = HeterogeneousNetwork.from_dataset(small_dataset)
+        assert net.num_nodes(NodeType.ARTICLE) == small_dataset.num_articles
+        assert net.num_nodes(NodeType.CREATOR) == small_dataset.num_creators
+        assert net.num_nodes(NodeType.SUBJECT) == small_dataset.num_subjects
+        assert net.num_edges(EdgeType.AUTHORSHIP) == small_dataset.num_articles
+        assert (
+            net.num_edges(EdgeType.SUBJECT_INDICATION)
+            == small_dataset.num_article_subject_links
+        )
+
+    def test_validate_passes(self, small_dataset):
+        HeterogeneousNetwork.from_dataset(small_dataset).validate()
+
+    def test_article_creator_agrees_with_dataset(self, small_dataset):
+        net = HeterogeneousNetwork.from_dataset(small_dataset)
+        for aid, article in list(small_dataset.articles.items())[:20]:
+            assert net.article_creator(aid) == article.creator_id
+            assert sorted(net.article_subjects(aid)) == sorted(article.subject_ids)
+
+
+class TestValidate:
+    def test_article_without_creator_fails(self):
+        net = HeterogeneousNetwork()
+        net.add_node(NodeType.ARTICLE, "n1")
+        net.add_node(NodeType.SUBJECT, "s1")
+        net.add_edge(
+            EdgeType.SUBJECT_INDICATION, (NodeType.ARTICLE, "n1"), (NodeType.SUBJECT, "s1")
+        )
+        with pytest.raises(ValueError, match="0 creators"):
+            net.validate()
+
+    def test_article_without_subject_fails(self):
+        net = HeterogeneousNetwork()
+        net.add_node(NodeType.ARTICLE, "n1")
+        net.add_node(NodeType.CREATOR, "u1")
+        net.add_edge(EdgeType.AUTHORSHIP, (NodeType.ARTICLE, "n1"), (NodeType.CREATOR, "u1"))
+        with pytest.raises(ValueError, match="no subjects"):
+            net.validate()

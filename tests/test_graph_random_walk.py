@@ -1,0 +1,79 @@
+"""Tests for random walks over the News-HSN."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeType,
+    HeterogeneousNetwork,
+    NodeType,
+    generate_walk_corpus,
+    random_walk,
+)
+
+
+@pytest.fixture()
+def network(small_dataset):
+    return HeterogeneousNetwork.from_dataset(small_dataset)
+
+
+class TestRandomWalk:
+    def test_walk_length(self, network, rng):
+        start = network.nodes(NodeType.ARTICLE)[0]
+        walk = random_walk(network, start, length=15, rng=rng)
+        assert len(walk) == 15
+        assert walk[0] == start
+
+    def test_consecutive_nodes_are_neighbors(self, network, rng):
+        start = network.nodes(NodeType.ARTICLE)[0]
+        walk = random_walk(network, start, length=10, rng=rng)
+        for a, b in zip(walk, walk[1:]):
+            assert b in network.neighbors(a)
+
+    def test_types_alternate_legally(self, network, rng):
+        # Articles connect only to creators/subjects; creators/subjects only
+        # to articles, so no two consecutive nodes share a type.
+        start = network.nodes(NodeType.CREATOR)[0]
+        walk = random_walk(network, start, length=20, rng=rng)
+        for a, b in zip(walk, walk[1:]):
+            assert a[0] != b[0]
+            assert NodeType.ARTICLE in (a[0], b[0])
+
+    def test_isolated_node_stops_early(self, rng):
+        net = HeterogeneousNetwork()
+        net.add_node(NodeType.CREATOR, "lonely")
+        walk = random_walk(net, (NodeType.CREATOR, "lonely"), length=10, rng=rng)
+        assert walk == [(NodeType.CREATOR, "lonely")]
+
+    def test_length_validation(self, network, rng):
+        with pytest.raises(ValueError):
+            random_walk(network, network.nodes()[0], length=0, rng=rng)
+
+
+class TestWalkCorpus:
+    def test_corpus_size(self, network):
+        corpus = generate_walk_corpus(network, num_walks=2, walk_length=5, seed=0)
+        assert len(corpus) == 2 * network.num_nodes()
+
+    def test_restricted_node_type(self, network):
+        corpus = generate_walk_corpus(
+            network, num_walks=1, walk_length=5, seed=0, node_type=NodeType.SUBJECT
+        )
+        assert len(corpus) == network.num_nodes(NodeType.SUBJECT)
+        starts = {walk[0] for walk in corpus}
+        assert all(node[0] == NodeType.SUBJECT for node in starts)
+
+    def test_every_node_is_a_start(self, network):
+        corpus = generate_walk_corpus(network, num_walks=1, walk_length=3, seed=0)
+        starts = {walk[0] for walk in corpus}
+        assert starts == set(network.nodes())
+
+    def test_deterministic_for_seed(self, network):
+        a = generate_walk_corpus(network, num_walks=1, walk_length=8, seed=3)
+        b = generate_walk_corpus(network, num_walks=1, walk_length=8, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, network):
+        a = generate_walk_corpus(network, num_walks=1, walk_length=8, seed=3)
+        b = generate_walk_corpus(network, num_walks=1, walk_length=8, seed=4)
+        assert a != b

@@ -1,0 +1,211 @@
+"""Tests for the k-fold / θ-subsampling protocol (paper §5.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.sampling import (
+    Split,
+    k_fold_indices,
+    k_fold_splits,
+    stratified_k_fold_splits,
+    tri_splits,
+)
+
+
+class TestKFoldIndices:
+    def test_partition_covers_everything(self, rng):
+        folds = k_fold_indices(25, 5, rng)
+        combined = np.concatenate(folds)
+        assert sorted(combined.tolist()) == list(range(25))
+
+    def test_folds_near_equal(self, rng):
+        folds = k_fold_indices(23, 5, rng)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            k_fold_indices(3, 5, rng)
+
+
+class TestKFoldSplits:
+    def test_train_test_disjoint_and_complete(self, rng):
+        ids = [f"id{i}" for i in range(30)]
+        for split in k_fold_splits(ids, 10, rng):
+            assert not (set(split.train) & set(split.test))
+            assert sorted(split.train + split.test) == sorted(ids)
+
+    def test_ratio_nine_to_one(self, rng):
+        ids = [f"id{i}" for i in range(100)]
+        split = k_fold_splits(ids, 10, rng)[0]
+        assert len(split.test) == 10
+        assert len(split.train) == 90
+
+    def test_each_id_tested_exactly_once(self, rng):
+        ids = [f"id{i}" for i in range(40)]
+        tested = []
+        for split in k_fold_splits(ids, 8, rng):
+            tested.extend(split.test)
+        assert sorted(tested) == sorted(ids)
+
+
+class TestStratified:
+    def test_label_balance_per_fold(self, rng):
+        ids = [f"id{i}" for i in range(60)]
+        labels = [i % 3 for i in range(60)]
+        splits = stratified_k_fold_splits(ids, labels, 5, rng)
+        label_of = dict(zip(ids, labels))
+        for split in splits:
+            test_labels = [label_of[i] for i in split.test]
+            counts = [test_labels.count(c) for c in range(3)]
+            assert max(counts) - min(counts) <= 1
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            stratified_k_fold_splits(["a"], [0, 1], 2, rng)
+
+
+class TestThetaSubsample:
+    def test_theta_one_is_identity(self, rng):
+        split = Split(train=[f"t{i}" for i in range(20)], test=["x"])
+        sub = split.subsample_train(1.0, rng)
+        assert sub.train == split.train
+        assert sub.test == split.test
+
+    def test_theta_fraction(self, rng):
+        split = Split(train=[f"t{i}" for i in range(100)], test=["x"])
+        sub = split.subsample_train(0.3, rng)
+        assert len(sub.train) == 30
+        assert set(sub.train) <= set(split.train)
+
+    def test_at_least_one_kept(self, rng):
+        split = Split(train=["only"], test=["x"])
+        assert split.subsample_train(0.1, rng).train == ["only"]
+
+    def test_test_set_untouched(self, rng):
+        split = Split(train=[f"t{i}" for i in range(10)], test=["a", "b"])
+        assert split.subsample_train(0.5, rng).test == ["a", "b"]
+
+    def test_validation(self, rng):
+        split = Split(train=["a"], test=[])
+        with pytest.raises(ValueError):
+            split.subsample_train(0.0, rng)
+        with pytest.raises(ValueError):
+            split.subsample_train(1.5, rng)
+
+
+class TestTriSplits:
+    def test_yields_k_folds(self):
+        articles = [f"n{i}" for i in range(50)]
+        creators = [f"u{i}" for i in range(20)]
+        subjects = [f"s{i}" for i in range(10)]
+        splits = list(tri_splits(articles, creators, subjects, k=5, seed=0))
+        assert len(splits) == 5
+
+    def test_deterministic_for_seed(self):
+        articles = [f"n{i}" for i in range(50)]
+        creators = [f"u{i}" for i in range(20)]
+        subjects = [f"s{i}" for i in range(10)]
+        a = list(tri_splits(articles, creators, subjects, k=5, seed=7))
+        b = list(tri_splits(articles, creators, subjects, k=5, seed=7))
+        assert a[0].articles.test == b[0].articles.test
+        assert a[2].creators.train == b[2].creators.train
+
+    def test_subsample_all_three(self, rng):
+        articles = [f"n{i}" for i in range(50)]
+        creators = [f"u{i}" for i in range(20)]
+        subjects = [f"s{i}" for i in range(10)]
+        split = next(tri_splits(articles, creators, subjects, k=5, seed=0))
+        sub = split.subsample_train(0.5, rng)
+        assert len(sub.articles.train) == round(0.5 * len(split.articles.train))
+        assert len(sub.creators.train) == round(0.5 * len(split.creators.train))
+
+    def test_stratified_articles(self):
+        articles = [f"n{i}" for i in range(60)]
+        labels = [i % 6 for i in range(60)]
+        creators = [f"u{i}" for i in range(20)]
+        subjects = [f"s{i}" for i in range(10)]
+        splits = list(
+            tri_splits(articles, creators, subjects, k=6, seed=0, article_labels=labels)
+        )
+        label_of = dict(zip(articles, labels))
+        for split in splits:
+            test_labels = [label_of[a] for a in split.articles.test]
+            assert len(set(test_labels)) == 6  # all classes present
+
+
+@given(st.integers(10, 80), st.integers(2, 8), st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_property_kfold_partition_laws(n, k, seed):
+    if n < k:
+        return
+    rng = np.random.default_rng(seed)
+    ids = [f"id{i}" for i in range(n)]
+    splits = k_fold_splits(ids, k, rng)
+    assert len(splits) == k
+    all_test = [x for s in splits for x in s.test]
+    assert sorted(all_test) == sorted(ids)  # exact cover by test folds
+    for s in splits:
+        assert len(s.train) + len(s.test) == n
+        assert not (set(s.train) & set(s.test))
+
+
+@given(
+    st.integers(5, 60),
+    st.floats(min_value=0.05, max_value=1.0),
+    st.integers(0, 500),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_theta_size(n, theta, seed):
+    rng = np.random.default_rng(seed)
+    split = Split(train=[f"t{i}" for i in range(n)], test=[])
+    sub = split.subsample_train(theta, rng)
+    expected = max(1, int(round(theta * n)))
+    assert len(sub.train) == expected
+    assert len(set(sub.train)) == len(sub.train)  # no duplicates
+
+
+class TestSplitPersistence:
+    def _split(self):
+        articles = [f"n{i}" for i in range(30)]
+        creators = [f"u{i}" for i in range(10)]
+        subjects = [f"s{i}" for i in range(6)]
+        return next(tri_splits(articles, creators, subjects, k=5, seed=1))
+
+    def test_roundtrip(self, tmp_path):
+        from repro.graph import load_tri_split, save_tri_split
+
+        split = self._split()
+        path = tmp_path / "split.json"
+        save_tri_split(split, path)
+        loaded = load_tri_split(path)
+        assert loaded.articles.train == split.articles.train
+        assert loaded.articles.test == split.articles.test
+        assert loaded.creators.train == split.creators.train
+        assert loaded.subjects.test == split.subjects.test
+
+    def test_malformed_rejected(self, tmp_path):
+        from repro.graph import load_tri_split
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"articles": {"train": ["a"]}}')
+        with pytest.raises(ValueError):
+            load_tri_split(path)
+
+    def test_overlap_rejected(self, tmp_path):
+        import json
+
+        from repro.graph import load_tri_split
+
+        payload = {
+            kind: {"train": ["x"], "test": ["x"]}
+            for kind in ("articles", "creators", "subjects")
+        }
+        path = tmp_path / "overlap.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="overlap"):
+            load_tri_split(path)

@@ -1,0 +1,43 @@
+"""Tests for sweep failure shielding."""
+
+import pytest
+
+from repro.baselines import MajorityBaseline
+from repro.experiments import run_sweep
+
+
+class ExplodingMethod(MajorityBaseline):
+    name = "exploding"
+
+    def fit(self, dataset, split):
+        raise RuntimeError("kaboom")
+
+
+class TestFailureShielding:
+    def test_sweep_survives_a_crashing_method(self, tiny_dataset):
+        methods = {
+            "majority": lambda seed: MajorityBaseline(),
+            "exploding": lambda seed: ExplodingMethod(),
+        }
+        result = run_sweep(tiny_dataset, methods, thetas=(1.0,), folds=2, k=5, seed=0)
+        # The healthy method's cells are intact.
+        assert len(result.cells["majority"]["article"][1.0]) == 2
+        # The broken method lost its cells and is recorded in failures.
+        assert len(result.cells["exploding"]["article"][1.0]) == 0
+        assert len(result.failures) == 2
+        name, theta, fold, message = result.failures[0]
+        assert name == "exploding"
+        assert "kaboom" in message
+
+    def test_raise_on_error_propagates(self, tiny_dataset):
+        methods = {"exploding": lambda seed: ExplodingMethod()}
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_sweep(
+                tiny_dataset, methods, thetas=(1.0,), folds=1, k=5, seed=0,
+                raise_on_error=True,
+            )
+
+    def test_no_failures_on_healthy_sweep(self, tiny_dataset):
+        methods = {"majority": lambda seed: MajorityBaseline()}
+        result = run_sweep(tiny_dataset, methods, thetas=(1.0,), folds=1, k=5)
+        assert result.failures == []

@@ -1,0 +1,173 @@
+"""Tests for classification metrics (paper §5.1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    BinaryMetrics,
+    MultiClassMetrics,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_f1,
+    macro_precision,
+    macro_recall,
+    precision,
+    recall,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy([1, 1], [0, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        # TP=2, FP=1, FN=1
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        assert precision([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_actual_positives(self):
+        assert recall([0, 0], [1, 0]) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 0, 1, 0]
+        p = precision(y_true, y_pred)
+        r = recall(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_custom_positive_class(self):
+        y_true = [2, 2, 0]
+        y_pred = [2, 0, 0]
+        assert precision(y_true, y_pred, positive=2) == 1.0
+        assert recall(y_true, y_pred, positive=2) == 0.5
+
+
+class TestMacro:
+    def test_macro_is_mean_of_per_class(self):
+        y_true = [0, 0, 1, 1, 2, 2]
+        y_pred = [0, 1, 1, 1, 2, 0]
+        per_class = [precision(y_true, y_pred, c) for c in range(3)]
+        assert macro_precision(y_true, y_pred, 3) == pytest.approx(np.mean(per_class))
+
+    def test_macro_counts_absent_classes_as_zero(self):
+        # Class 2 never appears and is never predicted -> contributes 0.
+        y_true = [0, 1]
+        y_pred = [0, 1]
+        assert macro_f1(y_true, y_pred, 3) == pytest.approx(2 / 3)
+
+    def test_macro_perfect_six_class(self):
+        y = list(range(6))
+        assert macro_f1(y, y, 6) == 1.0
+        assert macro_recall(y, y, 6) == 1.0
+
+
+class TestConfusionMatrix:
+    def test_values(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(m, [[1, 1], [0, 2]])
+
+    def test_num_classes_inferred(self):
+        m = confusion_matrix([0, 4], [4, 0])
+        assert m.shape == (5, 5)
+
+    def test_explicit_num_classes(self):
+        m = confusion_matrix([0, 1], [0, 1], num_classes=6)
+        assert m.shape == (6, 6)
+        assert m.sum() == 2
+
+    def test_trace_equals_correct(self):
+        y_true = [0, 1, 2, 1, 0]
+        y_pred = [0, 1, 1, 1, 2]
+        m = confusion_matrix(y_true, y_pred)
+        assert np.trace(m) == sum(t == p for t, p in zip(y_true, y_pred))
+
+
+class TestDataclasses:
+    def test_binary_compute(self):
+        m = BinaryMetrics.compute([1, 0, 1], [1, 0, 0])
+        assert m.accuracy == pytest.approx(2 / 3)
+        assert set(m.as_dict()) == {"accuracy", "f1", "precision", "recall"}
+
+    def test_multi_compute(self):
+        m = MultiClassMetrics.compute([0, 1, 5], [0, 1, 5], num_classes=6)
+        assert m.accuracy == 1.0
+        assert set(m.as_dict()) == {
+            "accuracy", "macro_f1", "macro_precision", "macro_recall",
+        }
+
+
+labels6 = st.integers(0, 5)
+
+
+@given(st.lists(st.tuples(labels6, labels6), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_all_metrics_in_unit_interval(pairs):
+    y_true = [a for a, _ in pairs]
+    y_pred = [b for _, b in pairs]
+    for value in (
+        accuracy(y_true, y_pred),
+        precision(y_true, y_pred),
+        recall(y_true, y_pred),
+        f1_score(y_true, y_pred),
+        macro_precision(y_true, y_pred, 6),
+        macro_recall(y_true, y_pred, 6),
+        macro_f1(y_true, y_pred, 6),
+    ):
+        assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(labels6, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_perfect_prediction_maximizes_everything(y):
+    assert accuracy(y, y) == 1.0
+    assert macro_recall(y, y, 6) == pytest.approx(
+        len(set(y)) / 6
+    )  # absent classes contribute 0
+
+
+@given(st.lists(st.tuples(labels6, labels6), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_confusion_matrix_row_sums(pairs):
+    y_true = [a for a, _ in pairs]
+    y_pred = [b for _, b in pairs]
+    m = confusion_matrix(y_true, y_pred, num_classes=6)
+    for c in range(6):
+        assert m[c].sum() == y_true.count(c)
+        assert m[:, c].sum() == y_pred.count(c)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=2, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_property_f1_between_precision_and_recall(pairs):
+    y_true = [a for a, _ in pairs]
+    y_pred = [b for _, b in pairs]
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    f = f1_score(y_true, y_pred)
+    assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12

@@ -1,0 +1,133 @@
+"""Tests for calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    calibration_bins,
+    expected_calibration_error,
+    render_reliability,
+)
+
+
+def make_probs(confidences, predicted, num_classes=3):
+    probs = np.zeros((len(confidences), num_classes))
+    for i, (c, p) in enumerate(zip(confidences, predicted)):
+        probs[i] = (1 - c) / (num_classes - 1)
+        probs[i, p] = c
+    return probs
+
+
+class TestBins:
+    def test_perfectly_calibrated(self):
+        # 70%-confident predictions that are right 70% of the time.
+        rng = np.random.default_rng(0)
+        n = 4000
+        predicted = np.zeros(n, dtype=int)
+        y_true = np.where(rng.random(n) < 0.7, 0, 1)
+        probs = make_probs([0.7] * n, predicted)
+        ece = expected_calibration_error(y_true, probs)
+        assert ece < 0.03
+
+    def test_overconfident_model_high_ece(self):
+        # 99%-confident but only 50% right.
+        y_true = np.array([0, 1] * 100)
+        probs = make_probs([0.99] * 200, [0] * 200)
+        ece = expected_calibration_error(y_true, probs)
+        assert ece > 0.4
+
+    def test_bin_partition(self):
+        rng = np.random.default_rng(1)
+        probs = rng.dirichlet(np.ones(3), size=50)
+        y = rng.integers(0, 3, size=50)
+        bins = calibration_bins(y, probs, num_bins=5)
+        assert sum(b.count for b in bins) == 50
+        for b in bins:
+            assert 0 <= b.accuracy <= 1
+            assert b.low <= b.mean_confidence <= b.high + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_bins([], np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            calibration_bins([0], np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            calibration_bins([0], np.ones((1, 3)) / 3, num_bins=0)
+
+
+class TestRender:
+    def test_contains_ece(self):
+        y = [0, 1, 0, 1]
+        probs = make_probs([0.8, 0.9, 0.6, 0.7], [0, 1, 0, 1])
+        out = render_reliability(y, probs, num_bins=4)
+        assert "expected calibration error" in out
+        assert "conf" in out
+
+    def test_on_trained_model(self, small_dataset, small_split):
+        from repro.core import FakeDetector, FakeDetectorConfig
+
+        config = FakeDetectorConfig(
+            epochs=8, explicit_dim=30, vocab_size=600, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8, seed=0,
+        )
+        det = FakeDetector(config).fit(small_dataset, small_split)
+        probs_by_id = det.predict_proba("article")
+        test = small_split.articles.test
+        probs = np.array([probs_by_id[a] for a in test])
+        y = [small_dataset.articles[a].label.class_index for a in test]
+        ece = expected_calibration_error(y, probs)
+        assert 0.0 <= ece <= 1.0
+
+
+class TestTemperatureScaling:
+    def _overconfident(self, n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 3, size=n)
+        # Logits point to the right class only 70% of the time but with
+        # huge magnitude -> overconfident.
+        predicted = np.where(rng.random(n) < 0.7, y, (y + 1) % 3)
+        logits = np.full((n, 3), -8.0)
+        logits[np.arange(n), predicted] = 8.0
+        return logits, y
+
+    def test_fits_temperature_above_one_for_overconfident(self):
+        from repro.metrics import TemperatureScaler
+
+        logits, y = self._overconfident()
+        scaler = TemperatureScaler().fit(logits, y)
+        assert scaler.temperature > 1.5
+
+    def test_improves_ece(self):
+        from repro.metrics import TemperatureScaler, expected_calibration_error
+
+        logits, y = self._overconfident()
+        raw = np.exp(logits - logits.max(axis=1, keepdims=True))
+        raw /= raw.sum(axis=1, keepdims=True)
+        before = expected_calibration_error(y, raw)
+        scaler = TemperatureScaler().fit(logits, y)
+        after = expected_calibration_error(y, scaler.transform(logits))
+        assert after < before * 0.5
+
+    def test_argmax_unchanged(self):
+        from repro.metrics import TemperatureScaler
+
+        logits, y = self._overconfident()
+        scaler = TemperatureScaler().fit(logits, y)
+        np.testing.assert_array_equal(
+            scaler.transform(logits).argmax(axis=1), logits.argmax(axis=1)
+        )
+
+    def test_probabilities_normalized(self):
+        from repro.metrics import TemperatureScaler
+
+        logits, y = self._overconfident(n=50)
+        probs = TemperatureScaler().fit(logits, y).transform(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(50))
+
+    def test_validation(self):
+        from repro.metrics import TemperatureScaler
+
+        with pytest.raises(ValueError):
+            TemperatureScaler(low=0, high=1)
+        with pytest.raises(ValueError):
+            TemperatureScaler().fit(np.zeros((2, 3)), [0])

@@ -1,0 +1,145 @@
+"""Tests for ranking and ordinal metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_precision,
+    kendall_tau,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_at_k,
+    quadratic_weighted_kappa,
+    roc_auc,
+    roc_curve,
+    within_one_accuracy,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert abs(roc_auc(y, scores) - 0.5) < 0.03
+
+    def test_ties_handled_with_midranks(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.2, 0.8])
+
+    def test_invariant_to_monotone_transform(self):
+        y = [0, 1, 0, 1, 1, 0]
+        s = np.array([0.1, 0.7, 0.3, 0.9, 0.6, 0.2])
+        assert roc_auc(y, s) == roc_auc(y, s * 100 - 3)
+
+
+class TestRocCurve:
+    def test_starts_at_origin(self):
+        fpr, tpr, _ = roc_curve([0, 1, 1], [0.1, 0.5, 0.9])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+
+    def test_ends_at_one_one(self):
+        fpr, tpr, _ = roc_curve([0, 1, 1], [0.1, 0.5, 0.9])
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=50)
+        s = rng.random(50)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([0, 0, 1, 1], [0.1, 0.2, 0.9, 0.8]) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision([1, 0, 0, 0], [0.0, 0.5, 0.6, 0.7])
+        assert ap == pytest.approx(0.25)
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            average_precision([0, 0], [0.1, 0.2])
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        assert precision_at_k([1, 0, 1, 0], [0.9, 0.8, 0.7, 0.1], k=2) == 0.5
+
+    def test_k_larger_than_n(self):
+        assert precision_at_k([1, 0], [0.9, 0.1], k=10) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [0.5], k=0)
+
+
+class TestOrdinal:
+    def test_mae_and_mse(self):
+        assert mean_absolute_error([1, 2, 3], [1, 4, 3]) == pytest.approx(2 / 3)
+        assert mean_squared_error([1, 2, 3], [1, 4, 3]) == pytest.approx(4 / 3)
+
+    def test_within_one(self):
+        assert within_one_accuracy([1, 3, 5], [2, 3, 1]) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_kendall_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_kendall_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_kendall_needs_two(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_kappa_perfect(self):
+        y = [0, 1, 2, 3, 4, 5]
+        assert quadratic_weighted_kappa(y, y) == pytest.approx(1.0)
+
+    def test_kappa_penalizes_distance(self):
+        y_true = [0, 0, 5, 5]
+        near = quadratic_weighted_kappa(y_true, [1, 1, 4, 4])
+        far = quadratic_weighted_kappa(y_true, [5, 5, 0, 0])
+        assert near > far
+
+    def test_kappa_constant_raters(self):
+        assert quadratic_weighted_kappa([2, 2], [2, 2]) == 1.0
+
+
+score6 = st.integers(0, 5)
+
+
+@given(st.lists(st.tuples(score6, score6), min_size=2, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_property_ordinal_bounds(pairs):
+    y_true = [a for a, _ in pairs]
+    y_pred = [b for _, b in pairs]
+    assert 0 <= mean_absolute_error(y_true, y_pred) <= 5
+    assert 0 <= within_one_accuracy(y_true, y_pred) <= 1
+    assert -1 <= kendall_tau(y_true, y_pred) <= 1
+    assert quadratic_weighted_kappa(y_true, y_pred) <= 1.0 + 1e-12
+
+
+@given(st.lists(score6, min_size=2, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_property_mae_zero_iff_exact(y):
+    assert mean_absolute_error(y, y) == 0.0
+    assert within_one_accuracy(y, y) == 1.0

@@ -1,0 +1,135 @@
+"""Tests for statistical comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import accuracy
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    bootstrap_metric,
+    mcnemar_test,
+    mean_and_std,
+    paired_sign_test,
+)
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self, rng):
+        y_true = rng.integers(0, 2, size=200)
+        y_pred = np.where(rng.random(200) < 0.8, y_true, 1 - y_true)
+        ci = bootstrap_metric(y_true, y_pred, accuracy, num_resamples=300)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate in ci
+
+    def test_interval_width_shrinks_with_n(self, rng):
+        def make(n):
+            y_true = rng.integers(0, 2, size=n)
+            y_pred = np.where(rng.random(n) < 0.75, y_true, 1 - y_true)
+            return bootstrap_metric(y_true, y_pred, accuracy, num_resamples=400)
+
+        small = make(50)
+        large = make(5000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic_for_seed(self, rng):
+        y_true = rng.integers(0, 2, size=100)
+        y_pred = rng.integers(0, 2, size=100)
+        a = bootstrap_metric(y_true, y_pred, accuracy, seed=5)
+        b = bootstrap_metric(y_true, y_pred, accuracy, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_metric([], [], accuracy)
+        with pytest.raises(ValueError):
+            bootstrap_metric([1], [1], accuracy, confidence=1.5)
+
+    def test_str_format(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+        assert "[0.400, 0.600]" in str(ci)
+
+
+class TestMcNemar:
+    def test_identical_classifiers(self):
+        y = [0, 1, 0, 1]
+        stat, p = mcnemar_test(y, [0, 1, 1, 1], [0, 1, 1, 1])
+        assert p == 1.0
+
+    def test_clearly_different_classifiers(self, rng):
+        y = rng.integers(0, 2, size=400)
+        good = np.where(rng.random(400) < 0.95, y, 1 - y)
+        bad = rng.integers(0, 2, size=400)
+        _, p = mcnemar_test(y, good, bad)
+        assert p < 0.01
+
+    def test_symmetric(self, rng):
+        y = rng.integers(0, 2, size=100)
+        a = rng.integers(0, 2, size=100)
+        b = rng.integers(0, 2, size=100)
+        _, p_ab = mcnemar_test(y, a, b)
+        _, p_ba = mcnemar_test(y, b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_exact_small_sample_branch(self):
+        y = [1] * 10
+        a = [1] * 9 + [0]            # one A-only error
+        b = [0] * 3 + [1] * 7        # three B-only errors (one shared? no)
+        _, p = mcnemar_test(y, a, b)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([1, 0], [1], [1, 0])
+
+
+class TestSignTest:
+    def test_all_wins_significant(self):
+        a = [0.9] * 10
+        b = [0.1] * 10
+        wins_a, wins_b, p = paired_sign_test(a, b)
+        assert wins_a == 10 and wins_b == 0
+        assert p < 0.01
+
+    def test_balanced_not_significant(self):
+        a = [1, 0, 1, 0, 1, 0]
+        b = [0, 1, 0, 1, 0, 1]
+        _, _, p = paired_sign_test(a, b)
+        assert p > 0.5
+
+    def test_ties_dropped(self):
+        wins_a, wins_b, p = paired_sign_test([1.0, 1.0], [1.0, 1.0])
+        assert (wins_a, wins_b, p) == (0, 0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([], [])
+
+
+class TestMeanStd:
+    def test_values(self):
+        m, s = mean_and_std([1.0, 2.0, 3.0])
+        assert m == 2.0
+        assert s == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_and_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+
+class TestCompareMethods:
+    def test_on_sweep(self, tiny_dataset):
+        from repro.baselines import MajorityBaseline, SVMBaseline
+        from repro.experiments import run_sweep
+        from repro.metrics.stats import compare_methods
+
+        methods = {
+            "svm": lambda seed: SVMBaseline(explicit_dim=20, epochs=30, seed=seed),
+            "majority": lambda seed: MajorityBaseline(),
+        }
+        result = run_sweep(tiny_dataset, methods, thetas=(1.0,), folds=3, k=5, seed=0)
+        wins_a, wins_b, p = compare_methods(result, "svm", "majority")
+        assert wins_a + wins_b <= 3
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,106 @@
+"""Property-based tests on model components and the synthetic generator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.core import GDU
+from repro.data import GeneratorConfig, PolitiFactGenerator
+from repro.data.credibility import derive_entity_label, weighted_credibility_score
+from repro.data.schema import CredibilityLabel
+
+
+@given(
+    st.integers(1, 6),     # batch
+    st.integers(1, 8),     # input dim
+    st.integers(1, 8),     # hidden dim
+    st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_gdu_output_always_bounded(batch, input_dim, hidden_dim, seed):
+    """|h| <= 1: the four gate products partition unit mass over tanh terms."""
+    rng = np.random.default_rng(seed)
+    gdu = GDU(input_dim=input_dim, hidden_dim=hidden_dim, rng=rng)
+    x = Tensor(rng.standard_normal((batch, input_dim)) * 10)
+    z = Tensor(rng.standard_normal((batch, hidden_dim)) * 10)
+    t = Tensor(rng.standard_normal((batch, hidden_dim)) * 10)
+    h = gdu(x, z, t)
+    assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_gdu_deterministic(batch, input_dim, hidden_dim, seed):
+    rng = np.random.default_rng(seed)
+    gdu = GDU(input_dim=input_dim, hidden_dim=hidden_dim, rng=rng)
+    x = Tensor(rng.standard_normal((batch, input_dim)))
+    z = Tensor(rng.standard_normal((batch, hidden_dim)))
+    t = Tensor(rng.standard_normal((batch, hidden_dim)))
+    np.testing.assert_array_equal(gdu(x, z, t).data, gdu(x, z, t).data)
+
+
+@given(
+    st.integers(40, 120),   # articles
+    st.integers(5, 15),     # creators
+    st.integers(5, 12),     # subjects
+    st.integers(0, 1000),   # seed
+)
+@settings(max_examples=15, deadline=None)
+def test_generator_invariants_under_random_configs(n_articles, n_creators, n_subjects, seed):
+    """Any feasible config yields a valid corpus with exact counts."""
+    config = GeneratorConfig(
+        num_articles=n_articles,
+        num_creators=n_creators,
+        num_subjects=n_subjects,
+        seed=seed,
+        include_case_studies=False,
+    )
+    dataset = PolitiFactGenerator(config).generate()
+    dataset.validate()  # referential integrity
+    assert dataset.num_articles == n_articles
+    assert dataset.num_creators == n_creators
+    assert dataset.num_subjects == min(n_subjects, 152)
+    # Every creator has at least one article (counts >= 1 by construction).
+    assert all(arts for arts in dataset.articles_by_creator().values())
+    # Derived labels are consistent with the weighted-sum rule.
+    by_creator = dataset.articles_by_creator()
+    for cid, creator in list(dataset.creators.items())[:5]:
+        expected = derive_entity_label(a.label for a in by_creator[cid])
+        assert creator.label is expected
+
+
+@given(st.lists(st.sampled_from(list(CredibilityLabel)), min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_weighted_score_within_label_extremes(labels):
+    score = weighted_credibility_score(labels)
+    assert min(int(l) for l in labels) <= score <= max(int(l) for l in labels)
+
+
+@given(
+    st.integers(2, 40),
+    st.floats(min_value=0.1, max_value=1.0),
+    st.integers(0, 500),
+)
+@settings(max_examples=30, deadline=None)
+def test_generator_scaling_of_links(n_articles_tens, scale_noise, seed):
+    """Subject link totals always hit the requested target exactly."""
+    n_articles = n_articles_tens * 10
+    target = int(n_articles * 3.47)
+    config = GeneratorConfig(
+        num_articles=n_articles,
+        num_creators=max(3, n_articles // 10),
+        num_subjects=10,
+        target_subject_links=target,
+        seed=seed,
+        include_case_studies=False,
+    )
+    dataset = PolitiFactGenerator(config).generate()
+    # Cap: at most min(8, n_subjects) subjects per article.
+    max_possible = n_articles * min(8, dataset.num_subjects)
+    assert dataset.num_article_subject_links == min(target, max_possible)

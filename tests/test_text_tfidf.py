@@ -1,0 +1,82 @@
+"""Tests for TF-IDF weighting of explicit features."""
+
+import numpy as np
+import pytest
+
+from repro.text import BagOfWordsExtractor
+
+
+@pytest.fixture()
+def corpus():
+    # "common" in every doc, "rare" in one.
+    return [
+        ["common", "rare", "filler"],
+        ["common", "filler"],
+        ["common", "other"],
+        ["common"],
+    ]
+
+
+class TestFitIdf:
+    def test_rare_word_weighted_higher(self, corpus):
+        ext = BagOfWordsExtractor(["common", "rare"], weighting="tfidf")
+        ext.fit_idf(corpus)
+        assert ext.idf[1] > ext.idf[0]
+
+    def test_idf_positive(self, corpus):
+        ext = BagOfWordsExtractor(["common", "rare"], weighting="tfidf")
+        ext.fit_idf(corpus)
+        assert (ext.idf > 0).all()
+
+    def test_unseen_word_gets_max_idf(self, corpus):
+        ext = BagOfWordsExtractor(["common", "ghost"], weighting="tfidf")
+        ext.fit_idf(corpus)
+        expected = np.log((1 + 4) / (1 + 0)) + 1
+        assert ext.idf[1] == pytest.approx(expected)
+
+
+class TestTransform:
+    def test_tfidf_scales_counts(self, corpus):
+        ext = BagOfWordsExtractor(["common", "rare"], weighting="tfidf")
+        ext.fit_idf(corpus)
+        vec = ext.transform_one(["common", "common", "rare"])
+        np.testing.assert_allclose(vec, [2 * ext.idf[0], 1 * ext.idf[1]])
+
+    def test_transform_without_fit_raises(self):
+        ext = BagOfWordsExtractor(["a"], weighting="tfidf")
+        with pytest.raises(RuntimeError):
+            ext.transform_one(["a"])
+
+    def test_count_mode_ignores_idf(self, corpus):
+        ext = BagOfWordsExtractor(["common", "rare"], weighting="count")
+        np.testing.assert_allclose(ext.transform_one(["common", "rare"]), [1, 1])
+
+    def test_invalid_weighting(self):
+        with pytest.raises(ValueError):
+            BagOfWordsExtractor(["a"], weighting="bm25")
+
+    def test_normalization_composes(self, corpus):
+        ext = BagOfWordsExtractor(
+            ["common", "rare"], weighting="tfidf", normalize=True
+        )
+        ext.fit_idf(corpus)
+        vec = ext.transform_one(["common", "rare", "rare"])
+        np.testing.assert_allclose(np.linalg.norm(vec), 1.0)
+
+
+class TestFitIntegration:
+    def test_fit_with_tfidf_sets_idf(self):
+        docs = [["signal", "shared"], ["noise", "shared"]] * 6
+        labels = [1, 0] * 6
+        ext = BagOfWordsExtractor.fit(
+            docs, labels, size=3, min_count=1, weighting="tfidf"
+        )
+        assert ext.idf is not None
+        assert ext.transform(docs).shape == (12, ext.dim)
+
+    def test_config_validation(self):
+        from repro.core import FakeDetectorConfig
+
+        with pytest.raises(ValueError):
+            FakeDetectorConfig(explicit_weighting="bm25")
+        FakeDetectorConfig(explicit_weighting="tfidf")

@@ -1,0 +1,50 @@
+"""Tests for tokenization and stop-word removal."""
+
+from repro.text import STOP_WORDS, remove_stop_words, tokenize, tokenize_clean
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("The quick brown fox") == ["the", "quick", "brown", "fox"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize("Hello, world! (Really?)") == ["hello", "world", "really"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_numbers_kept(self):
+        assert tokenize("raised taxes 45 percent in 2016") == [
+            "raised", "taxes", "45", "percent", "in", "2016",
+        ]
+
+    def test_case_preserved_when_requested(self):
+        assert tokenize("Obama Said", lowercase=False) == ["Obama", "Said"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+
+class TestStopWords:
+    def test_common_words_in_list(self):
+        for word in ("the", "and", "is", "of", "to"):
+            assert word in STOP_WORDS
+
+    def test_content_words_not_in_list(self):
+        for word in ("president", "tax", "obamacare", "economy"):
+            assert word not in STOP_WORDS
+
+    def test_remove_stop_words(self):
+        tokens = ["the", "president", "is", "running"]
+        assert remove_stop_words(tokens) == ["president", "running"]
+
+    def test_tokenize_clean(self):
+        assert tokenize_clean("The president said that taxes are too high") == [
+            "president", "said", "taxes", "high",
+        ]
+
+    def test_stop_words_frozen(self):
+        assert isinstance(STOP_WORDS, frozenset)

@@ -1,0 +1,109 @@
+"""Tests for the Vocabulary token dictionary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import PAD_INDEX, PAD_TOKEN, UNK_INDEX, UNK_TOKEN, Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    docs = [["apple", "banana", "apple"], ["banana", "cherry"], ["apple"]]
+    return Vocabulary.build(docs)
+
+
+class TestBuild:
+    def test_specials_reserved(self, vocab):
+        assert vocab.index(PAD_TOKEN) == PAD_INDEX
+        assert vocab.index(UNK_TOKEN) == UNK_INDEX
+
+    def test_frequency_ordering(self, vocab):
+        # apple (3) before banana (2) before cherry (1)
+        assert vocab.index("apple") < vocab.index("banana") < vocab.index("cherry")
+
+    def test_len_includes_specials(self, vocab):
+        assert len(vocab) == 5
+
+    def test_contains(self, vocab):
+        assert "apple" in vocab
+        assert "durian" not in vocab
+
+    def test_unknown_maps_to_unk(self, vocab):
+        assert vocab.index("durian") == UNK_INDEX
+
+    def test_max_size_truncates(self):
+        docs = [[f"w{i}" for i in range(100)]]
+        vocab = Vocabulary.build(docs, max_size=10)
+        assert len(vocab) == 12  # 10 + 2 specials
+
+    def test_min_count_filters(self):
+        docs = [["rare"], ["common", "common"]]
+        vocab = Vocabulary.build(docs, min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_deterministic_tie_break(self):
+        # Equal counts -> lexicographic order, stable across runs.
+        docs = [["zebra", "apple"]]
+        a = Vocabulary.build(docs)
+        b = Vocabulary.build(docs)
+        assert a.tokens == b.tokens
+        assert a.index("apple") < a.index("zebra")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(max_size=0)
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+
+class TestEncodeDecode:
+    def test_encode(self, vocab):
+        indices = vocab.encode(["apple", "durian"])
+        assert indices == [vocab.index("apple"), UNK_INDEX]
+
+    def test_decode_drops_pads(self, vocab):
+        tokens = vocab.decode([vocab.index("apple"), PAD_INDEX, vocab.index("banana")])
+        assert tokens == ["apple", "banana"]
+
+    def test_token_lookup(self, vocab):
+        assert vocab.token(vocab.index("cherry")) == "cherry"
+
+    def test_most_common(self, vocab):
+        assert vocab.most_common(1) == [("apple", 3)]
+
+
+class TestPersistence:
+    def test_roundtrip(self, vocab, tmp_path):
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert loaded.tokens == vocab.tokens
+        assert loaded.counts == vocab.counts
+        assert loaded.index("banana") == vocab.index("banana")
+
+
+token_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.lists(st.lists(token_strategy, min_size=0, max_size=10), min_size=0, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_property_encode_decode_roundtrip(docs):
+    """Every in-vocabulary token survives an encode/decode round trip."""
+    vocab = Vocabulary.build(docs)
+    for doc in docs:
+        decoded = vocab.decode(vocab.encode(doc))
+        assert decoded == list(doc)  # all tokens known, no pads introduced
+
+
+@given(st.lists(st.lists(token_strategy, min_size=1, max_size=10), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_property_indices_unique_and_dense(docs):
+    vocab = Vocabulary.build(docs)
+    indices = [vocab.index(t) for t in vocab.tokens]
+    assert indices == list(range(len(vocab)))

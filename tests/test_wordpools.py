@@ -1,0 +1,47 @@
+"""Tests for the generator's word pools (signal-structure invariants)."""
+
+from repro.data import wordpools as wp
+from repro.text import STOP_WORDS
+
+
+class TestPools:
+    def test_label_pools_disjoint(self):
+        assert not (set(wp.TRUE_LEANING_WORDS) & set(wp.FALSE_LEANING_WORDS))
+
+    def test_label_pools_disjoint_from_shared(self):
+        shared = set(wp.SHARED_WORDS)
+        assert not (set(wp.TRUE_LEANING_WORDS) & shared)
+        assert not (set(wp.FALSE_LEANING_WORDS) & shared)
+
+    def test_no_stop_words_in_signal_pools(self):
+        for pool in (wp.TRUE_LEANING_WORDS, wp.FALSE_LEANING_WORDS):
+            assert not (set(pool) & STOP_WORDS)
+
+    def test_paper_fig1b_words_present(self):
+        # Fig 1(b): words the paper highlights for True articles.
+        for word in ("president", "income", "tax", "american"):
+            assert word in wp.TRUE_LEANING_WORDS
+
+    def test_paper_fig1c_words_present(self):
+        # Fig 1(c): words the paper highlights for False articles.
+        for word in ("obama", "republican", "clinton", "obamacare", "gun"):
+            assert word in wp.FALSE_LEANING_WORDS
+
+    def test_every_named_subject_has_topic_words(self):
+        for name in wp.TOP_SUBJECT_NAMES:
+            pool = wp.SUBJECT_TOPIC_WORDS[name]
+            assert len(pool) >= 8
+            assert len(set(pool)) == len(pool)
+
+    def test_pools_single_tokens(self):
+        """Pool entries must survive tokenization as single tokens (else the
+        planted signal would shatter)."""
+        from repro.text import tokenize
+
+        for pool in (wp.TRUE_LEANING_WORDS, wp.FALSE_LEANING_WORDS, wp.SHARED_WORDS):
+            for word in pool:
+                assert tokenize(word) == [word], word
+
+    def test_generic_tail_pools_deterministic(self):
+        assert wp.generic_subject_topic_words(21) == wp.generic_subject_topic_words(21)
+        assert wp.generic_subject_topic_words(1) != wp.generic_subject_topic_words(2)

@@ -1,0 +1,84 @@
+"""Serving latency: cold full-graph pass vs cached-session inference.
+
+Measures the amortization the ``repro.serve`` subsystem exists for:
+
+- **cold**: build a fresh :class:`InferenceSession` per request — the
+  pre-serve behavior where every ``predict_new_articles`` call re-ran
+  ``forward_with_states`` over the whole News-HSN;
+- **warm**: reuse one session, so each request pays only its own
+  HFLU → GDU → head forward;
+- **cached**: repeat the same texts so the LRU feature cache also hits.
+
+Writes ``results/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import BENCH_SEED, save_artifact
+
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.data import Article, CredibilityLabel
+from repro.serve import InferenceSession
+
+
+def _new_articles(dataset, count):
+    template = next(iter(dataset.articles.values()))
+    source = list(dataset.articles.values())[:count]
+    return [
+        Article(f"bench_{i}", a.text, CredibilityLabel.HALF_TRUE,
+                template.creator_id, template.subject_ids)
+        for i, a in enumerate(source)
+    ]
+
+
+def test_serving_latency(bench_dataset, bench_split):
+    config = FakeDetectorConfig(
+        epochs=5, explicit_dim=60, vocab_size=2000, max_seq_len=16,
+        seed=BENCH_SEED,
+    )
+    detector = FakeDetector(config).fit(bench_dataset, bench_split)
+    articles = _new_articles(bench_dataset, 20)
+
+    # Cold: session construction (full-graph pass) + one single-article
+    # predict, per request — the old per-call cost model.
+    cold_runs = 3
+    start = time.perf_counter()
+    for article in articles[:cold_runs]:
+        InferenceSession(detector, feature_cache_size=0).predict_article(article)
+    cold_per_article = (time.perf_counter() - start) / cold_runs
+
+    # Warm: one session, per-article requests; the graph pass is sunk.
+    session = InferenceSession(detector)
+    start = time.perf_counter()
+    for article in articles:
+        session.predict_article(article)
+    warm_per_article = (time.perf_counter() - start) / len(articles)
+
+    # Cached: identical texts again — the LRU removes feature extraction.
+    start = time.perf_counter()
+    for article in articles:
+        session.predict_article(article)
+    cached_per_article = (time.perf_counter() - start) / len(articles)
+
+    snapshot = session.snapshot()
+    report = {
+        "graph": {
+            "articles": bench_dataset.num_articles,
+            "creators": bench_dataset.num_creators,
+            "subjects": bench_dataset.num_subjects,
+        },
+        "cold_seconds_per_article": cold_per_article,
+        "warm_seconds_per_article": warm_per_article,
+        "cached_seconds_per_article": cached_per_article,
+        "speedup_warm_vs_cold": cold_per_article / warm_per_article,
+        "cache_hit_rate": snapshot["cache_hit_rate"],
+        "session_metrics": snapshot,
+    }
+    save_artifact("BENCH_serving.json", json.dumps(report, indent=2))
+
+    # The acceptance bar: cached-session time well below the cold pass.
+    assert warm_per_article < cold_per_article / 2, report
+    assert snapshot["cache_hit_rate"] >= 0.5, report

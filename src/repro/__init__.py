@@ -18,7 +18,7 @@ Quickstart::
     predictions = detector.predict("article")
 """
 
-from .core import FakeDetector, FakeDetectorConfig, FakeDetectorModel, GDU, HFLU
+from .core import FakeDetector, FakeDetectorConfig, FakeDetectorModel, GDU, HFLU, Prediction
 from .data import (
     CredibilityLabel,
     NewsDataset,
@@ -34,6 +34,7 @@ __all__ = [
     "FakeDetector",
     "FakeDetectorConfig",
     "FakeDetectorModel",
+    "Prediction",
     "HFLU",
     "GDU",
     "NewsDataset",

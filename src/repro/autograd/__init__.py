@@ -22,7 +22,7 @@ from .nn import (
 from .gradcheck import GradientCheckError, gradcheck, numeric_gradient
 from .conv import CNNEncoder, Conv1d, conv1d, max_pool_over_time
 from .rnn import GRUCell, GRUEncoder, LSTMCell, RNNCell, run_rnn
-from .serialization import load_state, save_state
+from .serialization import load_arrays, load_state, save_arrays, save_state
 from .tensor import (
     Tensor,
     concatenate,
@@ -65,6 +65,8 @@ __all__ = [
     "run_rnn",
     "save_state",
     "load_state",
+    "save_arrays",
+    "load_arrays",
     "gradcheck",
     "numeric_gradient",
     "GradientCheckError",

@@ -1,9 +1,18 @@
-"""Model checkpointing: save/load Module state dicts as ``.npz`` archives."""
+"""Model checkpointing: save/load Module state dicts as ``.npz`` archives.
+
+Two layers:
+
+- :func:`save_arrays` / :func:`load_arrays` — generic versioned array
+  archives (any ``{name: ndarray}`` mapping). Used by the serving
+  checkpoints for feature matrices and graph indices.
+- :func:`save_state` / :func:`load_state` — Module state dicts on top of
+  the array layer.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Dict, Mapping, Union
 
 import numpy as np
 
@@ -17,18 +26,21 @@ _META_KEY = "__repro_format__"
 _FORMAT_VERSION = "1"
 
 
-def save_state(module: Module, path: PathLike) -> None:
-    """Serialize ``module.state_dict()`` to ``path`` (``.npz``)."""
-    state = module.state_dict()
-    if _META_KEY in state:
-        raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
-    payload = dict(state)
+def save_arrays(arrays: Mapping[str, np.ndarray], path: PathLike) -> None:
+    """Serialize a ``{name: ndarray}`` mapping to ``path`` (``.npz``).
+
+    Arrays round-trip bit-exactly (dtype and values preserved), which is
+    what lets detector checkpoints reproduce identical logits after load.
+    """
+    if _META_KEY in arrays:
+        raise ValueError(f"array name collides with reserved key {_META_KEY!r}")
+    payload = {key: np.asarray(value) for key, value in arrays.items()}
     payload[_META_KEY] = np.array(_FORMAT_VERSION)
     np.savez(str(path), **payload)
 
 
-def load_state(module: Module, path: PathLike) -> None:
-    """Load a ``.npz`` checkpoint saved by :func:`save_state` into ``module``."""
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an archive written by :func:`save_arrays` (or :func:`save_state`)."""
     path = Path(path)
     if not path.exists():
         # np.savez appends .npz if missing; accept either spelling.
@@ -43,5 +55,14 @@ def load_state(module: Module, path: PathLike) -> None:
             raise ValueError(
                 f"unsupported checkpoint format {version!r} (expected {_FORMAT_VERSION!r})"
             )
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-    module.load_state_dict(state)
+        return {k: archive[k] for k in archive.files if k != _META_KEY}
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` (``.npz``)."""
+    save_arrays(module.state_dict(), path)
+
+
+def load_state(module: Module, path: PathLike) -> None:
+    """Load a ``.npz`` checkpoint saved by :func:`save_state` into ``module``."""
+    module.load_state_dict(load_arrays(path))

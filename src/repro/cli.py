@@ -8,6 +8,8 @@ train      train FakeDetector on a corpus and report held-out metrics
 evaluate   run the Figure 4/5 θ-sweep over the comparison methods
 tune       grid-search FakeDetector hyperparameters with inner CV
 report     write the complete reproduction artifact set to a directory
+infer      one-shot inductive scoring from a saved detector checkpoint
+serve      long-lived micro-batched serving loop over JSONL requests
 """
 
 from __future__ import annotations
@@ -84,6 +86,9 @@ def cmd_train(args) -> int:
 
         save_state(detector.model, args.checkpoint)
         print(f"saved checkpoint to {args.checkpoint}")
+    if args.save:
+        detector.save(args.save)
+        print(f"saved detector to {args.save}")
 
     for kind, store, test_ids in (
         ("article", dataset.articles, split.articles.test),
@@ -155,8 +160,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--explicit-dim", type=int, default=100)
     p_train.add_argument("--max-seq-len", type=int, default=24)
     p_train.add_argument("--folds", type=int, default=10)
-    p_train.add_argument("--checkpoint", type=Path, default=None)
+    p_train.add_argument("--checkpoint", type=Path, default=None,
+                         help="write model weights only (.npz)")
+    p_train.add_argument("--save", type=Path, default=None,
+                         help="write a full detector checkpoint directory "
+                              "(loadable by `repro infer`/`repro serve`)")
     p_train.set_defaults(func=cmd_train)
+
+    p_infer = sub.add_parser(
+        "infer", help="score new articles against a saved detector"
+    )
+    p_infer.add_argument("model", type=Path, help="detector checkpoint directory")
+    p_infer.add_argument(
+        "--articles", type=Path, default=None,
+        help="JSONL requests ({article_id, text, creator_id, subject_ids}); "
+             "default: stdin",
+    )
+    p_infer.add_argument("--proba", action="store_true",
+                         help="include the 6-class softmax distribution")
+    p_infer.set_defaults(func=cmd_infer)
+
+    p_serve = sub.add_parser(
+        "serve", help="micro-batched serving loop over JSONL requests"
+    )
+    p_serve.add_argument("model", type=Path, help="detector checkpoint directory")
+    p_serve.add_argument("--input", type=Path, default=None,
+                         help="JSONL request stream (default: stdin)")
+    p_serve.add_argument("--proba", action="store_true")
+    p_serve.add_argument("--max-batch-size", type=int, default=32)
+    p_serve.add_argument("--max-wait", type=float, default=0.01,
+                         help="seconds to coalesce a micro-batch")
+    p_serve.add_argument("--cache-size", type=int, default=2048,
+                         help="LRU text-feature cache entries (0 disables)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="Figure 4/5 method sweep")
     _add_corpus_args(p_eval)
@@ -200,6 +236,74 @@ def cmd_report(args) -> int:
     )
     print(paths.summary.read_text())
     print(f"artifacts written to {paths.directory}")
+    return 0
+
+
+def _read_requests(path: Optional[Path]):
+    """Parse JSONL article requests from a file or stdin."""
+    import json
+
+    from .serve import ArticleRequest
+
+    stream = path.open() if path else sys.stdin
+    try:
+        requests = []
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            requests.append(ArticleRequest.from_dict(json.loads(line)))
+        return requests
+    finally:
+        if path:
+            stream.close()
+
+
+def cmd_infer(args) -> int:
+    """One-shot scoring: load checkpoint, answer a batch, exit."""
+    import json
+
+    from .serve import InferenceSession
+
+    detector = FakeDetector.load(args.model)
+    requests = _read_requests(args.articles)
+    session = InferenceSession(detector)
+    for prediction in session.predict_articles(requests, return_proba=args.proba):
+        print(json.dumps(prediction.to_dict()))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Long-lived loop: cached-state session + micro-batching queue.
+
+    Reads JSONL requests, submits each through the :class:`BatchQueue`
+    (exercising the same coalescing path a network front-end would), emits
+    one JSON prediction per line, and reports serving metrics on exit.
+    """
+    import json
+
+    from .serve import BatchQueue, InferenceSession
+
+    detector = FakeDetector.load(args.model)
+    session = InferenceSession(detector, feature_cache_size=args.cache_size)
+    print(
+        f"serving {args.model} "
+        f"(max_batch_size={args.max_batch_size}, max_wait={args.max_wait}s)",
+        file=sys.stderr,
+    )
+
+    def handle(batch):
+        return session.predict_articles(batch, return_proba=args.proba)
+
+    with BatchQueue(handle, max_batch_size=args.max_batch_size,
+                    max_wait=args.max_wait) as batch_queue:
+        pending = [
+            (request, batch_queue.submit(request))
+            for request in _read_requests(args.input)
+        ]
+        for _, handle_ in pending:
+            print(json.dumps(handle_.result(timeout=60.0).to_dict()))
+    print(session.metrics.render(), file=sys.stderr)
     return 0
 
 

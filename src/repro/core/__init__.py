@@ -11,6 +11,7 @@ from .pipeline import (
     build_features,
     build_graph_index,
 )
+from .predictions import Prediction, predictions_from_logits
 from .self_training import SelfTrainingFakeDetector, SelfTrainingRound
 from .trainer import FakeDetector, TrainingRecord
 
@@ -21,6 +22,8 @@ __all__ = [
     "FakeDetectorModel",
     "FakeDetector",
     "TrainingRecord",
+    "Prediction",
+    "predictions_from_logits",
     "SelfTrainingFakeDetector",
     "SelfTrainingRound",
     "EntityFeatures",

@@ -198,10 +198,6 @@ def subgraph_view(
         # Degenerate but possible in tests with hand-built graphs.
         subject_rows = np.array([0], dtype=np.intp)
 
-    article_map = {int(r): i for i, r in enumerate(article_rows)}
-    creator_map = {int(r): i for i, r in enumerate(creator_rows)}
-    subject_map = {int(r): i for i, r in enumerate(subject_rows)}
-
     def slice_entity(entity: EntityFeatures, rows: np.ndarray) -> EntityFeatures:
         ids = [entity.ids[r] for r in rows]
         return EntityFeatures(
@@ -220,18 +216,22 @@ def subgraph_view(
         extractors=features.extractors,
     )
 
-    sub_article_creator = np.asarray(
-        [creator_map[int(graph.article_creator[r])] for r in article_rows],
-        dtype=np.intp,
-    )
-    as_gather = np.asarray(
-        [subject_map[int(g)] for g in graph.article_subject_gather[edge_mask]],
-        dtype=np.intp,
-    )
-    as_segment = np.asarray(
-        [article_map[int(s)] for s in graph.article_subject_segment[edge_mask]],
-        dtype=np.intp,
-    )
+    # Remap global row ids to subgraph-local positions. ``creator_rows`` and
+    # ``subject_rows`` are sorted (np.unique), so searchsorted IS the local
+    # index; ``article_rows`` keeps the caller's batch order, so compose the
+    # sorted lookup with the inverse permutation.
+    sub_article_creator = np.searchsorted(
+        creator_rows, graph.article_creator[article_rows]
+    ).astype(np.intp)
+    as_gather = np.searchsorted(
+        subject_rows, graph.article_subject_gather[edge_mask]
+    ).astype(np.intp)
+    article_order = np.argsort(article_rows, kind="stable")
+    as_segment = article_order[
+        np.searchsorted(
+            article_rows[article_order], graph.article_subject_segment[edge_mask]
+        )
+    ].astype(np.intp)
     local_article_rows = np.arange(article_rows.size, dtype=np.intp)
     sub_graph = GraphIndex(
         article_creator=sub_article_creator,

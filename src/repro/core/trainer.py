@@ -23,6 +23,7 @@ from ..graph.sampling import TriSplit
 from .config import FakeDetectorConfig
 from .model import FakeDetectorModel
 from .pipeline import GraphIndex, PipelineOutput, build_features, build_graph_index
+from .predictions import Prediction, predictions_from_logits
 
 
 @dataclasses.dataclass
@@ -58,6 +59,7 @@ class FakeDetector:
         self.features: Optional[PipelineOutput] = None
         self.graph: Optional[GraphIndex] = None
         self.record = TrainingRecord()
+        self._session = None  # lazily-built repro.serve.InferenceSession
 
     # ------------------------------------------------------------------
     def fit(self, dataset: NewsDataset, split: TriSplit) -> "FakeDetector":
@@ -143,6 +145,7 @@ class FakeDetector:
                         break
         if best_state is not None:
             self.model.load_state_dict(best_state)
+        self._session = None  # cached serve state is stale after refitting
         return self
 
     def _validation_accuracy(self, validation_rows: np.ndarray) -> float:
@@ -268,12 +271,57 @@ class FakeDetector:
         logits = self.model(self.features, self.graph)
         return {kind: t.data.copy() for kind, t in logits.items()}
 
-    def predict(self, kind: str) -> Dict[str, int]:
-        """Predicted class index (0..5) for every node of ``kind``."""
+    def predictions(self, kind: str, *, return_proba: bool = False) -> List[Prediction]:
+        """The unified prediction path: one :class:`Prediction` per node.
+
+        Every other transductive surface (``predict``, ``predict_proba``)
+        is a thin view over this list, so class decisions and probability
+        numerics are computed in exactly one place.
+        """
         logits = self.predict_logits()[kind]
         entity = self.features.by_type(kind)
-        predictions = logits.argmax(axis=1)
-        return {eid: int(predictions[i]) for i, eid in enumerate(entity.ids)}
+        return predictions_from_logits(entity.ids, logits, return_proba=return_proba)
+
+    def predict(self, kind: str, *, return_proba: bool = False):
+        """Predicted class for every node of ``kind``.
+
+        By default returns the historical ``{entity_id: class index 0..5}``
+        dict; with ``return_proba=True`` returns ``{entity_id:
+        Prediction}`` records carrying the full softmax distribution.
+        """
+        preds = self.predictions(kind, return_proba=return_proba)
+        if return_proba:
+            return {p.entity_id: p for p in preds}
+        return {p.entity_id: p.class_index for p in preds}
+
+    def predict_proba(self, kind: str) -> Dict[str, np.ndarray]:
+        """Softmax class distribution for every node of ``kind``.
+
+        Thin wrapper over :meth:`predictions`; probabilities come from the
+        autograd ``functional.softmax`` so serve-time and train-time
+        numerics can never drift.
+        """
+        preds = self.predictions(kind, return_proba=True)
+        return {p.entity_id: p.proba for p in preds}
+
+    # ------------------------------------------------------------------
+    def session(self, refresh: bool = False, **kwargs):
+        """The detector's cached :class:`repro.serve.InferenceSession`.
+
+        Built lazily on first use (one full-graph forward pass) and reused
+        until the next :meth:`fit`. Pass ``refresh=True`` after mutating
+        the model/features out-of-band; keyword arguments (cache size,
+        shared metrics) force a fresh, uncached session.
+        """
+        from ..serve.session import InferenceSession
+
+        if self.model is None:
+            raise RuntimeError("fit() must be called before building a session")
+        if kwargs:
+            return InferenceSession(self, **kwargs)
+        if refresh or self._session is None:
+            self._session = InferenceSession(self)
+        return self._session
 
     def predict_new_articles(self, articles) -> Dict[str, int]:
         """Inductive inference: credibility of articles NOT in the trained graph.
@@ -284,12 +332,12 @@ class FakeDetector:
         convention). The article's own features come from the fitted
         pipeline's vocabulary and word sets.
 
+        Routed through the cached :meth:`session`, so transient scripts and
+        the long-lived server share one code path — the full-graph state
+        pass runs once per fitted model, not once per call.
+
         Returns ``{article_id: class index 0..5}``.
         """
-        from ..autograd import Tensor
-        from ..text.sequences import encode_batch
-        from ..text.tokenizer import tokenize
-
         if self.model is None:
             raise RuntimeError("fit() must be called before predict_new_articles")
         if not articles:
@@ -297,38 +345,23 @@ class FakeDetector:
         ids = [a.article_id for a in articles]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate article ids in inductive batch")
+        preds = self.session().predict_articles(articles)
+        return {p.entity_id: p.class_index for p in preds}
 
-        self.model.eval()
-        _, states = self.model.forward_with_states(self.features, self.graph)
-        h_u, h_s = states["creator"].data, states["subject"].data
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the fitted detector (config, pipeline, graph, weights).
 
-        tokens = [tokenize(a.text) for a in articles]
-        explicit = self.features.extractors["article"].transform(tokens)
-        sequences = encode_batch(tokens, self.features.vocab, self.config.max_seq_len)
-        x = self.model.hflu_article(explicit, sequences)
+        See :mod:`repro.serve.checkpoint` for the directory layout; the
+        round trip reproduces bit-identical :meth:`predict_logits` output.
+        """
+        from ..serve.checkpoint import save_detector
 
-        hidden = self.model.gdu_article.hidden_dim
-        z = np.zeros((len(articles), hidden))
-        t = np.zeros((len(articles), hidden))
-        c_index = self.features.creators.index
-        s_index = self.features.subjects.index
-        for i, article in enumerate(articles):
-            known_subjects = [s_index[s] for s in article.subject_ids if s in s_index]
-            if known_subjects:
-                z[i] = h_s[known_subjects].mean(axis=0)
-            if article.creator_id in c_index:
-                t[i] = h_u[c_index[article.creator_id]]
+        save_detector(self, path)
 
-        h = self.model.gdu_article(x, Tensor(z), Tensor(t))
-        logits = self.model.head_article(h).data
-        predictions = logits.argmax(axis=1)
-        return {aid: int(p) for aid, p in zip(ids, predictions)}
+    @classmethod
+    def load(cls, path) -> "FakeDetector":
+        """Rebuild a fitted detector from a :meth:`save` directory."""
+        from ..serve.checkpoint import load_detector
 
-    def predict_proba(self, kind: str) -> Dict[str, np.ndarray]:
-        """Softmax class distribution for every node of ``kind``."""
-        logits = self.predict_logits()[kind]
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        probs = np.exp(shifted)
-        probs /= probs.sum(axis=1, keepdims=True)
-        entity = self.features.by_type(kind)
-        return {eid: probs[i] for i, eid in enumerate(entity.ids)}
+        return load_detector(path)

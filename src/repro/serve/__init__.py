@@ -1,0 +1,44 @@
+"""Persistent inference subsystem: checkpoints, sessions, batching, metrics.
+
+The serving stack, bottom-up:
+
+- :mod:`repro.serve.checkpoint` — ``save_detector``/``load_detector``
+  round-trip a fitted :class:`repro.FakeDetector` through an on-disk
+  directory (also exposed as ``FakeDetector.save``/``FakeDetector.load``).
+- :class:`InferenceSession` — runs the full-graph forward once, caches the
+  creator/subject GDU states, then scores new articles in O(batch).
+- :class:`BatchQueue` — micro-batching request queue for concurrent clients.
+- :class:`LRUCache` — text-feature cache keyed on article-text hash.
+- :class:`ServingMetrics` — latency/throughput/cache counters with
+  ``snapshot()`` reporting.
+
+Typical server::
+
+    detector = FakeDetector.load("checkpoints/politifact")
+    session = InferenceSession(detector)
+    with BatchQueue(session.predict_articles, max_batch_size=64) as queue:
+        prediction = queue.predict(ArticleRequest("id1", "claim text ..."))
+    print(session.snapshot())
+"""
+
+from ..core.predictions import Prediction, predictions_from_logits
+from .batching import BatchQueue, PendingResult, QueueStopped
+from .cache import LRUCache
+from .checkpoint import CHECKPOINT_FORMAT, load_detector, save_detector
+from .metrics import ServingMetrics
+from .session import ArticleRequest, InferenceSession
+
+__all__ = [
+    "Prediction",
+    "predictions_from_logits",
+    "InferenceSession",
+    "ArticleRequest",
+    "BatchQueue",
+    "PendingResult",
+    "QueueStopped",
+    "LRUCache",
+    "ServingMetrics",
+    "save_detector",
+    "load_detector",
+    "CHECKPOINT_FORMAT",
+]

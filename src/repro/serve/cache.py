@@ -1,0 +1,78 @@
+"""Thread-safe LRU cache for serve-time text features.
+
+Feature extraction (tokenize → bag-of-words → padded index sequence) is the
+per-request CPU cost that does not shrink with batching; viral statements
+arrive many times, so an LRU keyed on the article-text hash removes repeat
+work entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with hit/miss accounting.
+
+    ``maxsize=0`` disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op), which keeps call sites branch-free.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh a value, evicting the least recently used entry."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,91 @@
+"""Serving observability: request/batch/cache counters and latency stats.
+
+One :class:`ServingMetrics` instance rides along an
+:class:`repro.serve.InferenceSession`; every prediction batch records its
+size and wall time, and :meth:`snapshot` renders the operational picture
+(throughput, latency percentiles, micro-batch efficiency, cache hit rate)
+as a plain dict ready for JSON export.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict
+
+#: Bounded window of per-request latencies kept for percentile estimates.
+LATENCY_WINDOW = 4096
+
+
+class ServingMetrics:
+    """Thread-safe counters for a serving session."""
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW):
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self.requests = 0
+        self.batches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.total_seconds = 0.0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    def record_batch(self, size: int, seconds: float) -> None:
+        """Account one prediction batch of ``size`` requests."""
+        if size <= 0:
+            return
+        per_request = seconds / size
+        with self._lock:
+            self.requests += size
+            self.batches += 1
+            self.total_seconds += seconds
+            self._latencies.extend([per_request] * size)
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(sorted_values, fraction: float) -> float:
+        if not sorted_values:
+            return 0.0
+        idx = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+        return sorted_values[idx]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time report of everything the session has served."""
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            latencies = sorted(self._latencies)
+            cache_total = self.cache_hits + self.cache_misses
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "mean_batch_size": self.requests / self.batches if self.batches else 0.0,
+                "throughput_rps": self.requests / elapsed if elapsed > 0 else 0.0,
+                "uptime_seconds": elapsed,
+                "busy_seconds": self.total_seconds,
+                "latency_mean_ms": 1e3 * sum(latencies) / len(latencies) if latencies else 0.0,
+                "latency_p50_ms": 1e3 * self._percentile(latencies, 0.50),
+                "latency_p95_ms": 1e3 * self._percentile(latencies, 0.95),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": self.cache_hits / cache_total if cache_total else 0.0,
+            }
+
+    def render(self) -> str:
+        """Human-readable one-per-line snapshot (the CLI footer)."""
+        snap = self.snapshot()
+        lines = ["serving metrics:"]
+        for key, value in snap.items():
+            if isinstance(value, float):
+                lines.append(f"  {key:18s} {value:.4f}")
+            else:
+                lines.append(f"  {key:18s} {value}")
+        return "\n".join(lines)

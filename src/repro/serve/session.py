@@ -1,0 +1,193 @@
+"""Cached-state inference sessions: O(batch) scoring against a fitted graph.
+
+``FakeDetector.predict_new_articles`` historically re-ran the full-graph
+``forward_with_states`` on *every* call, so per-request latency scaled with
+the whole News-HSN. Following the amortization argument of "Fake News Quick
+Detection on Dynamic Heterogeneous Information Networks" (arXiv 2205.07039),
+an :class:`InferenceSession` runs that expensive pass exactly once at
+construction, caches the creator/subject GDU hidden states and row indices,
+and then answers article queries with a forward over the batch alone:
+HFLU(text) → article GDU against cached neighbor states → softmax head.
+Unknown creators/subjects fall back to the zero state — FAKEDETECTOR §4.2's
+unused-port convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..core.predictions import Prediction, predictions_from_logits
+from ..text.sequences import encode_sequence
+from ..text.tokenizer import tokenize
+from .cache import LRUCache
+from .metrics import ServingMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.trainer import FakeDetector
+
+
+@dataclasses.dataclass
+class ArticleRequest:
+    """A serve-time scoring request: the duck-typed subset of ``Article``.
+
+    Incoming statements have no ground-truth label, so the server accepts
+    this lightweight record (or any object with the same attributes,
+    including :class:`repro.data.Article`).
+    """
+
+    article_id: str
+    text: str
+    creator_id: str = ""
+    subject_ids: List[str] = dataclasses.field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ArticleRequest":
+        return cls(
+            article_id=str(payload["article_id"]),
+            text=str(payload.get("text", "")),
+            creator_id=str(payload.get("creator_id", "") or ""),
+            subject_ids=[str(s) for s in payload.get("subject_ids", [])],
+        )
+
+
+def _text_key(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+class InferenceSession:
+    """Persistent serving wrapper around a fitted :class:`FakeDetector`.
+
+    Parameters
+    ----------
+    detector:
+        A fitted detector (freshly trained or :meth:`FakeDetector.load`-ed).
+    feature_cache_size:
+        LRU capacity for per-text feature vectors (0 disables the cache).
+    metrics:
+        Optional shared :class:`ServingMetrics`; a fresh one by default.
+
+    The constructor performs the single full-graph forward pass; afterwards
+    :meth:`predict_articles` never touches the graph again.
+    """
+
+    def __init__(
+        self,
+        detector: "FakeDetector",
+        *,
+        feature_cache_size: int = 2048,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        if detector.model is None or detector.features is None:
+            raise RuntimeError("InferenceSession requires a fitted detector")
+        self.detector = detector
+        self.config = detector.config
+        self.metrics = metrics or ServingMetrics()
+        self._feature_cache = LRUCache(feature_cache_size)
+
+        model = detector.model
+        model.eval()
+        # The one-and-only full-graph pass: cache every node type's final
+        # GDU state plus the row indices needed to look neighbors up.
+        logits, states = model.forward_with_states(detector.features, detector.graph)
+        self._graph_logits = {kind: t.data.copy() for kind, t in logits.items()}
+        self._h_creator = states["creator"].data.copy()
+        self._h_subject = states["subject"].data.copy()
+        self._creator_rows = dict(detector.features.creators.index)
+        self._subject_rows = dict(detector.features.subjects.index)
+        self._extractor = detector.features.extractors["article"]
+        self._vocab = detector.features.vocab
+
+    # ------------------------------------------------------------------
+    def _encode(self, text: str):
+        """(explicit, sequence) features for one text, via the LRU cache."""
+        key = _text_key(text)
+        cached = self._feature_cache.get(key)
+        if cached is not None:
+            self.metrics.record_cache(hit=True)
+            return cached
+        self.metrics.record_cache(hit=False)
+        tokens = tokenize(text)
+        encoded = (
+            self._extractor.transform_one(tokens),
+            encode_sequence(tokens, self._vocab, self.config.max_seq_len),
+        )
+        self._feature_cache.put(key, encoded)
+        return encoded
+
+    def predict_articles(
+        self,
+        articles: Sequence,
+        *,
+        return_proba: bool = False,
+    ) -> List[Prediction]:
+        """Score a batch of new articles against the cached graph states.
+
+        Each element needs ``article_id``, ``text``, ``creator_id`` and
+        ``subject_ids`` attributes (``Article`` or :class:`ArticleRequest`).
+        Returns one :class:`Prediction` per input, in order.
+        """
+        if not articles:
+            return []
+        start = perf_counter()
+        model = self.detector.model
+        model.eval()
+
+        encoded = [self._encode(a.text) for a in articles]
+        explicit = np.stack([e for e, _ in encoded])
+        sequences = np.stack([s for _, s in encoded])
+        x = model.hflu_article(explicit, sequences)
+
+        hidden = model.gdu_article.hidden_dim
+        z = np.zeros((len(articles), hidden))
+        t = np.zeros((len(articles), hidden))
+        for i, article in enumerate(articles):
+            known_subjects = [
+                self._subject_rows[s]
+                for s in article.subject_ids
+                if s in self._subject_rows
+            ]
+            if known_subjects:
+                z[i] = self._h_subject[known_subjects].mean(axis=0)
+            creator_row = self._creator_rows.get(article.creator_id)
+            if creator_row is not None:
+                t[i] = self._h_creator[creator_row]
+
+        h = model.gdu_article(x, Tensor(z), Tensor(t))
+        logits = model.head_article(h).data
+        ids = [a.article_id for a in articles]
+        result = predictions_from_logits(ids, logits, return_proba=return_proba)
+        self.metrics.record_batch(len(articles), perf_counter() - start)
+        return result
+
+    def predict_article(self, article, *, return_proba: bool = False) -> Prediction:
+        """Single-request convenience wrapper over :meth:`predict_articles`."""
+        return self.predict_articles([article], return_proba=return_proba)[0]
+
+    # ------------------------------------------------------------------
+    def predict_known(
+        self, kind: str, *, return_proba: bool = False
+    ) -> List[Prediction]:
+        """Predictions for every node already in the trained graph.
+
+        Served from the logits cached at construction — no forward pass.
+        """
+        entity = self.detector.features.by_type(kind)
+        return predictions_from_logits(
+            entity.ids, self._graph_logits[kind], return_proba=return_proba
+        )
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        return self._feature_cache.stats()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Serving report: metrics counters plus cache occupancy."""
+        snap = self.metrics.snapshot()
+        snap["feature_cache_size"] = float(len(self._feature_cache))
+        return snap

@@ -194,6 +194,32 @@ class BagOfWordsExtractor:
                 vec /= norm
         return vec
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`).
+
+        Floats survive a JSON round trip exactly in Python, so a restored
+        extractor produces bit-identical feature vectors.
+        """
+        return {
+            "words": list(self.words),
+            "normalize": self.normalize,
+            "weighting": self.weighting,
+            "idf": self.idf.tolist() if self.idf is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BagOfWordsExtractor":
+        """Rebuild an extractor from :meth:`to_dict` output."""
+        extractor = cls(
+            payload["words"],
+            normalize=payload["normalize"],
+            weighting=payload["weighting"],
+        )
+        if payload.get("idf") is not None:
+            extractor.idf = np.asarray(payload["idf"], dtype=np.float64)
+        return extractor
+
     def transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
         """Featurize many documents into an (n, d) matrix."""
         out = np.zeros((len(documents), self.dim), dtype=np.float64)

@@ -103,22 +103,29 @@ class Vocabulary:
         return self.counts.most_common(k)
 
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist the vocabulary as JSON."""
-        payload = {
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
             "max_size": self.max_size,
             "min_count": self.min_count,
             "tokens": self._index_to_token[2:],  # specials are implicit
             "counts": dict(self.counts),
         }
-        Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Vocabulary":
-        """Load a vocabulary saved by :meth:`save`."""
-        payload = json.loads(Path(path).read_text())
+    def from_dict(cls, payload: Dict) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_dict` output."""
         vocab = cls(max_size=payload["max_size"], min_count=payload["min_count"])
         for tok in payload["tokens"]:
             vocab._add(tok)
         vocab.counts = Counter(payload["counts"])
         return vocab
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the vocabulary as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Vocabulary":
+        """Load a vocabulary saved by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -68,6 +68,65 @@ class TestCommands:
         assert "svm" in out
 
 
+class TestServing:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve") / "detector"
+        code = main([
+            "train", "--scale", "0.01", "--seed", "3", "--epochs", "2",
+            "--explicit-dim", "20", "--max-seq-len", "8",
+            "--save", str(path),
+        ])
+        assert code == 0
+        return path
+
+    @staticmethod
+    def _write_requests(path):
+        import json
+
+        lines = [
+            {"article_id": "r1", "text": "secret rigged hoax conspiracy"},
+            {"article_id": "r2", "text": "census report data analysis",
+             "creator_id": "creator_0", "subject_ids": ["subject_0"]},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return [line["article_id"] for line in lines]
+
+    def test_train_save_writes_checkpoint(self, checkpoint):
+        assert (checkpoint / "detector.json").exists()
+        assert (checkpoint / "arrays.npz").exists()
+        assert (checkpoint / "model.npz").exists()
+
+    def test_infer_scores_requests(self, checkpoint, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        ids = self._write_requests(requests)
+        code = main(["infer", str(checkpoint), "--articles", str(requests), "--proba"])
+        assert code == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert [line["entity_id"] for line in lines] == ids
+        for line in lines:
+            assert 0 <= line["class_index"] <= 5
+            assert len(line["proba"]) == 6
+
+    def test_serve_processes_stream_and_reports_metrics(self, checkpoint, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "stream.jsonl"
+        ids = self._write_requests(requests)
+        code = main([
+            "serve", str(checkpoint), "--input", str(requests),
+            "--max-batch-size", "4", "--max-wait", "0.005",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert sorted(line["entity_id"] for line in lines) == sorted(ids)
+        assert "serving metrics:" in captured.err
+        assert "throughput_rps" in captured.err
+
+
 class TestTune:
     def test_parse_grid(self):
         from repro.cli import _parse_grid

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, instrument_op
 
 
 def segment_sum(source: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -82,3 +82,9 @@ def gather_segment_mean(
         return (src_grad,)
 
     return Tensor._make(out, (source,), backward)
+
+
+# The diffusion layer's hot aggregation ops show up in op profiles under
+# their own names rather than dissolving into generic index/sum time.
+segment_sum = instrument_op("segment_sum", segment_sum)
+gather_segment_mean = instrument_op("gather_segment_mean", gather_segment_mean)

@@ -18,11 +18,70 @@ Design notes
 
 from __future__ import annotations
 
+import functools
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# ----------------------------------------------------------------------
+# Op-level profiling hook
+# ----------------------------------------------------------------------
+#: Global timing hook, installed by :mod:`repro.obs.profiler`. When ``None``
+#: (the default) every instrumented op takes a single ``is None`` fast path;
+#: when set it is called as ``hook(phase, op, seconds)`` with phase
+#: ``"forward"`` or ``"backward"`` for each tape op executed.
+_OP_HOOK: Optional[Callable[[str, str, float], None]] = None
+
+
+def set_op_hook(
+    hook: Optional[Callable[[str, str, float], None]],
+) -> Optional[Callable[[str, str, float], None]]:
+    """Install (or clear, with ``None``) the global op-timing hook.
+
+    Returns the previously installed hook so callers can restore it,
+    which makes nested profilers well-behaved.
+    """
+    global _OP_HOOK
+    previous = _OP_HOOK
+    _OP_HOOK = hook
+    return previous
+
+
+def instrument_op(op: str, fn: Callable) -> Callable:
+    """Wrap a tape op so the global hook times its forward and backward.
+
+    The forward wrapper also rebinds the produced tensor's ``_backward``
+    closure, so backward time lands on the op that created the node. With
+    no hook installed the wrapper is one global read and one comparison.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        hook = _OP_HOOK
+        if hook is None:
+            return fn(*args, **kwargs)
+        t0 = perf_counter()
+        out = fn(*args, **kwargs)
+        hook("forward", op, perf_counter() - t0)
+        if isinstance(out, Tensor) and out._backward is not None:
+            inner = out._backward
+
+            def timed_backward(grad, _inner=inner, _op=op):
+                backward_hook = _OP_HOOK
+                if backward_hook is None:
+                    return _inner(grad)
+                t1 = perf_counter()
+                grads = _inner(grad)
+                backward_hook("backward", _op, perf_counter() - t1)
+                return grads
+
+            out._backward = timed_backward
+        return out
+
+    return wrapper
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -546,3 +605,45 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
         )
 
     return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Tape instrumentation
+# ----------------------------------------------------------------------
+#: Tensor methods timed by the op profiler, keyed by public op name.
+PROFILED_OPS = {
+    "add": "__add__",
+    "neg": "__neg__",
+    "sub": "__sub__",
+    "mul": "__mul__",
+    "div": "__truediv__",
+    "pow": "__pow__",
+    "matmul": "__matmul__",
+    "reshape": "reshape",
+    "transpose": "transpose",
+    "index": "__getitem__",
+    "squeeze": "squeeze",
+    "expand_dims": "expand_dims",
+    "sum": "sum",
+    "mean": "mean",
+    "max": "max",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "tanh": "tanh",
+    "sigmoid": "sigmoid",
+    "relu": "relu",
+    "abs": "abs",
+    "clip": "clip",
+}
+
+for _op_name, _attr in PROFILED_OPS.items():
+    setattr(Tensor, _attr, instrument_op(_op_name, getattr(Tensor, _attr)))
+# The reflected aliases were bound in the class body before wrapping; they
+# must point at the instrumented implementations.
+Tensor.__radd__ = Tensor.__add__
+Tensor.__rmul__ = Tensor.__mul__
+
+concatenate = instrument_op("concat", concatenate)
+stack = instrument_op("stack", stack)
+where = instrument_op("where", where)

@@ -5,11 +5,14 @@ Commands
 generate   write a synthetic PolitiFact-like corpus to JSON lines
 analyze    print Table 1 + Figure 1 for a corpus (file or synthetic)
 train      train FakeDetector on a corpus and report held-out metrics
+           (--trace t.jsonl records a span trace, --profile adds an
+           autograd op profile)
 evaluate   run the Figure 4/5 θ-sweep over the comparison methods
 tune       grid-search FakeDetector hyperparameters with inner CV
 report     write the complete reproduction artifact set to a directory
 infer      one-shot inductive scoring from a saved detector checkpoint
 serve      long-lived micro-batched serving loop over JSONL requests
+obs        observability utilities (``obs report t.jsonl`` renders a trace)
 """
 
 from __future__ import annotations
@@ -63,6 +66,8 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_train(args) -> int:
+    from .obs import OpProfiler, Tracer, install_tracer, uninstall_tracer
+
     dataset = _load_or_generate(args)
     split = next(
         tri_splits(
@@ -80,7 +85,25 @@ def cmd_train(args) -> int:
         log_every=max(1, args.epochs // 5),
         seed=args.seed,
     )
-    detector = FakeDetector(config).fit(dataset, split)
+    tracer = Tracer(path=args.trace) if args.trace else None
+    profiler = OpProfiler() if args.profile else None
+    if tracer:
+        install_tracer(tracer)
+    if profiler:
+        profiler.start()
+    try:
+        detector = FakeDetector(config).fit(dataset, split)
+    finally:
+        if profiler:
+            profiler.stop()
+        if tracer:
+            if profiler:
+                tracer.write(profiler.to_dict())
+            uninstall_tracer()
+            tracer.close()
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if profiler:
+        print(profiler.table(), file=sys.stderr)
     if args.checkpoint:
         from .autograd import save_state
 
@@ -165,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--save", type=Path, default=None,
                          help="write a full detector checkpoint directory "
                               "(loadable by `repro infer`/`repro serve`)")
+    p_train.add_argument("--trace", type=Path, default=None,
+                         help="write a JSONL span trace of the run "
+                              "(render with `repro obs report`)")
+    p_train.add_argument("--profile", action="store_true",
+                         help="profile autograd ops; prints a per-op table "
+                              "and embeds it in --trace output")
     p_train.set_defaults(func=cmd_train)
 
     p_infer = sub.add_parser(
@@ -193,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-size", type=int, default=2048,
                          help="LRU text-feature cache entries (0 disables)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="render a JSONL trace (span tree + op profile)"
+    )
+    p_obs_report.add_argument("trace", type=Path, help="trace JSONL file")
+    p_obs_report.set_defaults(func=cmd_obs_report)
 
     p_eval = sub.add_parser("evaluate", help="Figure 4/5 method sweep")
     _add_corpus_args(p_eval)
@@ -223,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--folds-run", type=int, default=1)
     p_report.set_defaults(func=cmd_report)
     return parser
+
+
+def cmd_obs_report(args) -> int:
+    """Render a trace JSONL file: span self-time tree + op profile tables."""
+    from .obs import render_trace_file
+
+    print(render_trace_file(args.trace))
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -270,6 +315,7 @@ def cmd_infer(args) -> int:
     session = InferenceSession(detector)
     for prediction in session.predict_articles(requests, return_proba=args.proba):
         print(json.dumps(prediction.to_dict()))
+    print(session.metrics.render(), file=sys.stderr)
     return 0
 
 
@@ -296,7 +342,8 @@ def cmd_serve(args) -> int:
         return session.predict_articles(batch, return_proba=args.proba)
 
     with BatchQueue(handle, max_batch_size=args.max_batch_size,
-                    max_wait=args.max_wait) as batch_queue:
+                    max_wait=args.max_wait,
+                    metrics=session.metrics) as batch_queue:
         pending = [
             (request, batch_queue.submit(request))
             for request in _read_requests(args.input)

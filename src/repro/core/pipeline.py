@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..data.schema import NewsDataset
+from ..obs import trace
 from ..text.features import BagOfWordsExtractor
 from ..text.sequences import encode_batch
 from ..text.tokenizer import tokenize
@@ -75,17 +76,59 @@ def build_features(
     latent RNN is built from all text (the text of test nodes is part of the
     given network, only their labels are hidden).
     """
+    span = trace(
+        "pipeline.build_features",
+        articles=len(dataset.articles),
+        creators=len(dataset.creators),
+        subjects=len(dataset.subjects),
+    )
+    with span:
+        return _build_features_traced(
+            dataset,
+            train_article_ids,
+            train_creator_ids,
+            train_subject_ids,
+            explicit_dim,
+            vocab_size,
+            max_seq_len,
+            word_selection,
+            normalize_explicit,
+            explicit_weighting,
+            span,
+        )
+
+
+def _build_features_traced(
+    dataset,
+    train_article_ids,
+    train_creator_ids,
+    train_subject_ids,
+    explicit_dim,
+    vocab_size,
+    max_seq_len,
+    word_selection,
+    normalize_explicit,
+    explicit_weighting,
+    span,
+) -> PipelineOutput:
     article_ids = sorted(dataset.articles)
     creator_ids = sorted(dataset.creators)
     subject_ids = sorted(dataset.subjects)
 
-    article_tokens = [tokenize(dataset.articles[a].text) for a in article_ids]
-    creator_tokens = [tokenize(dataset.creators[c].profile) for c in creator_ids]
-    subject_tokens = [tokenize(dataset.subjects[s].description) for s in subject_ids]
+    with trace("pipeline.tokenize"):
+        article_tokens = [tokenize(dataset.articles[a].text) for a in article_ids]
+        creator_tokens = [tokenize(dataset.creators[c].profile) for c in creator_ids]
+        subject_tokens = [
+            tokenize(dataset.subjects[s].description) for s in subject_ids
+        ]
 
-    vocab = Vocabulary.build(
-        article_tokens + creator_tokens + subject_tokens, max_size=vocab_size, min_count=1
-    )
+    with trace("pipeline.vocabulary"):
+        vocab = Vocabulary.build(
+            article_tokens + creator_tokens + subject_tokens,
+            max_size=vocab_size,
+            min_count=1,
+        )
+    span.set(vocab_size=len(vocab))
 
     def entity_features(
         ids: List[str],
@@ -130,15 +173,18 @@ def build_features(
         for s in subject_ids
     }
 
-    articles, article_extractor = entity_features(
-        article_ids, article_tokens, article_labels, train_article_ids
-    )
-    creators, creator_extractor = entity_features(
-        creator_ids, creator_tokens, creator_labels, train_creator_ids
-    )
-    subjects, subject_extractor = entity_features(
-        subject_ids, subject_tokens, subject_labels, train_subject_ids
-    )
+    with trace("pipeline.encode", kind="article"):
+        articles, article_extractor = entity_features(
+            article_ids, article_tokens, article_labels, train_article_ids
+        )
+    with trace("pipeline.encode", kind="creator"):
+        creators, creator_extractor = entity_features(
+            creator_ids, creator_tokens, creator_labels, train_creator_ids
+        )
+    with trace("pipeline.encode", kind="subject"):
+        subjects, subject_extractor = entity_features(
+            subject_ids, subject_tokens, subject_labels, train_subject_ids
+        )
 
     return PipelineOutput(
         articles=articles,
@@ -247,6 +293,11 @@ def subgraph_view(
 
 def build_graph_index(dataset: NewsDataset, features: PipelineOutput) -> GraphIndex:
     """Translate entity-id links into aligned row-index edge arrays."""
+    with trace("pipeline.build_graph_index", articles=features.articles.num):
+        return _build_graph_index(dataset, features)
+
+
+def _build_graph_index(dataset: NewsDataset, features: PipelineOutput) -> GraphIndex:
     a_index = features.articles.index
     c_index = features.creators.index
     s_index = features.subjects.index

@@ -12,6 +12,8 @@ a :class:`NewsDataset` and a :class:`TriSplit`.
 from __future__ import annotations
 
 import dataclasses
+import math
+from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -20,6 +22,7 @@ from ..autograd import functional as F
 from ..autograd import optim
 from ..data.schema import NewsDataset
 from ..graph.sampling import TriSplit
+from ..obs import get_logger, trace
 from .config import FakeDetectorConfig
 from .model import FakeDetectorModel
 from .pipeline import GraphIndex, PipelineOutput, build_features, build_graph_index
@@ -28,7 +31,13 @@ from .predictions import Prediction, predictions_from_logits
 
 @dataclasses.dataclass
 class TrainingRecord:
-    """Loss trajectory of one fit() call."""
+    """Loss trajectory of one fit() call.
+
+    Alongside the paper's per-kind loss curves this keeps the operational
+    trajectory — per-epoch wall time and pre-clip gradient norm — so a run
+    is diagnosable after the fact without re-training (and the convergence
+    figures can be annotated with cost).
+    """
 
     total: List[float] = dataclasses.field(default_factory=list)
     article: List[float] = dataclasses.field(default_factory=list)
@@ -37,10 +46,27 @@ class TrainingRecord:
     #: per-epoch validation bi-class article accuracy (only populated when
     #: FakeDetectorConfig.validation_fraction > 0)
     validation: List[float] = dataclasses.field(default_factory=list)
+    #: per-epoch wall-clock seconds
+    epoch_seconds: List[float] = dataclasses.field(default_factory=list)
+    #: per-epoch global gradient L2 norm before clipping (mean over
+    #: minibatch steps when batch_size is set)
+    grad_norms: List[float] = dataclasses.field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         return self.total[-1] if self.total else float("nan")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.epoch_seconds)
+
+    def per_kind(self, epoch: int) -> Dict[str, float]:
+        """The three per-kind losses of one (0-based) epoch."""
+        return {
+            "article": self.article[epoch],
+            "creator": self.creator[epoch],
+            "subject": self.subject[epoch],
+        }
 
 
 class FakeDetector:
@@ -110,39 +136,82 @@ class FakeDetector:
         best_score = -float("inf")  # watched quantity, higher = better
         best_state = None
         stale = 0
+        logger = get_logger("train")
 
-        for epoch in range(config.epochs):
-            self.model.train()
-            if config.batch_size is None:
-                losses = self._full_batch_step(train_rows, params, optimizer)
-            else:
-                losses = self._minibatch_epoch(train_rows, params, optimizer, rng)
+        with trace(
+            "fit",
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            train_articles=int(train_rows["article"].size),
+        ) as fit_span:
+            for epoch in range(config.epochs):
+                epoch_start = perf_counter()
+                with trace("epoch", epoch=epoch + 1) as span:
+                    self.model.train()
+                    if config.batch_size is None:
+                        losses, stats = self._full_batch_step(
+                            train_rows, params, optimizer
+                        )
+                    else:
+                        losses, stats = self._minibatch_epoch(
+                            train_rows, params, optimizer, rng
+                        )
 
-            self.record.total.append(losses["total"])
-            self.record.article.append(losses.get("article", 0.0))
-            self.record.creator.append(losses.get("creator", 0.0))
-            self.record.subject.append(losses.get("subject", 0.0))
-            if config.log_every and (epoch + 1) % config.log_every == 0:
-                print(f"epoch {epoch + 1:4d}  loss {self.record.total[-1]:.4f}")
+                    seconds = perf_counter() - epoch_start
+                    self.record.total.append(losses["total"])
+                    self.record.article.append(losses.get("article", 0.0))
+                    self.record.creator.append(losses.get("creator", 0.0))
+                    self.record.subject.append(losses.get("subject", 0.0))
+                    self.record.epoch_seconds.append(seconds)
+                    self.record.grad_norms.append(stats["grad_norm"])
+                    span.set(
+                        loss_total=losses["total"],
+                        loss_article=losses.get("article", 0.0),
+                        loss_creator=losses.get("creator", 0.0),
+                        loss_subject=losses.get("subject", 0.0),
+                        grad_norm=stats["grad_norm"],
+                        steps=stats["steps"],
+                        seconds=seconds,
+                    )
+                    if config.log_every and (epoch + 1) % config.log_every == 0:
+                        logger.info(
+                            "epoch",
+                            epoch=epoch + 1,
+                            loss=losses["total"],
+                            loss_article=losses.get("article", 0.0),
+                            loss_creator=losses.get("creator", 0.0),
+                            loss_subject=losses.get("subject", 0.0),
+                            grad_norm=stats["grad_norm"],
+                            seconds=seconds,
+                        )
 
-            if config.early_stop_patience:
-                if validation_rows.size:
-                    score = self._validation_accuracy(validation_rows)
-                    self.record.validation.append(score)
-                else:
-                    score = -self.record.total[-1]
-                if score > best_score + 1e-5:
-                    best_score = score
-                    stale = 0
-                    if validation_rows.size:
-                        best_state = self.model.state_dict()
-                else:
-                    stale += 1
-                    if (
-                        stale >= config.early_stop_patience
-                        and epoch + 1 >= config.early_stop_min_epochs
-                    ):
-                        break
+                    if config.early_stop_patience:
+                        if validation_rows.size:
+                            score = self._validation_accuracy(validation_rows)
+                            self.record.validation.append(score)
+                            span.set(validation_accuracy=score)
+                        else:
+                            score = -self.record.total[-1]
+                        if score > best_score + 1e-5:
+                            best_score = score
+                            stale = 0
+                            if validation_rows.size:
+                                best_state = self.model.state_dict()
+                        else:
+                            stale += 1
+                            if (
+                                stale >= config.early_stop_patience
+                                and epoch + 1 >= config.early_stop_min_epochs
+                            ):
+                                logger.debug(
+                                    "early_stop", epoch=epoch + 1, best=best_score
+                                )
+                                break
+            fit_span.set(
+                epochs_run=len(self.record.total),
+                final_loss=self.record.final_loss,
+                total_seconds=self.record.total_seconds,
+            )
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self._session = None  # cached serve state is stale after refitting
@@ -190,19 +259,34 @@ class FakeDetector:
         losses["total"] = float(total.item())
         return total, losses
 
-    def _apply_gradients(self, total, params, optimizer) -> None:
+    def _apply_gradients(self, total, params, optimizer) -> float:
+        """Backward + clip + step; returns the pre-clip global grad norm."""
         optimizer.zero_grad()
-        total.backward()
+        with trace("backward"):
+            total.backward()
         if self.config.grad_clip > 0:
-            optim.clip_grad_norm(params, self.config.grad_clip)
+            norm = optim.clip_grad_norm(params, self.config.grad_clip)
+        else:
+            norm = math.sqrt(
+                sum(
+                    float((p.grad ** 2).sum())
+                    for p in params
+                    if p.grad is not None
+                )
+            )
         optimizer.step()
+        return norm
 
     def _full_batch_step(self, train_rows, params, optimizer):
         """One full-graph gradient step (the paper's training regime)."""
-        logits = self.model(self.features, self.graph)
-        total, losses = self._joint_loss(logits, self.features, train_rows, params)
-        self._apply_gradients(total, params, optimizer)
-        return losses
+        with trace("step"):
+            with trace("forward"):
+                logits = self.model(self.features, self.graph)
+            total, losses = self._joint_loss(
+                logits, self.features, train_rows, params
+            )
+            norm = self._apply_gradients(total, params, optimizer)
+        return losses, {"grad_norm": norm, "steps": 1}
 
     def _minibatch_epoch(self, train_rows, params, optimizer, rng):
         """One epoch of neighbor-sampled subgraph steps.
@@ -221,6 +305,7 @@ class FakeDetector:
         train_subject_set = set(train_rows["subject"].tolist())
         order = rng.permutation(article_rows.size)
         accumulated = {"total": 0.0, "article": 0.0, "creator": 0.0, "subject": 0.0}
+        norm_sum = 0.0
         steps = 0
         for start in range(0, order.size, config.batch_size):
             batch = article_rows[order[start : start + config.batch_size]]
@@ -249,13 +334,18 @@ class FakeDetector:
                 "creator": creator_rows,
                 "subject": subject_rows,
             }
-            logits = self.model(sub_features, sub_graph)
-            total, losses = self._joint_loss(logits, sub_features, rows_by_kind, params)
-            self._apply_gradients(total, params, optimizer)
+            with trace("step", batch=int(batch.size)):
+                with trace("forward"):
+                    logits = self.model(sub_features, sub_graph)
+                total, losses = self._joint_loss(
+                    logits, sub_features, rows_by_kind, params
+                )
+                norm_sum += self._apply_gradients(total, params, optimizer)
             for key in accumulated:
                 accumulated[key] += losses.get(key, 0.0)
             steps += 1
-        return {key: value / max(1, steps) for key, value in accumulated.items()}
+        losses = {key: value / max(1, steps) for key, value in accumulated.items()}
+        return losses, {"grad_norm": norm_sum / max(1, steps), "steps": steps}
 
     @staticmethod
     def _labeled_rows(entity, train_ids) -> np.ndarray:

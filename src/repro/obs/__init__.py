@@ -1,0 +1,91 @@
+"""Unified observability: structured events, span traces, metrics, op profiles.
+
+Four dependency-free building blocks shared by training, serving and the
+autograd engine:
+
+- :mod:`repro.obs.events` — structured event logging. ``get_logger()``
+  returns the process-global logger (human stderr sink by default);
+  ``configure_logging`` rewires levels, namespace filters and JSONL sinks.
+- :mod:`repro.obs.tracing` — nested timed spans.
+  ``with trace("epoch", epoch=i) as span: span.set(loss=...)`` is free when
+  no tracer is installed and streams JSONL when one is.
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms in a
+  :class:`MetricsRegistry`; :class:`repro.serve.ServingMetrics` is a facade
+  over it.
+- :mod:`repro.obs.profiler` — :class:`OpProfiler` attributes wall time and
+  call counts to every autograd tape op, forward and backward.
+
+CLI surface: ``repro train --trace t.jsonl --profile`` records a run,
+``repro obs report t.jsonl`` renders the span tree and op table.
+"""
+
+from .events import (
+    Event,
+    EventLogger,
+    HumanSink,
+    JsonlSink,
+    LEVELS,
+    configure_logging,
+    get_logger,
+    read_events,
+    reset_logging,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    reset_registry,
+)
+from .profiler import OpProfiler, render_profile
+from .report import aggregate_spans, render_spans, render_trace_file, self_times
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    read_trace,
+    trace,
+    uninstall_tracer,
+)
+
+__all__ = [
+    # events
+    "Event",
+    "EventLogger",
+    "HumanSink",
+    "JsonlSink",
+    "LEVELS",
+    "configure_logging",
+    "get_logger",
+    "read_events",
+    "reset_logging",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "percentile",
+    "reset_registry",
+    # profiler
+    "OpProfiler",
+    "render_profile",
+    # tracing
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "install_tracer",
+    "read_trace",
+    "trace",
+    "uninstall_tracer",
+    # report
+    "aggregate_spans",
+    "render_spans",
+    "render_trace_file",
+    "self_times",
+]

@@ -1,0 +1,303 @@
+"""Structured event logging: leveled, namespaced records with pluggable sinks.
+
+An :class:`Event` is one structured fact (``name`` + flat ``fields`` dict)
+rather than a formatted string, so the same emission can feed a terminal
+(:class:`HumanSink`), a machine-readable log (:class:`JsonlSink`) and any
+future shipper without reformatting. The process-global root logger from
+:func:`get_logger` defaults to a human stderr sink at ``info`` level —
+exactly what a CLI run wants — and :func:`configure_logging` rewires it for
+servers (JSONL files, level/namespace filters).
+
+The module is dependency-free and import-cheap: nothing here touches numpy
+or the model code, so every subsystem (trainer, pipeline, serving, CLI) can
+log without layering concerns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+#: Numeric severity thresholds, logging-module compatible.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_number(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r} (expected one of {sorted(LEVELS)})"
+        ) from None
+
+
+@dataclasses.dataclass
+class Event:
+    """One structured log record."""
+
+    name: str                      # dotted namespace, e.g. "train.epoch"
+    level: str                     # one of LEVELS
+    ts: float                      # unix seconds (time.time)
+    fields: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "event",
+            "ts": self.ts,
+            "level": self.level,
+            "name": self.name,
+            "fields": self.fields,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Event":
+        return cls(
+            name=str(payload["name"]),
+            level=str(payload["level"]),
+            ts=float(payload["ts"]),
+            fields=dict(payload.get("fields", {})),
+        )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class HumanSink:
+    """One-line-per-event text sink (stderr by default)."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so pytest's capture swaps are honored.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, event: Event) -> None:
+        clock = time.strftime("%H:%M:%S", time.localtime(event.ts))
+        kv = " ".join(f"{k}={_format_value(v)}" for k, v in event.fields.items())
+        line = f"[{clock}] {event.level:<7s} {event.name}"
+        if kv:
+            line = f"{line}  {kv}"
+        with self._lock:
+            print(line, file=self.stream)
+
+    def close(self) -> None:  # streams are borrowed, never closed
+        pass
+
+
+class JsonlSink:
+    """Append events as JSON lines to a file path or open text stream."""
+
+    def __init__(self, target: Union[str, Path, TextIO]):
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            self._file: TextIO = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def emit(self, event: Event) -> None:
+        line = json.dumps(event.to_dict(), default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+
+class EventLogger:
+    """Leveled, namespaced structured logger fanning out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with ``emit(event)`` (and optionally ``close()``).
+    level:
+        Minimum severity that passes (``"debug" | "info" | "warning" |
+        "error"``).
+    namespaces:
+        Optional allow-list of dotted-name prefixes; an event passes when
+        its full name equals a prefix or sits under ``prefix + "."``.
+        ``None`` allows everything.
+    namespace:
+        Prefix prepended to every event name this logger emits
+        (:meth:`bind` children share sinks/filters with the parent).
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[Iterable] = None,
+        level: str = "info",
+        namespaces: Optional[Sequence[str]] = None,
+        namespace: str = "",
+    ):
+        self._sinks: List = list(sinks) if sinks is not None else []
+        self._threshold = _level_number(level)
+        self._level = level
+        self._namespaces = tuple(namespaces) if namespaces is not None else None
+        self.namespace = namespace
+
+    # -- configuration -------------------------------------------------
+    def set_level(self, level: str) -> None:
+        self._threshold = _level_number(level)
+        self._level = level
+
+    @property
+    def level(self) -> str:
+        return self._level
+
+    def set_namespaces(self, namespaces: Optional[Sequence[str]]) -> None:
+        self._namespaces = tuple(namespaces) if namespaces is not None else None
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> List:
+        return list(self._sinks)
+
+    def bind(self, namespace: str) -> "EventLogger":
+        """Child logger emitting under ``<self.namespace>.<namespace>``.
+
+        The child *shares* this logger's sink list and filters, so
+        reconfiguring the root retroactively applies to bound children.
+        """
+        child = EventLogger.__new__(EventLogger)
+        child._sinks = self._sinks               # shared, not copied
+        child._threshold = self._threshold
+        child._level = self._level
+        child._namespaces = self._namespaces
+        child.namespace = (
+            f"{self.namespace}.{namespace}" if self.namespace else namespace
+        )
+        # Children track mutable filters through the original root logger.
+        child._parent = self._effective()
+        return child
+
+    # -- filtering -----------------------------------------------------
+    def _effective(self) -> "EventLogger":
+        return getattr(self, "_parent", self)
+
+    def enabled_for(self, level: str, name: str = "") -> bool:
+        root = self._effective()
+        if _level_number(level) < root._threshold:
+            return False
+        if root._namespaces is None:
+            return True
+        full = f"{self.namespace}.{name}" if self.namespace and name else (
+            self.namespace or name
+        )
+        return any(
+            full == prefix or full.startswith(prefix + ".")
+            for prefix in root._namespaces
+        )
+
+    # -- emission ------------------------------------------------------
+    def log(self, level: str, name: str, **fields: Any) -> Optional[Event]:
+        if not self.enabled_for(level, name):
+            return None
+        full = f"{self.namespace}.{name}" if self.namespace else name
+        event = Event(name=full, level=level, ts=time.time(), fields=fields)
+        for sink in self._effective()._sinks:
+            sink.emit(event)
+        return event
+
+    def debug(self, name: str, **fields: Any) -> Optional[Event]:
+        return self.log("debug", name, **fields)
+
+    def info(self, name: str, **fields: Any) -> Optional[Event]:
+        return self.log("info", name, **fields)
+
+    def warning(self, name: str, **fields: Any) -> Optional[Event]:
+        return self.log("warning", name, **fields)
+
+    def error(self, name: str, **fields: Any) -> Optional[Event]:
+        return self.log("error", name, **fields)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close:
+                close()
+
+
+# ----------------------------------------------------------------------
+# Process-global logger
+# ----------------------------------------------------------------------
+_ROOT_LOCK = threading.Lock()
+_ROOT: Optional[EventLogger] = None
+
+
+def get_logger(namespace: str = "") -> EventLogger:
+    """The process-global logger (human stderr sink, ``info`` level).
+
+    ``get_logger("train")`` returns a child bound to the ``train``
+    namespace; reconfiguring via :func:`configure_logging` affects every
+    previously obtained child because sinks and filters are shared.
+    """
+    global _ROOT
+    with _ROOT_LOCK:
+        if _ROOT is None:
+            _ROOT = EventLogger(sinks=[HumanSink()], level="info")
+    return _ROOT.bind(namespace) if namespace else _ROOT
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    sinks: Optional[Iterable] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    namespaces: Optional[Sequence[str]] = None,
+) -> EventLogger:
+    """Reconfigure the process-global logger in place.
+
+    ``sinks`` replaces the sink list outright; ``jsonl_path`` appends a
+    :class:`JsonlSink` to whatever sinks remain. ``namespaces=None`` leaves
+    the current filter untouched — pass ``()`` to silence everything or an
+    explicit prefix list to narrow.
+    """
+    root = get_logger()
+    if level is not None:
+        root.set_level(level)
+    if sinks is not None:
+        root._sinks[:] = list(sinks)
+    if jsonl_path is not None:
+        root.add_sink(JsonlSink(jsonl_path))
+    if namespaces is not None:
+        root.set_namespaces(namespaces)
+    return root
+
+
+def reset_logging() -> None:
+    """Drop the global logger (tests); the next get_logger() rebuilds it."""
+    global _ROOT
+    with _ROOT_LOCK:
+        if _ROOT is not None:
+            _ROOT.close()
+        _ROOT = None
+
+
+def read_events(path: Union[str, Path]) -> List[Event]:
+    """Parse every ``type == "event"`` line of a JSONL file back to Events."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("type") == "event":
+                events.append(Event.from_dict(payload))
+    return events

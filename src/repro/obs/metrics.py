@@ -1,0 +1,233 @@
+"""Metrics registry: named counters, gauges and windowed histograms.
+
+One process-global :class:`MetricsRegistry` (or per-component instances)
+holds every operational number behind a stable name, so snapshots are a
+single call and no subsystem grows its own ad-hoc counter fields.
+:class:`repro.serve.ServingMetrics` is a facade over this registry — the
+latency percentiles it reports come from the shared :func:`percentile` /
+:class:`Histogram` implementation below.
+
+All mutation is lock-guarded per metric; snapshots lock briefly per metric
+rather than stopping the world.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default bounded window for histogram percentile estimates.
+DEFAULT_WINDOW = 4096
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0.0 on empty input).
+
+    This is the one percentile implementation in the codebase; serving
+    latency and histogram snapshots both call it.
+    """
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return float(sorted_values[idx])
+
+
+class Counter:
+    """Monotonically increasing count (float increments allowed)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> float:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge")
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: Number) -> float:
+        with self._lock:
+            self._value = float(value)
+            return self._value
+
+    def add(self, delta: Number) -> float:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Cumulative count/sum plus a bounded window for percentiles."""
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW):
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._window.append(value)
+
+    def observe_many(self, values: Sequence[Number]) -> None:
+        with self._lock:
+            for value in values:
+                self._count += 1
+                self._sum += float(value)
+                self._window.append(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def values(self) -> List[float]:
+        """Copy of the current window (newest last)."""
+        with self._lock:
+            return list(self._window)
+
+    def quantile(self, fraction: float) -> float:
+        with self._lock:
+            ordered = sorted(self._window)
+        return percentile(ordered, fraction)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Window statistics: count is cumulative, the rest windowed."""
+        with self._lock:
+            ordered = sorted(self._window)
+            count, total = self._count, self._sum
+        return {
+            "count": float(count),
+            "sum": total,
+            "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+            "min": ordered[0] if ordered else 0.0,
+            "max": ordered[-1] if ordered else 0.0,
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._window.clear()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with a flat snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, window))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{name: value}`` dict; histograms expand to dotted keys."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, float] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                for key, value in metric.snapshot().items():
+                    out[f"{name}.{key}"] = value
+            else:
+                out[name] = metric.value  # type: ignore[union-attr]
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()  # type: ignore[union-attr]
+
+
+# ----------------------------------------------------------------------
+# Process-global registry
+# ----------------------------------------------------------------------
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (created on first use)."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        if _REGISTRY is None:
+            _REGISTRY = MetricsRegistry()
+        return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Drop the global registry (tests); next get_registry() rebuilds it."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        _REGISTRY = None

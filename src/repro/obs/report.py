@@ -1,0 +1,122 @@
+"""Render trace JSONL files: span self-time trees and op-profile tables.
+
+The trace file format (see :mod:`repro.obs.tracing`) is a stream of JSON
+records distinguished by ``type``:
+
+- ``span`` — one closed span (ids, times, attrs); children precede parents
+  because spans are streamed at close time.
+- ``profile`` — an op-profiler dump (:meth:`OpProfiler.to_dict`).
+- ``event`` — a structured log record sharing the file.
+- ``trace_start`` — wall-clock anchor written when the tracer opens.
+
+:func:`render_trace_file` is what ``repro obs report`` prints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .profiler import render_profile
+from .tracing import read_trace
+
+
+def self_times(spans: List[Dict[str, Any]]) -> Dict[int, float]:
+    """Per-span self time: duration minus the sum of direct children."""
+    child_total: Dict[Optional[int], float] = {}
+    for span in spans:
+        child_total[span.get("parent_id")] = (
+            child_total.get(span.get("parent_id"), 0.0) + float(span["duration"])
+        )
+    return {
+        span["span_id"]: max(
+            0.0, float(span["duration"]) - child_total.get(span["span_id"], 0.0)
+        )
+        for span in spans
+    }
+
+
+def aggregate_spans(
+    spans: List[Dict[str, Any]],
+) -> List[Tuple[Tuple[str, ...], int, float, float]]:
+    """Aggregate spans by name-path: ``(path, count, total_s, self_s)``.
+
+    Spans sharing the same ancestry of names (e.g. the 50 ``fit/epoch``
+    spans of a run) collapse into one row, keeping the output readable for
+    long runs. Rows come back in depth-first order.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+
+    def path_of(span: Dict[str, Any]) -> Tuple[str, ...]:
+        names: List[str] = []
+        node: Optional[Dict[str, Any]] = span
+        while node is not None:
+            names.append(node["name"])
+            parent_id = node.get("parent_id")
+            node = by_id.get(parent_id) if parent_id is not None else None
+        return tuple(reversed(names))
+
+    selfs = self_times(spans)
+    stats: Dict[Tuple[str, ...], List[float]] = {}
+    for span in spans:
+        path = path_of(span)
+        entry = stats.setdefault(path, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(span["duration"])
+        entry[2] += selfs[span["span_id"]]
+
+    def sort_key(path: Tuple[str, ...]):
+        # Depth-first: a path sorts under its prefix chain.
+        return path
+
+    return [
+        (path, int(stats[path][0]), stats[path][1], stats[path][2])
+        for path in sorted(stats, key=sort_key)
+    ]
+
+
+def render_spans(spans: List[Dict[str, Any]]) -> str:
+    """Indented self-time tree aggregated by span path."""
+    if not spans:
+        return "span tree: (no spans)"
+    rows = aggregate_spans(spans)
+    total = sum(r[1] for r in rows if len(r[0]) == 1) or 1.0
+    lines = [
+        "span tree (aggregated by path):",
+        f"  {'span':<42s} {'count':>7s} {'total s':>10s} {'self s':>10s} {'share':>7s}",
+    ]
+    for path, count, total_s, self_s in rows:
+        label = "  " * (len(path) - 1) + path[-1]
+        lines.append(
+            f"  {label:<42s} {count:>7d} {total_s:>10.4f} {self_s:>10.4f} "
+            f"{100.0 * total_s / total:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_file(path: Union[str, Path]) -> str:
+    """Full ``repro obs report`` rendering of one trace JSONL file."""
+    records = read_trace(path)
+    spans = [r for r in records if r.get("type") == "span"]
+    profiles = [r for r in records if r.get("type") == "profile"]
+    events = [r for r in records if r.get("type") == "event"]
+
+    sections = [f"trace report: {path}"]
+    sections.append(
+        f"records: {len(spans)} spans, {len(profiles)} profiles, "
+        f"{len(events)} events"
+    )
+    sections.append("")
+    sections.append(render_spans(spans))
+    for profile in profiles:
+        sections.append("")
+        sections.append(render_profile(profile))
+    if events:
+        sections.append("")
+        sections.append("events:")
+        for event in events[-20:]:
+            fields = " ".join(
+                f"{k}={v}" for k, v in event.get("fields", {}).items()
+            )
+            sections.append(f"  {event.get('level', '?'):<7s} {event['name']}  {fields}")
+    return "\n".join(sections)

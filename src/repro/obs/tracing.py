@@ -1,0 +1,231 @@
+"""Span tracing: nested timed sections with attributes, exported as JSONL.
+
+Usage::
+
+    with trace("epoch", epoch=3) as span:
+        ...
+        span.set(loss=0.42, grad_norm=1.7)
+
+Spans nest through a per-thread stack, so the exported trace reconstructs
+the call tree (``parent_id`` linkage) and :mod:`repro.obs.report` can render
+a self-time breakdown. When no tracer is installed, :func:`trace` returns a
+shared no-op span — the instrumented hot paths pay one global read and one
+``is None`` test, nothing else.
+
+A :class:`Tracer` both retains finished spans in memory (``tracer.spans``)
+and, when given a path, streams each span as a JSON line the moment it
+closes. Spans are written post-order (children before parents), which is
+exactly what a streaming writer can do without buffering; readers rebuild
+the tree from ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from pathlib import Path
+from time import perf_counter, time
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+_IDS = itertools.count(1)
+
+
+class Span:
+    """One timed section. Context manager; attributes via :meth:`set`."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: Optional[Dict] = None):
+        self.name = name
+        self.span_id = next(_IDS)
+        self.parent_id: Optional[int] = None
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by trace() when tracing is off."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans per thread; optionally streams them to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL output; each span is written when it closes, plus
+        any extra records passed to :meth:`write`.
+    keep:
+        Retain finished spans in :attr:`spans` (default). Disable for
+        long-running servers that only want the streamed file.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, keep: bool = True):
+        self.spans: List[Span] = []
+        self._keep = keep
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._file: Optional[TextIO] = None
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self._file = open(self.path, "w", encoding="utf-8")
+            self.write({"type": "trace_start", "wall_time": time()})
+
+    # -- span lifecycle -----------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(name, self, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate mismatched exits rather than corrupting the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        self._finish(span)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if self._keep:
+                self.spans.append(span)
+            if self._file is not None:
+                self._file.write(json.dumps(span.to_dict(), default=str) + "\n")
+
+    # -- export ---------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append an arbitrary JSON record (e.g. an op profile) to the file."""
+        with self._lock:
+            if self._file is not None:
+                self._file.write(json.dumps(record, default=str) + "\n")
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write every retained span (and nothing else) as JSONL."""
+        path = Path(path)
+        with self._lock, open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict(), default=str) + "\n")
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-global target of :func:`trace`."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Remove the global tracer; subsequent trace() calls become no-ops."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def trace(name: str, **attrs: Any):
+    """Open a span on the global tracer, or a no-op span if none installed."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a trace JSONL file into raw record dicts (all types)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -6,6 +6,13 @@ batch to a user handler (e.g. ``InferenceSession.predict_articles``), and
 resolves every caller's :class:`PendingResult`. Batching amortizes the
 per-forward overhead of the numpy substrate across simultaneous requests —
 the standard dynamic-batching pattern of model servers.
+
+Observability: :meth:`BatchQueue.submit` stamps each
+:class:`PendingResult` with its enqueue time, so when the queue is given a
+:class:`repro.serve.ServingMetrics` it records the *true* per-request
+latency (queue wait + compute) rather than the handler's compute-share
+estimate. Each handler invocation also runs inside a ``serve.batch`` trace
+span carrying batch size and queue-wait attributes.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import queue
 import threading
 import time
 from typing import Any, Callable, List, Optional, Sequence
+
+from ..obs import trace
 
 _SENTINEL = object()
 
@@ -29,6 +38,9 @@ class PendingResult:
         self._event = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
+        #: perf_counter timestamp set by BatchQueue.submit; the basis of
+        #: true per-request latency accounting.
+        self.enqueued_at: Optional[float] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -63,6 +75,12 @@ class BatchQueue:
     max_wait:
         Seconds the worker waits for more items after the first one
         arrives. Larger values trade latency for bigger batches.
+    metrics:
+        Optional :class:`repro.serve.ServingMetrics`. When set, every
+        resolved request records its true latency (enqueue to resolve)
+        and queue wait; the handler runs under
+        :meth:`ServingMetrics.deferred_latency` so a session sharing the
+        same metrics object does not double-record.
     """
 
     def __init__(
@@ -70,6 +88,7 @@ class BatchQueue:
         handler: Callable[[List[Any]], Sequence[Any]],
         max_batch_size: int = 32,
         max_wait: float = 0.01,
+        metrics=None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -78,6 +97,7 @@ class BatchQueue:
         self.handler = handler
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
+        self.metrics = metrics
         self._queue: "queue.Queue" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
@@ -115,6 +135,7 @@ class BatchQueue:
         if self._thread is None or not self._thread.is_alive():
             raise RuntimeError("BatchQueue is not running (call start())")
         pending = PendingResult()
+        pending.enqueued_at = time.perf_counter()
         self._queue.put((item, pending))
         return pending
 
@@ -154,19 +175,46 @@ class BatchQueue:
             batch = self._collect_batch(entry)
             items = [item for item, _ in batch]
             pendings = [pending for _, pending in batch]
-            try:
-                results = self.handler(items)
-                if len(results) != len(items):
-                    raise RuntimeError(
-                        f"handler returned {len(results)} results for {len(items)} items"
-                    )
-            except BaseException as exc:  # propagate to every waiter
-                for pending in pendings:
-                    pending._reject(exc)
-                continue
+            compute_start = time.perf_counter()
+            queue_waits = [
+                compute_start - p.enqueued_at
+                for p in pendings
+                if p.enqueued_at is not None
+            ]
+            with trace("serve.batch", size=len(items)) as span:
+                try:
+                    if self.metrics is not None:
+                        with self.metrics.deferred_latency():
+                            results = self.handler(items)
+                    else:
+                        results = self.handler(items)
+                    if len(results) != len(items):
+                        raise RuntimeError(
+                            f"handler returned {len(results)} results "
+                            f"for {len(items)} items"
+                        )
+                except BaseException as exc:  # propagate to every waiter
+                    for pending in pendings:
+                        pending._reject(exc)
+                    continue
+                done = time.perf_counter()
+                span.set(
+                    compute_seconds=done - compute_start,
+                    queue_wait_max_seconds=max(queue_waits, default=0.0),
+                )
             self.batches_processed += 1
             for pending, result in zip(pendings, results):
                 pending._resolve(result)
+            if self.metrics is not None:
+                resolved = time.perf_counter()
+                self.metrics.record_queued(
+                    latencies=[
+                        resolved - p.enqueued_at
+                        for p in pendings
+                        if p.enqueued_at is not None
+                    ],
+                    queue_waits=queue_waits,
+                )
 
     def _reject_pending(self) -> None:
         while True:

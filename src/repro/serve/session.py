@@ -23,6 +23,7 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..core.predictions import Prediction, predictions_from_logits
+from ..obs import trace
 from ..text.sequences import encode_sequence
 from ..text.tokenizer import tokenize
 from .cache import LRUCache
@@ -94,7 +95,12 @@ class InferenceSession:
         model.eval()
         # The one-and-only full-graph pass: cache every node type's final
         # GDU state plus the row indices needed to look neighbors up.
-        logits, states = model.forward_with_states(detector.features, detector.graph)
+        with trace(
+            "serve.session_init", articles=detector.features.articles.num
+        ):
+            logits, states = model.forward_with_states(
+                detector.features, detector.graph
+            )
         self._graph_logits = {kind: t.data.copy() for kind, t in logits.items()}
         self._h_creator = states["creator"].data.copy()
         self._h_subject = states["subject"].data.copy()
@@ -134,35 +140,39 @@ class InferenceSession:
         """
         if not articles:
             return []
-        start = perf_counter()
-        model = self.detector.model
-        model.eval()
+        with trace("serve.predict", batch=len(articles)) as span:
+            start = perf_counter()
+            model = self.detector.model
+            model.eval()
 
-        encoded = [self._encode(a.text) for a in articles]
-        explicit = np.stack([e for e, _ in encoded])
-        sequences = np.stack([s for _, s in encoded])
-        x = model.hflu_article(explicit, sequences)
+            with trace("serve.encode", batch=len(articles)):
+                encoded = [self._encode(a.text) for a in articles]
+            explicit = np.stack([e for e, _ in encoded])
+            sequences = np.stack([s for _, s in encoded])
+            x = model.hflu_article(explicit, sequences)
 
-        hidden = model.gdu_article.hidden_dim
-        z = np.zeros((len(articles), hidden))
-        t = np.zeros((len(articles), hidden))
-        for i, article in enumerate(articles):
-            known_subjects = [
-                self._subject_rows[s]
-                for s in article.subject_ids
-                if s in self._subject_rows
-            ]
-            if known_subjects:
-                z[i] = self._h_subject[known_subjects].mean(axis=0)
-            creator_row = self._creator_rows.get(article.creator_id)
-            if creator_row is not None:
-                t[i] = self._h_creator[creator_row]
+            hidden = model.gdu_article.hidden_dim
+            z = np.zeros((len(articles), hidden))
+            t = np.zeros((len(articles), hidden))
+            for i, article in enumerate(articles):
+                known_subjects = [
+                    self._subject_rows[s]
+                    for s in article.subject_ids
+                    if s in self._subject_rows
+                ]
+                if known_subjects:
+                    z[i] = self._h_subject[known_subjects].mean(axis=0)
+                creator_row = self._creator_rows.get(article.creator_id)
+                if creator_row is not None:
+                    t[i] = self._h_creator[creator_row]
 
-        h = model.gdu_article(x, Tensor(z), Tensor(t))
-        logits = model.head_article(h).data
-        ids = [a.article_id for a in articles]
-        result = predictions_from_logits(ids, logits, return_proba=return_proba)
-        self.metrics.record_batch(len(articles), perf_counter() - start)
+            h = model.gdu_article(x, Tensor(z), Tensor(t))
+            logits = model.head_article(h).data
+            ids = [a.article_id for a in articles]
+            result = predictions_from_logits(ids, logits, return_proba=return_proba)
+            seconds = perf_counter() - start
+            self.metrics.record_batch(len(articles), seconds)
+            span.set(compute_seconds=seconds)
         return result
 
     def predict_article(self, article, *, return_proba: bool = False) -> Prediction:

@@ -1,0 +1,159 @@
+"""Structured event logger: levels, namespaces, sinks, JSONL round trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    Event,
+    EventLogger,
+    HumanSink,
+    JsonlSink,
+    configure_logging,
+    get_logger,
+    read_events,
+    reset_logging,
+)
+
+
+class ListSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_logger():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+class TestLevels:
+    def test_below_threshold_is_dropped(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info")
+        logger.debug("noise", x=1)
+        logger.info("signal", x=2)
+        assert [e.name for e in sink.events] == ["signal"]
+
+    def test_set_level_opens_debug(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info")
+        logger.set_level("debug")
+        logger.debug("noise")
+        assert len(sink.events) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLogger(level="loud")
+
+    def test_error_always_passes_default(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="warning")
+        logger.error("boom", detail="x")
+        assert sink.events[0].level == "error"
+
+
+class TestNamespaces:
+    def test_bind_prefixes_names(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info")
+        logger.bind("train").info("epoch", loss=1.0)
+        assert sink.events[0].name == "train.epoch"
+
+    def test_nested_bind(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info")
+        logger.bind("serve").bind("queue").info("batch")
+        assert sink.events[0].name == "serve.queue.batch"
+
+    def test_namespace_filter(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info", namespaces=["train"])
+        logger.bind("train").info("epoch")
+        logger.bind("serve").info("batch")
+        assert [e.name for e in sink.events] == ["train.epoch"]
+
+    def test_filter_matches_whole_components(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info", namespaces=["train"])
+        logger.bind("training_extra").info("epoch")  # not under "train."
+        assert sink.events == []
+
+    def test_children_follow_root_reconfiguration(self):
+        sink = ListSink()
+        logger = EventLogger(sinks=[sink], level="info")
+        child = logger.bind("train")
+        logger.set_level("error")
+        child.info("epoch")
+        assert sink.events == []
+
+
+class TestSinks:
+    def test_human_sink_renders_fields(self):
+        stream = io.StringIO()
+        logger = EventLogger(sinks=[HumanSink(stream)], level="info")
+        logger.info("train.epoch", epoch=3, loss=0.421875)
+        line = stream.getvalue()
+        assert "train.epoch" in line
+        assert "epoch=3" in line
+        assert "loss=0.421875" in line
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = EventLogger(sinks=[JsonlSink(path)], level="debug")
+        logger.debug("pipeline.tokenize", docs=12)
+        logger.info("train.epoch", epoch=1, loss=2.5)
+        logger.close()
+
+        events = read_events(path)
+        assert [e.name for e in events] == ["pipeline.tokenize", "train.epoch"]
+        assert events[1].fields == {"epoch": 1, "loss": 2.5}
+        assert events[1].level == "info"
+        # Every line is independently parseable JSON with a type tag.
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["type"] == "event"
+
+    def test_event_dict_round_trip(self):
+        event = Event(name="a.b", level="warning", ts=123.5, fields={"k": "v"})
+        clone = Event.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert clone == event
+
+    def test_fanout_to_multiple_sinks(self, tmp_path):
+        listed = ListSink()
+        path = tmp_path / "e.jsonl"
+        logger = EventLogger(sinks=[listed, JsonlSink(path)], level="info")
+        logger.info("x", a=1)
+        logger.close()
+        assert len(listed.events) == 1
+        assert len(read_events(path)) == 1
+
+
+class TestGlobalLogger:
+    def test_get_logger_is_a_singleton_root(self):
+        assert get_logger() is get_logger()
+
+    def test_bound_children_share_sinks(self):
+        sink = ListSink()
+        configure_logging(sinks=[sink])
+        get_logger("train").info("epoch", loss=1.0)
+        assert sink.events[0].name == "train.epoch"
+
+    def test_configure_level_and_jsonl(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        configure_logging(level="debug", sinks=[], jsonl_path=path)
+        get_logger("serve").debug("batch", size=4)
+        get_logger().close()
+        events = read_events(path)
+        assert events[0].name == "serve.batch"
+
+    def test_configure_namespaces_silences_others(self):
+        sink = ListSink()
+        configure_logging(sinks=[sink], namespaces=["train"])
+        get_logger("serve").info("batch")
+        get_logger("train").info("epoch")
+        assert [e.name for e in sink.events] == ["train.epoch"]

@@ -1,0 +1,68 @@
+"""End-to-end observability smoke: `repro train --trace --profile` on the
+synthetic dataset must produce a parseable trace with epoch spans carrying
+loss/grad-norm attributes, an embedded op profile, and a report rendering.
+
+Marked ``obs`` so CI can select just this path with ``-m obs``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_trace, render_trace_file
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+    code = main([
+        "train", "--scale", "0.01", "--seed", "3", "--epochs", "2",
+        "--explicit-dim", "30", "--max-seq-len", "10",
+        "--trace", str(path), "--profile",
+    ])
+    assert code == 0
+    return path
+
+
+class TestTrainTraceSmoke:
+    def test_trace_parses_and_has_epoch_spans(self, trace_path):
+        records = read_trace(trace_path)
+        assert records[0]["type"] == "trace_start"
+        spans = [r for r in records if r["type"] == "span"]
+        epochs = [s for s in spans if s["name"] == "epoch"]
+        assert len(epochs) == 2
+        for span in epochs:
+            assert span["duration"] > 0
+            for key in ("loss_total", "loss_article", "loss_creator",
+                        "loss_subject", "grad_norm", "seconds"):
+                assert key in span["attrs"], key
+
+    def test_epoch_spans_nest_under_fit(self, trace_path):
+        spans = [r for r in read_trace(trace_path) if r["type"] == "span"]
+        fit = next(s for s in spans if s["name"] == "fit")
+        assert all(
+            s["parent_id"] == fit["span_id"]
+            for s in spans if s["name"] == "epoch"
+        )
+        assert fit["attrs"]["epochs_run"] == 2
+
+    def test_pipeline_spans_present(self, trace_path):
+        names = {r["name"] for r in read_trace(trace_path) if r["type"] == "span"}
+        assert "pipeline.build_features" in names
+        assert "pipeline.build_graph_index" in names
+
+    def test_profile_record_embedded(self, trace_path):
+        profiles = [r for r in read_trace(trace_path) if r["type"] == "profile"]
+        assert len(profiles) == 1
+        forward = profiles[0]["ops"]["forward"]
+        assert forward["matmul"]["calls"] > 0
+        assert profiles[0]["total_seconds"] > 0
+
+    def test_obs_report_renders(self, trace_path, capsys):
+        code = main(["obs", "report", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "op profile" in out
+        assert "epoch" in out

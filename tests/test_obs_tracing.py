@@ -1,0 +1,221 @@
+"""Span tracer: nesting, self-time math, JSONL round trip, no-op fallback."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    aggregate_spans,
+    get_tracer,
+    install_tracer,
+    read_trace,
+    render_spans,
+    render_trace_file,
+    self_times,
+    trace,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestSpanNesting:
+    def test_parent_linkage(self):
+        tracer = install_tracer(Tracer())
+        with trace("outer"):
+            with trace("inner"):
+                pass
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_children_close_before_parents(self):
+        tracer = install_tracer(Tracer())
+        with trace("outer"):
+            with trace("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = install_tracer(Tracer())
+        with trace("root"):
+            with trace("a"):
+                pass
+            with trace("b"):
+                pass
+        root = next(s for s in tracer.spans if s.name == "root")
+        assert all(
+            s.parent_id == root.span_id for s in tracer.spans if s.name in "ab"
+        )
+
+    def test_attrs_and_set(self):
+        tracer = install_tracer(Tracer())
+        with trace("epoch", epoch=3) as span:
+            span.set(loss=0.5)
+        assert tracer.spans[0].attrs == {"epoch": 3, "loss": 0.5}
+
+    def test_exception_records_error_and_unwinds(self):
+        tracer = install_tracer(Tracer())
+        with pytest.raises(ValueError):
+            with trace("outer"):
+                with trace("inner"):
+                    raise ValueError("boom")
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert inner.attrs["error"] == "ValueError"
+        assert outer.attrs["error"] == "ValueError"
+        assert tracer.current() is None
+
+    def test_per_thread_stacks(self):
+        tracer = install_tracer(Tracer())
+        seen = {}
+
+        def worker(name):
+            with trace(name):
+                time.sleep(0.01)
+            seen[name] = True
+
+        with trace("main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Worker spans must NOT be parented under the main thread's span.
+        for span in tracer.spans:
+            if span.name.startswith("t"):
+                assert span.parent_id is None
+        assert len(seen) == 3
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = install_tracer(Tracer())
+        with trace("outer"):
+            with trace("inner"):
+                time.sleep(0.01)
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        assert inner.duration >= 0.01
+        assert outer.duration >= inner.duration
+
+
+class TestNullSpan:
+    def test_trace_without_tracer_is_null(self):
+        assert get_tracer() is None
+        assert trace("anything", k=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with trace("x") as span:
+            span.set(a=1)
+        assert span is NULL_SPAN
+        assert span.attrs == {}
+
+
+class TestSelfTime:
+    def _spans(self):
+        # root (1.0s) -> a (0.4s) -> leaf (0.1s); root -> b (0.3s)
+        return [
+            {"type": "span", "span_id": 3, "parent_id": 2, "name": "leaf",
+             "start": 0.0, "end": 0.1, "duration": 0.1, "attrs": {}},
+            {"type": "span", "span_id": 2, "parent_id": 1, "name": "a",
+             "start": 0.0, "end": 0.4, "duration": 0.4, "attrs": {}},
+            {"type": "span", "span_id": 4, "parent_id": 1, "name": "b",
+             "start": 0.5, "end": 0.8, "duration": 0.3, "attrs": {}},
+            {"type": "span", "span_id": 1, "parent_id": None, "name": "root",
+             "start": 0.0, "end": 1.0, "duration": 1.0, "attrs": {}},
+        ]
+
+    def test_self_time_subtracts_direct_children(self):
+        selfs = self_times(self._spans())
+        assert selfs[1] == pytest.approx(1.0 - 0.4 - 0.3)
+        assert selfs[2] == pytest.approx(0.4 - 0.1)
+        assert selfs[3] == pytest.approx(0.1)
+        assert selfs[4] == pytest.approx(0.3)
+
+    def test_self_time_clamped_at_zero(self):
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "r", "duration": 0.1},
+            {"span_id": 2, "parent_id": 1, "name": "c", "duration": 0.2},
+        ]
+        assert self_times(spans)[1] == 0.0
+
+    def test_aggregate_collapses_repeated_paths(self):
+        spans = self._spans()
+        # Add a second root->a span: path ("root", "a") should count 2.
+        spans.append(
+            {"type": "span", "span_id": 5, "parent_id": 1, "name": "a",
+             "start": 0.8, "end": 0.9, "duration": 0.1, "attrs": {}}
+        )
+        rows = {path: (count, total) for path, count, total, _ in aggregate_spans(spans)}
+        assert rows[("root", "a")] == (2, pytest.approx(0.5))
+        assert rows[("root",)][0] == 1
+
+    def test_aggregate_depth_first_order(self):
+        paths = [row[0] for row in aggregate_spans(self._spans())]
+        assert paths == [("root",), ("root", "a"), ("root", "a", "leaf"), ("root", "b")]
+
+    def test_render_spans_mentions_every_name(self):
+        text = render_spans(self._spans())
+        for name in ("root", "a", "leaf", "b"):
+            assert name in text
+        assert "100.0%" in text  # the root row covers all root time
+
+
+class TestJsonlRoundTrip:
+    def test_streamed_file_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = install_tracer(Tracer(path))
+        with trace("fit", epochs=2):
+            with trace("epoch", epoch=1) as span:
+                span.set(loss=1.25)
+        tracer.write({"type": "profile", "ops": {}, "total_seconds": 0.0})
+        uninstall_tracer().close()
+
+        records = read_trace(path)
+        assert records[0]["type"] == "trace_start"
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["epoch"]["parent_id"] == spans["fit"]["span_id"]
+        assert spans["epoch"]["attrs"] == {"epoch": 1, "loss": 1.25}
+        assert spans["fit"]["attrs"] == {"epochs": 2}
+        assert records[-1]["type"] == "profile"
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line independently parseable
+
+    def test_dump_retained_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        out = tracer.dump(tmp_path / "dump.jsonl")
+        records = read_trace(out)
+        assert [r["name"] for r in records] == ["only"]
+
+    def test_keep_false_streams_without_retaining(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, keep=False) as tracer:
+            with tracer.span("s"):
+                pass
+        assert tracer.spans == []
+        assert any(r["type"] == "span" for r in read_trace(path))
+
+    def test_render_trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = install_tracer(Tracer(path))
+        with trace("fit"):
+            with trace("epoch"):
+                pass
+        uninstall_tracer().close()
+        text = render_trace_file(path)
+        assert "1 profiles" not in text
+        assert "2 spans" in text
+        assert "fit" in text and "epoch" in text

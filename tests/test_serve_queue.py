@@ -157,6 +157,68 @@ class TestLRUCache:
             LRUCache(maxsize=-1)
 
 
+class TestQueuedLatency:
+    """The queue must record true per-request latency, not compute-share."""
+
+    def test_submit_stamps_enqueue_time(self):
+        with BatchQueue(echo_handler, max_batch_size=2, max_wait=0.001) as q:
+            pending = q.submit(1)
+            assert pending.enqueued_at is not None
+            pending.result(timeout=5.0)
+
+    def test_true_latency_includes_queue_wait(self):
+        """A fast handler behind a slow batch window must report the full
+        enqueue-to-resolve time, not handler_seconds / batch_size."""
+        metrics = ServingMetrics()
+
+        def slow_handler(items):
+            metrics.record_batch(len(items), 0.001)  # what a session does
+            time.sleep(0.05)
+            return list(items)
+
+        with BatchQueue(
+            slow_handler, max_batch_size=4, max_wait=0.001, metrics=metrics
+        ) as q:
+            q.predict(1, timeout=5.0)
+
+        snap = metrics.snapshot()
+        # Old bug: latency would be 0.001 / 1 = 1ms. True latency spans the
+        # 50ms handler sleep.
+        assert snap["latency_p50_ms"] >= 50.0
+        assert snap["queued_requests"] == 1
+        assert snap["requests"] == 1  # deferred_latency kept counters intact
+
+    def test_queue_wait_recorded_separately(self):
+        metrics = ServingMetrics()
+        release = threading.Event()
+
+        def gated_handler(items):
+            release.wait(timeout=5.0)
+            return list(items)
+
+        q = BatchQueue(
+            gated_handler, max_batch_size=1, max_wait=0.0, metrics=metrics
+        ).start()
+        try:
+            first = q.submit(1)   # occupies the worker at the gate
+            second = q.submit(2)  # waits in the queue behind it
+            time.sleep(0.05)
+            release.set()
+            first.result(timeout=5.0)
+            second.result(timeout=5.0)
+        finally:
+            q.stop()
+
+        snap = metrics.snapshot()
+        assert snap["queued_requests"] == 2
+        # The second item waited at least the 50ms the gate was closed.
+        assert metrics.registry.histogram("serve.queue_wait_seconds").quantile(1.0) >= 0.05
+
+    def test_without_metrics_queue_still_works(self):
+        with BatchQueue(echo_handler, max_batch_size=4, max_wait=0.001) as q:
+            assert q.predict(3, timeout=5.0) == 6
+
+
 class TestServingMetrics:
     def test_snapshot_math(self):
         metrics = ServingMetrics()

@@ -1,0 +1,65 @@
+"""Static analysis + runtime sanitizing for the autograd/training stack.
+
+Two halves guarding the invariants the paper's math depends on:
+
+- :mod:`repro.analysis.lint` — a custom AST rule engine (rules RA001–RA005
+  in :mod:`repro.analysis.rules`) over repo-specific failure classes:
+  unlogged prints, unseeded randomness, late-bound loop closures, in-place
+  tape mutation, swallowed exceptions. CLI: ``repro lint``.
+- :mod:`repro.analysis.sanitize` — a runtime tape sanitizer hooked into
+  every autograd op: NaN/Inf guard, in-place-mutation detector,
+  dead-parameter auditor; plus :mod:`repro.analysis.contracts` shape/dtype
+  contract checks for Linear/GRU/GDU layers. CLI: ``repro train
+  --sanitize``; API: ``detector.fit(ds, split, sanitize=True)``.
+
+``repro analysis report`` renders the combined rule summary. See
+``docs/analysis.md`` for the rule catalogue and sanitizer semantics.
+"""
+
+from .contracts import ContractChecker, ContractViolation, named_modules
+from .lint import (
+    Finding,
+    LintResult,
+    lint_paths,
+    lint_source,
+    noqa_rules_for_line,
+    render_findings,
+)
+from .report import render_summary, summarize
+from .rules import ALL_RULES, RULES_BY_ID, resolve_rules
+from .sanitize import (
+    DeadParameter,
+    NumericalFaultError,
+    Sanitizer,
+    SanitizerError,
+    SanitizerStats,
+    TapeCorruptionError,
+    audit_parameters,
+)
+
+__all__ = [
+    # lint
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Finding",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "noqa_rules_for_line",
+    "render_findings",
+    "resolve_rules",
+    # report
+    "render_summary",
+    "summarize",
+    # sanitize
+    "ContractChecker",
+    "ContractViolation",
+    "DeadParameter",
+    "NumericalFaultError",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerStats",
+    "TapeCorruptionError",
+    "audit_parameters",
+    "named_modules",
+]

@@ -1,0 +1,194 @@
+"""Lint engine: walk files, run rules, honor suppressions, render reports.
+
+The engine is intentionally tiny — files are parsed once, every selected
+rule runs over the shared :class:`~repro.analysis.rules.FileContext`, and
+findings on lines carrying a ``# repro: noqa[...]`` marker are moved to the
+*suppressed* list (they still appear in the JSON report, so suppressions
+are auditable, but they do not fail the run).
+
+Suppression syntax::
+
+    risky_call()  # repro: noqa[RA002] layer init is explicitly random
+    another()     # repro: noqa  -- blanket, suppresses every rule
+
+CLI: ``repro lint [paths] [--select RA001,RA004] [--json] [--fix-hints]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .rules import ALL_RULES, FileContext, Finding, Rule, resolve_rules
+
+#: matches ``# repro: noqa`` with an optional ``[RA001,RA002]`` rule list
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+def noqa_rules_for_line(line: str) -> Optional[Set[str]]:
+    """Rule ids suppressed on ``line``.
+
+    Returns ``None`` when the line has no marker, the empty set for a
+    blanket ``# repro: noqa`` (suppresses everything), or the explicit set
+    of rule ids.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
+def _is_suppressed(finding: Finding, lines: List[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = noqa_rules_for_line(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+    #: files that failed to parse: [(path, error message)]
+    errors: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON payload (sorted findings, schema-versioned)."""
+        return {
+            "schema": "repro.analysis.lint/1",
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "suppressed": [f.to_dict() for f in sorted(self.suppressed)],
+            "errors": [{"path": p, "error": e} for p, e in sorted(self.errors)],
+            "counts": self.counts_by_rule(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one source string; returns ``(findings, suppressed)``."""
+    ctx = FileContext.build(path, source)
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(ctx):
+            if _is_suppressed(finding, ctx.lines):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    findings.sort()
+    suppressed.sort()
+    return findings, suppressed
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py" and path.is_file():
+            out.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+    # De-duplicate while preserving sorted order within each argument.
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with the selected rules."""
+    rules = resolve_rules(select)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    errors: List[Tuple[str, str]] = []
+    files = iter_python_files(paths)
+    for path in files:
+        rel = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            file_findings, file_suppressed = lint_source(source, rel, rules)
+        except SyntaxError as exc:
+            errors.append((rel, f"syntax error: {exc}"))
+            continue
+        findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+    findings.sort()
+    suppressed.sort()
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(files),
+        errors=errors,
+    )
+
+
+def render_findings(
+    result: LintResult,
+    fix_hints: bool = False,
+) -> str:
+    """Human report: one ``path:line:col RULE message`` line per finding."""
+    lines: List[str] = []
+    for path, error in result.errors:
+        lines.append(f"{path}: {error}")
+    hinted: Set[str] = set()
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1} "
+            f"{finding.rule} {finding.message}"
+        )
+        if fix_hints and finding.rule not in hinted:
+            hinted.add(finding.rule)
+            rule = next(r for r in ALL_RULES if r.id == finding.rule)
+            lines.append(f"    hint[{finding.rule}]: {rule.hint}")
+    total = len(result.findings)
+    noun = "finding" if total == 1 else "findings"
+    summary = (
+        f"{total} {noun} in {result.files_checked} files"
+        f" ({len(result.suppressed)} suppressed)"
+    )
+    if result.clean:
+        lines.append(f"clean: {summary}")
+    else:
+        lines.append(summary)
+    return "\n".join(lines)

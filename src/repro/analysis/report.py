@@ -1,0 +1,60 @@
+"""Combined analysis report: lint summary for humans and machines.
+
+``repro analysis report [paths]`` runs the full rule set and renders a
+per-rule summary table (counts, suppressions, the catalogue line for each
+rule that fired) plus the stable JSON payload when ``--output`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .lint import LintResult
+from .rules import ALL_RULES
+
+
+def summarize(result: LintResult) -> Dict[str, object]:
+    """Machine-readable roll-up of one lint run."""
+    suppressed_counts: Dict[str, int] = {}
+    for finding in result.suppressed:
+        suppressed_counts[finding.rule] = suppressed_counts.get(finding.rule, 0) + 1
+    return {
+        "schema": "repro.analysis.report/1",
+        "files_checked": result.files_checked,
+        "total_findings": len(result.findings),
+        "total_suppressed": len(result.suppressed),
+        "clean": result.clean,
+        "by_rule": {
+            rule.id: {
+                "title": rule.title,
+                "findings": result.counts_by_rule().get(rule.id, 0),
+                "suppressed": suppressed_counts.get(rule.id, 0),
+            }
+            for rule in ALL_RULES
+        },
+        "errors": [{"path": p, "error": e} for p, e in result.errors],
+    }
+
+
+def render_summary(result: LintResult) -> str:
+    """Aligned per-rule table plus verdict line."""
+    summary = summarize(result)
+    lines: List[str] = [
+        f"analysis report over {summary['files_checked']} files:",
+        f"  {'rule':<7s} {'findings':>9s} {'suppressed':>11s}  title",
+    ]
+    by_rule = summary["by_rule"]
+    for rule in ALL_RULES:
+        row = by_rule[rule.id]
+        lines.append(
+            f"  {rule.id:<7s} {row['findings']:>9d} {row['suppressed']:>11d}"
+            f"  {rule.title}"
+        )
+    for error in summary["errors"]:
+        lines.append(f"  ERROR {error['path']}: {error['error']}")
+    verdict = "clean" if summary["clean"] else f"{summary['total_findings']} open findings"
+    lines.append(
+        f"  total: {verdict}, {summary['total_suppressed']} suppressed "
+        "(suppressions carry `# repro: noqa[RULE] reason`)"
+    )
+    return "\n".join(lines)

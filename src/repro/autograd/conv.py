@@ -98,7 +98,7 @@ class Conv1d(Module):
         super().__init__()
         if min(in_channels, out_channels, kernel_size) <= 0:
             raise ValueError("Conv1d dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -139,7 +139,7 @@ class CNNEncoder(Module):
         super().__init__()
         from .nn import Embedding, Linear
 
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         if not kernel_sizes:
             raise ValueError("kernel_sizes must be non-empty")
         self.padding_idx = padding_idx

@@ -123,7 +123,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
@@ -159,13 +159,13 @@ class Embedding(Module):
         super().__init__()
         if num_embeddings <= 0 or embedding_dim <= 0:
             raise ValueError("Embedding dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.padding_idx = padding_idx
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), 0.1, rng))
         if padding_idx is not None:
-            self.weight.data[padding_idx] = 0.0
+            self.weight.data[padding_idx] = 0.0  # repro: noqa[RA004] init-time write, no tape exists yet
 
     def forward(self, indices) -> Tensor:
         idx = np.asarray(indices.data if isinstance(indices, Tensor) else indices, dtype=np.intp)
@@ -188,7 +188,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
 
     def forward(self, x: Tensor) -> Tensor:
         x = ensure_tensor(x)

@@ -22,7 +22,7 @@ class RNNCell(Module):
 
     def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.w_ih = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
@@ -48,7 +48,7 @@ class GRUCell(Module):
 
     def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.w_xz = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
@@ -78,7 +78,7 @@ class LSTMCell(Module):
 
     def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.input_size = input_size
         self.hidden_size = hidden_size
         # One fused weight per gate family: input, forget, cell, output.
@@ -139,7 +139,7 @@ class GRUEncoder(Module):
         super().__init__()
         from .nn import Embedding  # local import to avoid a cycle at module load
 
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.padding_idx = padding_idx
         self.hidden_size = hidden_size
         self.output_size = output_size

@@ -27,13 +27,21 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 # ----------------------------------------------------------------------
-# Op-level profiling hook
+# Op-level profiling and sanitizing hooks
 # ----------------------------------------------------------------------
 #: Global timing hook, installed by :mod:`repro.obs.profiler`. When ``None``
 #: (the default) every instrumented op takes a single ``is None`` fast path;
 #: when set it is called as ``hook(phase, op, seconds)`` with phase
 #: ``"forward"`` or ``"backward"`` for each tape op executed.
 _OP_HOOK: Optional[Callable[[str, str, float], None]] = None
+
+#: Global value-inspection hook, installed by
+#: :class:`repro.analysis.sanitize.Sanitizer`. Called as
+#: ``check("forward", op, out_tensor)`` after each instrumented forward and
+#: as ``check("backward", op, (out_tensor, grads))`` after the matching
+#: backward closure. Unlike the timing hook it sees the produced values, so
+#: it can guard numerics (NaN/Inf) and tape integrity (in-place mutation).
+_CHECK_HOOK: Optional[Callable[[str, str, object], None]] = None
 
 
 def set_op_hook(
@@ -50,35 +58,66 @@ def set_op_hook(
     return previous
 
 
+def set_check_hook(
+    hook: Optional[Callable[[str, str, object], None]],
+) -> Optional[Callable[[str, str, object], None]]:
+    """Install (or clear, with ``None``) the global op value-check hook.
+
+    Returns the previous hook so nested sanitizers restore cleanly. The
+    check hook composes with the timing hook: both can be active at once.
+    """
+    global _CHECK_HOOK
+    previous = _CHECK_HOOK
+    _CHECK_HOOK = hook
+    return previous
+
+
 def instrument_op(op: str, fn: Callable) -> Callable:
-    """Wrap a tape op so the global hook times its forward and backward.
+    """Wrap a tape op so the global hooks observe its forward and backward.
 
     The forward wrapper also rebinds the produced tensor's ``_backward``
-    closure, so backward time lands on the op that created the node. With
-    no hook installed the wrapper is one global read and one comparison.
+    closure, so backward time (and backward value checks) land on the op
+    that created the node. With no hook installed the wrapper is two global
+    reads and one comparison.
     """
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
         hook = _OP_HOOK
-        if hook is None:
+        check = _CHECK_HOOK
+        if hook is None and check is None:
             return fn(*args, **kwargs)
-        t0 = perf_counter()
-        out = fn(*args, **kwargs)
-        hook("forward", op, perf_counter() - t0)
-        if isinstance(out, Tensor) and out._backward is not None:
+        if hook is None:
+            out = fn(*args, **kwargs)
+        else:
+            t0 = perf_counter()
+            out = fn(*args, **kwargs)
+            hook("forward", op, perf_counter() - t0)
+        if not isinstance(out, Tensor):
+            return out
+        if check is not None:
+            check("forward", op, out)
+        if out._backward is not None:
             inner = out._backward
+            # The node reference is only captured when a checker is active:
+            # it creates a benign reference cycle (node -> closure -> node)
+            # that the profiler-only path should not pay for.
+            ref = out if check is not None else None
 
-            def timed_backward(grad, _inner=inner, _op=op):
+            def observed_backward(grad, _inner=inner, _op=op, _ref=ref):
                 backward_hook = _OP_HOOK
+                backward_check = _CHECK_HOOK
                 if backward_hook is None:
-                    return _inner(grad)
-                t1 = perf_counter()
-                grads = _inner(grad)
-                backward_hook("backward", _op, perf_counter() - t1)
+                    grads = _inner(grad)
+                else:
+                    t1 = perf_counter()
+                    grads = _inner(grad)
+                    backward_hook("backward", _op, perf_counter() - t1)
+                if backward_check is not None and _ref is not None:
+                    backward_check("backward", _op, (_ref, grads))
                 return grads
 
-            out._backward = timed_backward
+            out._backward = observed_backward
         return out
 
     return wrapper
@@ -559,7 +598,7 @@ def ones(*shape, requires_grad: bool = False) -> Tensor:
 def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
     return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 

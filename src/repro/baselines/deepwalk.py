@@ -43,6 +43,7 @@ class DeepWalkBaseline(CredibilityModel):
         epochs: int = 3,
         svm_epochs: int = 200,
         seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
     ):
         self.dim = dim
         self.num_walks = num_walks
@@ -52,6 +53,9 @@ class DeepWalkBaseline(CredibilityModel):
         self.epochs = epochs
         self.svm_epochs = svm_epochs
         self.seed = seed
+        #: Explicit generator for walks + skip-gram init; ``None`` means
+        #: derive independent ``default_rng(seed)`` streams as before.
+        self.rng = rng
         self.embeddings: Optional[np.ndarray] = None
         self._node_index: Dict[Tuple[NodeType, str], int] = {}
         self._predictions: Dict[str, Dict[str, int]] = {}
@@ -67,6 +71,7 @@ class DeepWalkBaseline(CredibilityModel):
             num_walks=self.num_walks,
             walk_length=self.walk_length,
             seed=self.seed,
+            rng=self.rng,
         )
         walks = [[self._node_index[n] for n in walk] for walk in walks_raw]
         centers, contexts = walks_to_pairs(walks, window=self.window)
@@ -78,7 +83,8 @@ class DeepWalkBaseline(CredibilityModel):
         sampler = NegativeSampler(frequencies)
 
         model = SkipGramModel(
-            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives, seed=self.seed
+            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives,
+            seed=self.seed, rng=self.rng,
         )
         model.train_pairs(centers, contexts, sampler, epochs=self.epochs)
         self.embeddings = model.embeddings

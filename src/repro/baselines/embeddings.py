@@ -47,6 +47,7 @@ class SkipGramModel:
         negatives: int = 5,
         lr: float = 0.05,
         seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
     ):
         if num_nodes <= 0 or dim <= 0:
             raise ValueError("num_nodes and dim must be positive")
@@ -54,7 +55,7 @@ class SkipGramModel:
         self.dim = dim
         self.negatives = negatives
         self.lr = lr
-        rng = np.random.default_rng(seed)
+        rng = rng if rng is not None else np.random.default_rng(seed)
         self.w_in = rng.uniform(-0.5 / dim, 0.5 / dim, size=(num_nodes, dim))
         self.w_out = np.zeros((num_nodes, dim))
         self._rng = rng

@@ -44,6 +44,7 @@ class Node2VecBaseline(DeepWalkBaseline):
             seed=self.seed,
             p=self.p,
             q=self.q,
+            rng=self.rng,
         )
         walks = [[self._node_index[n] for n in walk] for walk in walks_raw]
         centers, contexts = walks_to_pairs(walks, window=self.window)
@@ -56,7 +57,8 @@ class Node2VecBaseline(DeepWalkBaseline):
         )
         sampler = NegativeSampler(frequencies)
         model = SkipGramModel(
-            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives, seed=self.seed
+            num_nodes=len(nodes), dim=self.dim, negatives=self.negatives,
+            seed=self.seed, rng=self.rng,
         )
         model.train_pairs(centers, contexts, sampler, epochs=self.epochs)
         self.embeddings = model.embeddings

@@ -6,13 +6,15 @@ generate   write a synthetic PolitiFact-like corpus to JSON lines
 analyze    print Table 1 + Figure 1 for a corpus (file or synthetic)
 train      train FakeDetector on a corpus and report held-out metrics
            (--trace t.jsonl records a span trace, --profile adds an
-           autograd op profile)
+           autograd op profile, --sanitize runs the tape sanitizer)
 evaluate   run the Figure 4/5 θ-sweep over the comparison methods
 tune       grid-search FakeDetector hyperparameters with inner CV
 report     write the complete reproduction artifact set to a directory
 infer      one-shot inductive scoring from a saved detector checkpoint
 serve      long-lived micro-batched serving loop over JSONL requests
 obs        observability utilities (``obs report t.jsonl`` renders a trace)
+lint       run the repro.analysis static rules over source trees
+analysis   static-analysis utilities (``analysis report`` summarizes by rule)
 """
 
 from __future__ import annotations
@@ -92,7 +94,7 @@ def cmd_train(args) -> int:
     if profiler:
         profiler.start()
     try:
-        detector = FakeDetector(config).fit(dataset, split)
+        detector = FakeDetector(config).fit(dataset, split, sanitize=args.sanitize)
     finally:
         if profiler:
             profiler.stop()
@@ -194,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--profile", action="store_true",
                          help="profile autograd ops; prints a per-op table "
                               "and embeds it in --trace output")
+    p_train.add_argument("--sanitize", action="store_true",
+                         help="run training under the tape sanitizer "
+                              "(NaN/Inf guards, in-place mutation checks, "
+                              "dead-parameter audit)")
     p_train.set_defaults(func=cmd_train)
 
     p_infer = sub.add_parser(
@@ -230,6 +236,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_report.add_argument("trace", type=Path, help="trace JSONL file")
     p_obs_report.set_defaults(func=cmd_obs_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro.analysis static rules over source trees"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run (e.g. RA001,RA004)")
+    p_lint.add_argument("--fix-hints", action="store_true",
+                        help="print a fix hint under each rule's first finding")
+    p_lint.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the stable JSON report instead of text")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_analysis = sub.add_parser("analysis", help="static-analysis utilities")
+    analysis_sub = p_analysis.add_subparsers(dest="analysis_command", required=True)
+    p_analysis_report = analysis_sub.add_parser(
+        "report", help="per-rule summary of lint findings over source trees"
+    )
+    p_analysis_report.add_argument(
+        "paths", nargs="*", default=["src/repro"], type=Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    p_analysis_report.add_argument("--select", default=None,
+                                   help="comma-separated rule ids to run")
+    p_analysis_report.add_argument("--json", action="store_true", dest="as_json",
+                                   help="emit JSON instead of the table")
+    p_analysis_report.set_defaults(func=cmd_analysis_report)
 
     p_eval = sub.add_parser("evaluate", help="Figure 4/5 method sweep")
     _add_corpus_args(p_eval)
@@ -268,6 +304,38 @@ def cmd_obs_report(args) -> int:
 
     print(render_trace_file(args.trace))
     return 0
+
+
+def _parse_select(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [r.strip() for r in spec.split(",") if r.strip()]
+
+
+def cmd_lint(args) -> int:
+    """Run the static rules; exit 0 only when the tree is clean."""
+    from .analysis import lint_paths, render_findings
+
+    result = lint_paths(args.paths, select=_parse_select(args.select))
+    if args.as_json:
+        print(result.to_json())
+    else:
+        print(render_findings(result, fix_hints=args.fix_hints))
+    return 0 if result.clean else 1
+
+
+def cmd_analysis_report(args) -> int:
+    """Per-rule summary over the same findings ``repro lint`` reports."""
+    import json
+
+    from .analysis import lint_paths, render_summary, summarize
+
+    result = lint_paths(args.paths, select=_parse_select(args.select))
+    if args.as_json:
+        print(json.dumps(summarize(result), indent=2, sort_keys=True))
+    else:
+        print(render_summary(result))
+    return 0 if result.clean else 1
 
 
 def cmd_report(args) -> int:

@@ -53,7 +53,7 @@ class AttentionAggregator(Module):
         super().__init__()
         if temperature <= 0:
             raise ValueError("temperature must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.hidden_dim = hidden_dim
         self.temperature = temperature
         self.attn = Parameter(init.xavier_uniform((hidden_dim, 1), rng))

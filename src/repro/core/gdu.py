@@ -50,7 +50,7 @@ class GDU(Module):
         use_selection_gates: bool = True,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         self.use_forget_gate = use_forget_gate

@@ -86,10 +86,22 @@ class FakeDetector:
         self.graph: Optional[GraphIndex] = None
         self.record = TrainingRecord()
         self._session = None  # lazily-built repro.serve.InferenceSession
+        self._sanitizer = None  # active repro.analysis Sanitizer during fit
+        self.sanitizer_stats = None  # counters from the last sanitized fit
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: NewsDataset, split: TriSplit) -> "FakeDetector":
-        """Train on the split's training ids; test labels are never read."""
+    def fit(
+        self, dataset: NewsDataset, split: TriSplit, sanitize: bool = False
+    ) -> "FakeDetector":
+        """Train on the split's training ids; test labels are never read.
+
+        With ``sanitize=True`` every tape op runs under the
+        :class:`repro.analysis.Sanitizer` — NaN/Inf guards on forward
+        outputs and backward gradients, plus in-place-mutation checksums on
+        arrays captured by backward closures — and a dead-parameter audit
+        is logged after the first epoch. The sanitizer is read-only, so
+        losses are bit-identical with or without it.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
         self.features = build_features(
@@ -133,11 +145,33 @@ class FakeDetector:
         params = list(self.model.parameters())
         optimizer = optim.Adam(params, lr=config.learning_rate)
         self.record = TrainingRecord()
+        logger = get_logger("train")
+
+        if sanitize:
+            from ..analysis.sanitize import Sanitizer
+
+            self._sanitizer = Sanitizer()
+            self._sanitizer.start()
+        try:
+            self._fit_loop(config, train_rows, validation_rows, params,
+                           optimizer, rng, logger)
+        finally:
+            if self._sanitizer is not None:
+                stats = self._sanitizer.stats
+                self._sanitizer.stop()
+                self._sanitizer = None
+                self.sanitizer_stats = stats.to_dict()
+                logger.info("sanitizer", **self.sanitizer_stats)
+        self._session = None  # cached serve state is stale after refitting
+        return self
+
+    def _fit_loop(
+        self, config, train_rows, validation_rows, params, optimizer, rng, logger
+    ) -> None:
+        """The epoch loop of :meth:`fit` (split out so the sanitizer wraps it)."""
         best_score = -float("inf")  # watched quantity, higher = better
         best_state = None
         stale = 0
-        logger = get_logger("train")
-
         with trace(
             "fit",
             epochs=config.epochs,
@@ -185,6 +219,15 @@ class FakeDetector:
                             seconds=seconds,
                         )
 
+                    if self._sanitizer is not None and epoch == 0:
+                        for dead in self._audit_dead_parameters():
+                            logger.warning(
+                                "dead_parameter",
+                                parameter=dead.name,
+                                shape=str(dead.shape),
+                                reason=dead.reason,
+                            )
+
                     if config.early_stop_patience:
                         if validation_rows.size:
                             score = self._validation_accuracy(validation_rows)
@@ -214,8 +257,12 @@ class FakeDetector:
             )
         if best_state is not None:
             self.model.load_state_dict(best_state)
-        self._session = None  # cached serve state is stale after refitting
-        return self
+
+    def _audit_dead_parameters(self):
+        """Dead-parameter audit on the grads of the step just taken."""
+        from ..analysis.sanitize import audit_parameters
+
+        return audit_parameters(self.model.named_parameters())
 
     def _validation_accuracy(self, validation_rows: np.ndarray) -> float:
         """Bi-class article accuracy on the held-out validation rows."""
@@ -274,6 +321,11 @@ class FakeDetector:
                     if p.grad is not None
                 )
             )
+        if self._sanitizer is not None:
+            # Verify mutation checksums before the optimizer's sanctioned
+            # in-place parameter update, then drop them so the cache cannot
+            # pin old graphs alive across steps.
+            self._sanitizer.flush()
         optimizer.step()
         return norm
 

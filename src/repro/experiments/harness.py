@@ -18,6 +18,7 @@ import numpy as np
 from ..data.schema import NewsDataset
 from ..graph.sampling import TriSplit, tri_splits
 from ..metrics import BinaryMetrics, MultiClassMetrics
+from ..obs import get_logger
 from .registry import MethodFactory
 
 ENTITY_KINDS = ("article", "creator", "subject")
@@ -154,6 +155,7 @@ def run_sweep(
         for name in methods
     }
     failures: List[tuple] = []
+    logger = get_logger("experiments.sweep")
 
     for fold_index, base_split in enumerate(all_splits):
         for theta in thetas:
@@ -172,7 +174,10 @@ def run_sweep(
                         raise
                     failures.append((name, theta, fold_index, repr(exc)))
                     if verbose:
-                        print(f"fold {fold_index} θ={theta:.1f} {name}: FAILED {exc!r}")
+                        logger.warning(
+                            "cell_failed", fold=fold_index, theta=theta,
+                            method=name, error=repr(exc),
+                        )
                     continue
                 elapsed = time.perf_counter() - start
                 fold_results = evaluate_predictions(dataset, base_split, predictions)
@@ -182,9 +187,9 @@ def run_sweep(
                 if verbose:
                     art = fold_results.get("article")
                     acc = art.binary.accuracy if art else float("nan")
-                    print(
-                        f"fold {fold_index} θ={theta:.1f} {name:13s} "
-                        f"article bi-acc={acc:.3f} ({elapsed:.1f}s)"
+                    logger.info(
+                        "cell", fold=fold_index, theta=theta, method=name,
+                        article_bi_acc=acc, seconds=elapsed,
                     )
 
     return SweepResult(

@@ -18,6 +18,7 @@ from ..core.config import FakeDetectorConfig
 from ..core.trainer import FakeDetector
 from ..data.schema import NewsDataset
 from ..graph.sampling import Split, TriSplit, k_fold_splits
+from ..obs import get_logger
 
 
 @dataclasses.dataclass
@@ -95,7 +96,12 @@ def grid_search(
         )
         trials.append(trial)
         if verbose:
-            print(f"  {trial}")
+            get_logger("experiments.tuning").info(
+                "trial",
+                overrides=str(overrides),
+                mean_score=trial.mean_score,
+                seconds=trial.seconds,
+            )
     trials.sort(key=lambda t: -t.mean_score)
     return trials
 

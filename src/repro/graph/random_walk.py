@@ -96,13 +96,16 @@ def generate_walk_corpus(
     node_type: Optional[NodeType] = None,
     p: Optional[float] = None,
     q: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[List[Tuple[NodeType, str]]]:
     """``num_walks`` walks from every node (optionally of one type).
 
     Start order is shuffled per round, as in the DeepWalk reference
     implementation. Passing ``p``/``q`` switches to node2vec biased walks.
+    An explicit ``rng`` takes precedence over ``seed``; the default
+    ``default_rng(seed)`` stream is unchanged.
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     starts = network.nodes(node_type)
     biased = p is not None or q is not None
     p = 1.0 if p is None else p

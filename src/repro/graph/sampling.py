@@ -154,9 +154,14 @@ def tri_splits(
     k: int = 10,
     seed: int = 0,
     article_labels: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> Iterator[TriSplit]:
-    """Generate the paper's aligned 10-fold splits over all three node sets."""
-    rng = np.random.default_rng(seed)
+    """Generate the paper's aligned 10-fold splits over all three node sets.
+
+    An explicit ``rng`` takes precedence over ``seed``; the default
+    ``default_rng(seed)`` stream is unchanged.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
     if article_labels is not None:
         article_splits = stratified_k_fold_splits(article_ids, article_labels, k, rng)
     else:

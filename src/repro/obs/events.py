@@ -89,7 +89,7 @@ class HumanSink:
         if kv:
             line = f"{line}  {kv}"
         with self._lock:
-            print(line, file=self.stream)
+            print(line, file=self.stream)  # repro: noqa[RA001] this IS the logger's terminal sink
 
     def close(self) -> None:  # streams are borrowed, never closed
         pass

@@ -1,0 +1,333 @@
+"""Unit tests for the repro.analysis lint engine and rule catalogue."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    RULES_BY_ID,
+    lint_paths,
+    lint_source,
+    noqa_rules_for_line,
+    render_findings,
+    render_summary,
+    resolve_rules,
+    summarize,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+def findings_for(source: str, path: str = "src/repro/somemodule.py", rules=None):
+    found, _ = lint_source(textwrap.dedent(source), path, rules)
+    return found
+
+
+def rule_ids(source: str, path: str = "src/repro/somemodule.py"):
+    return [f.rule for f in findings_for(source, path)]
+
+
+# ----------------------------------------------------------------------
+# RA001: bare print
+# ----------------------------------------------------------------------
+class TestBarePrint:
+    def test_flags_print_in_library_code(self):
+        assert rule_ids("print('hello')\n") == ["RA001"]
+
+    def test_cli_and_main_are_exempt(self):
+        for path in ("src/repro/cli.py", "src/repro/__main__.py"):
+            assert rule_ids("print('hello')\n", path) == []
+
+    def test_logger_call_not_flagged(self):
+        src = """
+        from repro.obs import get_logger
+        get_logger("ns").info("event", value=1)
+        """
+        assert rule_ids(src) == []
+
+    def test_shadowed_print_attribute_not_flagged(self):
+        # obj.print(...) is not the builtin
+        assert rule_ids("obj.print('x')\n") == []
+
+
+# ----------------------------------------------------------------------
+# RA002: unseeded randomness
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_unseeded_default_rng(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert rule_ids(src) == ["RA002"]
+
+    def test_seeded_default_rng_ok(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(7)
+        other = np.random.default_rng(seed=0)
+        """
+        assert rule_ids(src) == []
+
+    def test_legacy_module_level_call(self):
+        src = """
+        import numpy as np
+        x = np.random.randn(3)
+        np.random.seed(0)
+        """
+        assert rule_ids(src) == ["RA002", "RA002"]
+
+    def test_generator_method_call_ok(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=3)
+        """
+        assert rule_ids(src) == []
+
+    def test_respects_numpy_alias(self):
+        src = """
+        import numpy
+        x = numpy.random.rand(2)
+        """
+        assert rule_ids(src) == ["RA002"]
+
+    def test_unrelated_random_attribute_ok(self):
+        src = """
+        import mylib
+        x = mylib.random.rand(2)
+        """
+        assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# RA003: loop-variable late binding
+# ----------------------------------------------------------------------
+class TestLoopClosure:
+    def test_flags_late_bound_loop_variable(self):
+        src = """
+        callbacks = []
+        for op in ops:
+            def backward(grad):
+                return grad * op
+            callbacks.append(backward)
+        """
+        found = findings_for(src)
+        assert [f.rule for f in found] == ["RA003"]
+        assert "'op'" in found[0].message
+
+    def test_default_arg_binding_ok(self):
+        src = """
+        callbacks = []
+        for op in ops:
+            def backward(grad, _op=op):
+                return grad * _op
+            callbacks.append(backward)
+        """
+        assert rule_ids(src) == []
+
+    def test_lambda_in_loop(self):
+        src = """
+        fns = [  ]
+        for i in range(3):
+            fns.append(lambda: i)
+        """
+        assert rule_ids(src) == ["RA003"]
+
+    def test_locally_rebound_name_ok(self):
+        src = """
+        for i in range(3):
+            def fn():
+                i = 0
+                return i
+        """
+        assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# RA004: in-place .data/.grad mutation
+# ----------------------------------------------------------------------
+class TestTapeMutation:
+    def test_augmented_assignment(self):
+        assert rule_ids("t.data += 1.0\n") == ["RA004"]
+
+    def test_slice_assignment(self):
+        assert rule_ids("t.data[0] = 0.0\n") == ["RA004"]
+
+    def test_ufunc_out_kwarg(self):
+        src = """
+        import numpy as np
+        np.add(a, b, out=t.grad)
+        """
+        assert rule_ids(src) == ["RA004"]
+
+    def test_ufunc_at(self):
+        src = """
+        import numpy as np
+        np.add.at(t.data, idx, delta)
+        """
+        assert rule_ids(src) == ["RA004"]
+
+    def test_optimizer_module_exempt(self):
+        assert rule_ids("p.data -= lr * p.grad\n", "src/repro/autograd/optim.py") == []
+
+    def test_rebinding_data_attribute_ok(self):
+        # Rebinding (not mutating) the attribute is the sanctioned pattern.
+        assert rule_ids("t.data = new_array\n") == []
+
+
+# ----------------------------------------------------------------------
+# RA005: swallowed exceptions
+# ----------------------------------------------------------------------
+class TestSwallowedException:
+    def test_bare_except(self):
+        src = """
+        try:
+            risky()
+        except:
+            handle()
+        """
+        assert rule_ids(src) == ["RA005"]
+
+    def test_swallowing_broad_except(self):
+        src = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert rule_ids(src) == ["RA005"]
+
+    def test_broad_except_with_handling_ok(self):
+        src = """
+        try:
+            risky()
+        except Exception as exc:
+            failures.append(repr(exc))
+        """
+        assert rule_ids(src) == []
+
+    def test_narrow_except_pass_ok(self):
+        src = """
+        try:
+            risky()
+        except KeyError:
+            pass
+        """
+        assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression (# repro: noqa)
+# ----------------------------------------------------------------------
+class TestNoqa:
+    def test_rule_specific_suppression(self):
+        found, suppressed = lint_source(
+            "print('x')  # repro: noqa[RA001] terminal sink\n",
+            "src/repro/mod.py",
+        )
+        assert found == []
+        assert [f.rule for f in suppressed] == ["RA001"]
+
+    def test_blanket_suppression(self):
+        found, suppressed = lint_source(
+            "print('x')  # repro: noqa\n", "src/repro/mod.py"
+        )
+        assert found == []
+        assert len(suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        found, suppressed = lint_source(
+            "print('x')  # repro: noqa[RA002]\n", "src/repro/mod.py"
+        )
+        assert [f.rule for f in found] == ["RA001"]
+        assert suppressed == []
+
+    def test_noqa_rules_for_line(self):
+        assert noqa_rules_for_line("x = 1") is None
+        assert noqa_rules_for_line("x = 1  # repro: noqa") == set()
+        assert noqa_rules_for_line("x  # repro: noqa[RA001, RA004]") == {
+            "RA001",
+            "RA004",
+        }
+
+
+# ----------------------------------------------------------------------
+# Rule selection + engine surface
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_resolve_rules_all(self):
+        assert resolve_rules(None) == list(ALL_RULES)
+
+    def test_resolve_rules_subset(self):
+        rules = resolve_rules(["RA001", "RA004"])
+        assert [r.id for r in rules] == ["RA001", "RA004"]
+
+    def test_resolve_rules_unknown(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            resolve_rules(["RA999"])
+
+    def test_catalogue_is_complete(self):
+        assert sorted(RULES_BY_ID) == ["RA001", "RA002", "RA003", "RA004", "RA005"]
+        for rule in ALL_RULES:
+            assert rule.title and rule.hint
+
+    def test_select_limits_findings(self):
+        src = """
+        import numpy as np
+        print('x')
+        rng = np.random.default_rng()
+        """
+        found = findings_for(src, rules=resolve_rules(["RA002"]))
+        assert [f.rule for f in found] == ["RA002"]
+
+    def test_lint_paths_and_json_stability(self, tmp_path):
+        bad = tmp_path / "pkg" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        result = lint_paths([tmp_path])
+        assert not result.clean
+        payload = json.loads(result.to_json())
+        assert payload["schema"] == "repro.analysis.lint/1"
+        assert payload["counts"] == {"RA002": 1}
+        # Stable across runs.
+        assert result.to_json() == lint_paths([tmp_path]).to_json()
+
+    def test_lint_paths_missing_target(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope.py"])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = lint_paths([tmp_path])
+        assert not result.clean
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert "syntax error" in result.errors[0][1]
+
+    def test_render_findings_hints_once_per_rule(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("print('a')\nprint('b')\n")
+        text = render_findings(lint_paths([tmp_path]), fix_hints=True)
+        assert text.count("hint[RA001]") == 1
+        assert "2 findings" in text
+
+    def test_summary_roll_up(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+            "print('x')  # repro: noqa[RA001] allowed here\n"
+        )
+        result = lint_paths([tmp_path])
+        summary = summarize(result)
+        assert summary["schema"] == "repro.analysis.report/1"
+        assert summary["by_rule"]["RA002"]["findings"] == 1
+        assert summary["by_rule"]["RA001"]["suppressed"] == 1
+        rendered = render_summary(result)
+        assert "RA002" in rendered and "1 open findings" in rendered

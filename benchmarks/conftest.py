@@ -15,6 +15,7 @@ Rendered tables for every reproduced figure/table are written to
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -84,3 +85,37 @@ def save_artifact(name: str, content: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(content + "\n")
     return path
+
+
+def save_bench_run(name: str, report: dict, config: dict = None,
+                   series: dict = None):
+    """Persist one benchmark both ways: artifact file + run record.
+
+    Writes the historical ``results/<name>`` JSON snapshot *and* a
+    ``kind="benchmark"`` :class:`repro.obs.RunRecord` in the run registry
+    (``$REPRO_RUNS_DIR`` or ``results/runs``), so two benchmark runs can be
+    regression-gated with ``repro obs diff``. Scalar metrics are lifted
+    from the top level of ``report``; nested dicts stay artifact-only.
+    Returns ``(artifact_path, run_record)``.
+    """
+    from repro.obs import RunRegistry
+
+    path = save_artifact(name, json.dumps(report, indent=2))
+    metrics = {
+        key: float(value)
+        for key, value in report.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    registry = RunRegistry(
+        os.environ.get("REPRO_RUNS_DIR", "") or RESULTS_DIR / "runs"
+    )
+    slug = name.rsplit(".", 1)[0].lower()
+    record = registry.record(
+        kind="benchmark",
+        config=dict(config or {}),
+        metrics=metrics,
+        series=series,
+        run_id=registry.new_run_id(slug),
+        notes=f"artifact {path.name}",
+    )
+    return path, record

@@ -1,0 +1,89 @@
+"""Exporter and memory-profiler overhead on a real training run.
+
+The continuous-observability layer adds two always-on candidates whose cost
+must be budgeted before anyone leaves them enabled in production runs:
+
+- **exporter**: ``FakeDetector.fit`` while a :class:`PeriodicExporter`
+  flushes the global registry to a Prometheus textfile every 250 ms — the
+  scrape path runs off-thread, so the budget is <10% over baseline;
+- **memory**: fit under a running :class:`MemoryProfiler` — every tape op
+  pays a dict upsert plus a ``weakref.finalize`` registration, real work
+  budgeted at <60% (the documented cost of turning ``--profile-memory`` on;
+  it is a diagnosis tool, not an always-on default).
+
+Timings take the min over ``REPRO_BENCH_EXPORT_REPEATS`` runs (default 3).
+Writes ``results/BENCH_export.json`` through the run registry, so two
+benchmark runs are diffable with ``repro obs diff``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED, save_bench_run
+
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.obs import MemoryProfiler, PeriodicExporter, get_registry
+
+REPEATS = int(os.environ.get("REPRO_BENCH_EXPORT_REPEATS", "3"))
+EXPORTER_BUDGET = 1.10   # off-thread flushing: <10% over baseline
+MEMORY_BUDGET = 1.60     # per-op accounting + weakrefs: <60% (opt-in tool)
+EXPORT_INTERVAL = 0.25
+
+
+def _fit_seconds(bench_dataset, bench_split) -> float:
+    config = FakeDetectorConfig(
+        epochs=4, explicit_dim=60, vocab_size=2000, max_seq_len=16,
+        seed=BENCH_SEED, log_every=0,
+    )
+    detector = FakeDetector(config)
+    start = time.perf_counter()
+    detector.fit(bench_dataset, bench_split)
+    return time.perf_counter() - start
+
+
+def test_export_overhead(bench_dataset, bench_split, tmp_path):
+    baseline_runs, exporter_runs, memory_runs = [], [], []
+    flushes = 0
+    peak_live_mib = 0.0
+    # Interleaved legs, as in the other overhead benches: machine-wide
+    # drift biases all three equally; min-of-repeats drops noisy runs.
+    for i in range(REPEATS):
+        baseline_runs.append(_fit_seconds(bench_dataset, bench_split))
+
+        exporter = PeriodicExporter(
+            get_registry(), tmp_path / f"bench_{i}.prom",
+            interval=EXPORT_INTERVAL,
+        )
+        with exporter:
+            exporter_runs.append(_fit_seconds(bench_dataset, bench_split))
+        flushes = exporter.flushes
+
+        with MemoryProfiler() as profiler:
+            memory_runs.append(_fit_seconds(bench_dataset, bench_split))
+        peak_live_mib = profiler.peak_live_bytes / (1024.0 * 1024.0)
+
+    baseline = min(baseline_runs)
+    exporter_s = min(exporter_runs)
+    memory_s = min(memory_runs)
+
+    report = {
+        "repeats": REPEATS,
+        "fit_epochs": 4,
+        "export_interval_seconds": EXPORT_INTERVAL,
+        "baseline_seconds": baseline,
+        "exporter_seconds": exporter_s,
+        "memory_seconds": memory_s,
+        "exporter_ratio": exporter_s / baseline,
+        "memory_ratio": memory_s / baseline,
+        "exporter_budget": EXPORTER_BUDGET,
+        "memory_budget": MEMORY_BUDGET,
+        "exporter_flushes_last_run": flushes,
+        "peak_live_mib_last_run": peak_live_mib,
+    }
+    save_bench_run("BENCH_export.json", report)
+
+    assert exporter_s / baseline < EXPORTER_BUDGET, report
+    assert memory_s / baseline < MEMORY_BUDGET, report
+    assert peak_live_mib > 0.0, report

@@ -18,11 +18,10 @@ one scheduler hiccup cannot fail the bar. Writes ``results/BENCH_obs.json``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from conftest import BENCH_SEED, save_artifact
+from conftest import BENCH_SEED, save_bench_run
 
 from repro.core import FakeDetector, FakeDetectorConfig
 from repro.obs import OpProfiler, Tracer, install_tracer, uninstall_tracer
@@ -78,7 +77,7 @@ def test_obs_overhead(bench_dataset, bench_split, tmp_path):
         "enabled_budget": ENABLED_BUDGET,
         "profiled_op_calls_per_fit": op_calls,
     }
-    save_artifact("BENCH_obs.json", json.dumps(report, indent=2))
+    save_bench_run("BENCH_obs.json", report)
 
     assert disabled / baseline < DISABLED_BUDGET, report
     assert enabled / baseline < ENABLED_BUDGET, report

@@ -17,11 +17,10 @@ Writes ``results/BENCH_analysis.json``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from conftest import BENCH_SEED, save_artifact
+from conftest import BENCH_SEED, save_bench_run
 
 from repro.autograd.tensor import set_check_hook
 from repro.core import FakeDetector, FakeDetectorConfig
@@ -72,7 +71,7 @@ def test_sanitizer_overhead(bench_dataset, bench_split):
         "enabled_budget": ENABLED_BUDGET,
         "sanitizer_stats_per_fit": sanitizer_stats,
     }
-    save_artifact("BENCH_analysis.json", json.dumps(report, indent=2))
+    save_bench_run("BENCH_analysis.json", report)
 
     assert disabled / baseline < DISABLED_BUDGET, report
     assert enabled / baseline < ENABLED_BUDGET, report

@@ -14,10 +14,9 @@ Writes ``results/BENCH_serving.json``.
 
 from __future__ import annotations
 
-import json
 import time
 
-from conftest import BENCH_SEED, save_artifact
+from conftest import BENCH_SEED, save_bench_run
 
 from repro.core import FakeDetector, FakeDetectorConfig
 from repro.data import Article, CredibilityLabel
@@ -77,7 +76,7 @@ def test_serving_latency(bench_dataset, bench_split):
         "cache_hit_rate": snapshot["cache_hit_rate"],
         "session_metrics": snapshot,
     }
-    save_artifact("BENCH_serving.json", json.dumps(report, indent=2))
+    save_bench_run("BENCH_serving.json", report)
 
     # The acceptance bar: cached-session time well below the cold pass.
     assert warm_per_article < cold_per_article / 2, report

@@ -167,7 +167,12 @@ class Tensor:
         gradient array (or ``None``) per parent.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward", "name")
+    # __weakref__ lets observers (the repro.obs.memory profiler) track node
+    # lifetimes without extending them; it costs one pointer per tensor.
+    __slots__ = (
+        "data", "requires_grad", "grad", "_parents", "_backward", "name",
+        "__weakref__",
+    )
 
     def __init__(
         self,

@@ -6,13 +6,19 @@ generate   write a synthetic PolitiFact-like corpus to JSON lines
 analyze    print Table 1 + Figure 1 for a corpus (file or synthetic)
 train      train FakeDetector on a corpus and report held-out metrics
            (--trace t.jsonl records a span trace, --profile adds an
-           autograd op profile, --sanitize runs the tape sanitizer)
+           autograd op profile, --profile-memory a tape memory profile,
+           --sanitize runs the tape sanitizer; every run leaves a
+           results/runs/<id>.json record unless --no-run-record)
 evaluate   run the Figure 4/5 θ-sweep over the comparison methods
 tune       grid-search FakeDetector hyperparameters with inner CV
 report     write the complete reproduction artifact set to a directory
 infer      one-shot inductive scoring from a saved detector checkpoint
 serve      long-lived micro-batched serving loop over JSONL requests
-obs        observability utilities (``obs report t.jsonl`` renders a trace)
+           (--metrics-port exposes /metrics + /healthz, --slo-* budgets
+           attach the rolling-window SLO monitor)
+obs        observability utilities: ``obs report`` renders a trace,
+           ``obs diff`` regression-gates two run records, ``obs runs``
+           lists the registry
 lint       run the repro.analysis static rules over source trees
 analysis   static-analysis utilities (``analysis report`` summarizes by rule)
 """
@@ -68,7 +74,16 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_train(args) -> int:
-    from .obs import OpProfiler, Tracer, install_tracer, uninstall_tracer
+    import dataclasses
+
+    from .obs import (
+        MemoryProfiler,
+        OpProfiler,
+        RunRegistry,
+        Tracer,
+        install_tracer,
+        uninstall_tracer,
+    )
 
     dataset = _load_or_generate(args)
     split = next(
@@ -89,23 +104,32 @@ def cmd_train(args) -> int:
     )
     tracer = Tracer(path=args.trace) if args.trace else None
     profiler = OpProfiler() if args.profile else None
+    memory = MemoryProfiler() if args.profile_memory else None
     if tracer:
         install_tracer(tracer)
     if profiler:
         profiler.start()
+    if memory:
+        memory.start()
     try:
         detector = FakeDetector(config).fit(dataset, split, sanitize=args.sanitize)
     finally:
+        if memory:
+            memory.stop()
         if profiler:
             profiler.stop()
         if tracer:
             if profiler:
                 tracer.write(profiler.to_dict())
+            if memory:
+                tracer.write(memory.to_dict())
             uninstall_tracer()
             tracer.close()
             print(f"wrote trace to {args.trace}", file=sys.stderr)
     if profiler:
         print(profiler.table(), file=sys.stderr)
+    if memory:
+        print(memory.table(), file=sys.stderr)
     if args.checkpoint:
         from .autograd import save_state
 
@@ -115,6 +139,17 @@ def cmd_train(args) -> int:
         detector.save(args.save)
         print(f"saved detector to {args.save}")
 
+    run_metrics = {
+        "final_loss": detector.record.final_loss,
+        "total_seconds": detector.record.total_seconds,
+        "epochs_run": float(len(detector.record.total)),
+    }
+    if detector.record.epoch_seconds:
+        run_metrics["mean_epoch_seconds"] = (
+            detector.record.total_seconds / len(detector.record.epoch_seconds)
+        )
+    if memory:
+        run_metrics["peak_live_mib"] = memory.peak_live_bytes / (1024.0 * 1024.0)
     for kind, store, test_ids in (
         ("article", dataset.articles, split.articles.test),
         ("creator", dataset.creators, split.creators.test),
@@ -130,9 +165,26 @@ def cmd_train(args) -> int:
             [int(c >= 3) for c in y_true], [int(c >= 3) for c in y_pred]
         )
         multi = MultiClassMetrics.compute(y_true, y_pred)
+        run_metrics[f"{kind}_bi_accuracy"] = binary.accuracy
+        run_metrics[f"{kind}_bi_f1"] = binary.f1
+        run_metrics[f"{kind}_multi_accuracy"] = multi.accuracy
+        run_metrics[f"{kind}_macro_f1"] = multi.macro_f1
         print(
             f"{kind:8s} bi-acc={binary.accuracy:.3f} bi-f1={binary.f1:.3f} "
             f"multi-acc={multi.accuracy:.3f} macro-f1={multi.macro_f1:.3f}"
+        )
+    if not args.no_run_record:
+        registry = RunRegistry(args.runs_dir)
+        record = registry.record(
+            kind="train",
+            config=dataclasses.asdict(config),
+            metrics=run_metrics,
+            series=detector.record.to_dict(),
+        )
+        print(
+            f"recorded run {record.run_id} in {registry.root} "
+            f"(diff with `repro obs diff`)",
+            file=sys.stderr,
         )
     return 0
 
@@ -200,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run training under the tape sanitizer "
                               "(NaN/Inf guards, in-place mutation checks, "
                               "dead-parameter audit)")
+    p_train.add_argument("--profile-memory", action="store_true",
+                         help="profile tape memory: per-op allocated/peak "
+                              "bytes, live-tensor census and lifetimes "
+                              "(printed and embedded in --trace output)")
+    p_train.add_argument("--runs-dir", type=Path, default=None,
+                         help="run-record directory (default: $REPRO_RUNS_DIR "
+                              "or results/runs)")
+    p_train.add_argument("--no-run-record", action="store_true",
+                         help="skip writing the results/runs/<id>.json record")
     p_train.set_defaults(func=cmd_train)
 
     p_infer = sub.add_parser(
@@ -227,6 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds to coalesce a micro-batch")
     p_serve.add_argument("--cache-size", type=int, default=2048,
                          help="LRU text-feature cache entries (0 disables)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="expose /metrics (Prometheus) and /healthz on "
+                              "this port (0 = ephemeral, printed to stderr)")
+    p_serve.add_argument("--slo-p95-ms", type=float, default=None,
+                         help="SLO: rolling p95 per-request latency budget "
+                              "in milliseconds")
+    p_serve.add_argument("--slo-error-rate", type=float, default=None,
+                         help="SLO: rolling handler error-rate budget (0..1)")
+    p_serve.add_argument("--slo-queue-wait-ms", type=float, default=None,
+                         help="SLO: rolling p95 queue-wait budget in "
+                              "milliseconds")
+    p_serve.add_argument("--slo-window", type=float, default=60.0,
+                         help="rolling SLO window in seconds")
     p_serve.set_defaults(func=cmd_serve)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
@@ -235,7 +309,35 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a JSONL trace (span tree + op profile)"
     )
     p_obs_report.add_argument("trace", type=Path, help="trace JSONL file")
+    p_obs_report.add_argument("--json", action="store_true", dest="as_json",
+                              help="emit the stable repro.obs.report/1 JSON "
+                                   "instead of text")
     p_obs_report.set_defaults(func=cmd_obs_report)
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="compare two run records; exit 1 on metric regression"
+    )
+    p_obs_diff.add_argument("a", help="baseline run id or record path")
+    p_obs_diff.add_argument("b", help="candidate run id or record path")
+    p_obs_diff.add_argument("--runs-dir", type=Path, default=None,
+                            help="run-record directory (default: "
+                                 "$REPRO_RUNS_DIR or results/runs)")
+    p_obs_diff.add_argument(
+        "--threshold", action="append", default=[], metavar="METRIC=TOL[,DIR]",
+        help="override a gate, e.g. final_loss=0.02 or "
+             "throughput_rps=0.1,higher (repeatable)",
+    )
+    p_obs_diff.add_argument("--json", action="store_true", dest="as_json",
+                            help="emit the repro.obs.diff/1 JSON report")
+    p_obs_diff.set_defaults(func=cmd_obs_diff)
+    p_obs_runs = obs_sub.add_parser(
+        "runs", help="list persisted run records, oldest first"
+    )
+    p_obs_runs.add_argument("--runs-dir", type=Path, default=None,
+                            help="run-record directory (default: "
+                                 "$REPRO_RUNS_DIR or results/runs)")
+    p_obs_runs.add_argument("--kind", default=None,
+                            help="only this run kind (train/benchmark/serve)")
+    p_obs_runs.set_defaults(func=cmd_obs_runs)
 
     p_lint = sub.add_parser(
         "lint", help="run the repro.analysis static rules over source trees"
@@ -300,9 +402,58 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_obs_report(args) -> int:
     """Render a trace JSONL file: span self-time tree + op profile tables."""
-    from .obs import render_trace_file
+    import json
 
-    print(render_trace_file(args.trace))
+    from .obs import render_trace_file, report_to_dict
+
+    if args.as_json:
+        print(json.dumps(report_to_dict(args.trace), indent=2, sort_keys=True))
+    else:
+        print(render_trace_file(args.trace))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Regression-gate two run records; exit 1 when a metric regressed."""
+    import json
+
+    from .obs import RunRegistry, diff_runs, parse_threshold_specs
+
+    registry = RunRegistry(args.runs_dir)
+    diff = diff_runs(
+        registry.load(args.a),
+        registry.load(args.b),
+        thresholds=parse_threshold_specs(args.threshold),
+    )
+    if args.as_json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.ok else 1
+
+
+def cmd_obs_runs(args) -> int:
+    """Tabulate the persisted run records of one registry directory."""
+    from time import gmtime, strftime
+
+    from .obs import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    records = registry.list(kind=args.kind)
+    if not records:
+        print(f"no run records in {registry.root}")
+        return 0
+    print(f"{'run_id':<36s} {'kind':<10s} {'created (UTC)':<20s} "
+          f"{'git':<8s} metrics")
+    for record in records:
+        created = strftime("%Y-%m-%d %H:%M:%S", gmtime(record.created_ts))
+        sha = (record.git_sha or "-")[:7]
+        headline = ", ".join(
+            f"{k}={record.metrics[k]:.4g}"
+            for k in sorted(record.metrics)[:4]
+        )
+        print(f"{record.run_id:<36s} {record.kind:<10s} {created:<20s} "
+              f"{sha:<8s} {headline}")
     return 0
 
 
@@ -393,13 +544,40 @@ def cmd_serve(args) -> int:
     Reads JSONL requests, submits each through the :class:`BatchQueue`
     (exercising the same coalescing path a network front-end would), emits
     one JSON prediction per line, and reports serving metrics on exit.
+    ``--metrics-port`` adds a live Prometheus scrape endpoint; the
+    ``--slo-*`` budgets attach an :class:`repro.obs.SloMonitor` whose
+    breaches flip ``/healthz`` to 503 and emit structured warning events.
     """
     import json
 
+    from .obs import MetricsServer, SloMonitor, default_serving_rules
     from .serve import BatchQueue, InferenceSession
 
     detector = FakeDetector.load(args.model)
+    rules = default_serving_rules(
+        p95_latency_s=(
+            args.slo_p95_ms / 1e3 if args.slo_p95_ms is not None else None
+        ),
+        error_rate=args.slo_error_rate,
+        queue_wait_p95_s=(
+            args.slo_queue_wait_ms / 1e3
+            if args.slo_queue_wait_ms is not None else None
+        ),
+        window_seconds=args.slo_window,
+    )
+    metrics = None
+    monitor = None
     session = InferenceSession(detector, feature_cache_size=args.cache_size)
+    if rules:
+        monitor = SloMonitor(rules, registry=session.metrics.registry)
+        session.slo = monitor
+    if args.metrics_port is not None:
+        metrics = MetricsServer(
+            session.metrics.registry,
+            port=args.metrics_port,
+            health=monitor.health if monitor else None,
+        ).start()
+        print(f"metrics at {metrics.url}/metrics", file=sys.stderr)
     print(
         f"serving {args.model} "
         f"(max_batch_size={args.max_batch_size}, max_wait={args.max_wait}s)",
@@ -409,16 +587,24 @@ def cmd_serve(args) -> int:
     def handle(batch):
         return session.predict_articles(batch, return_proba=args.proba)
 
-    with BatchQueue(handle, max_batch_size=args.max_batch_size,
-                    max_wait=args.max_wait,
-                    metrics=session.metrics) as batch_queue:
-        pending = [
-            (request, batch_queue.submit(request))
-            for request in _read_requests(args.input)
-        ]
-        for _, handle_ in pending:
-            print(json.dumps(handle_.result(timeout=60.0).to_dict()))
+    try:
+        with BatchQueue(handle, max_batch_size=args.max_batch_size,
+                        max_wait=args.max_wait,
+                        metrics=session.metrics, slo=monitor) as batch_queue:
+            pending = [
+                (request, batch_queue.submit(request))
+                for request in _read_requests(args.input)
+            ]
+            for _, handle_ in pending:
+                print(json.dumps(handle_.result(timeout=60.0).to_dict()))
+    finally:
+        if metrics is not None:
+            metrics.close()
     print(session.metrics.render(), file=sys.stderr)
+    if monitor is not None and monitor.breached_rules:
+        print(f"SLO breached: {', '.join(monitor.breached_rules)}",
+              file=sys.stderr)
+        return 2
     return 0
 
 

@@ -22,7 +22,7 @@ from ..autograd import functional as F
 from ..autograd import optim
 from ..data.schema import NewsDataset
 from ..graph.sampling import TriSplit
-from ..obs import get_logger, trace
+from ..obs import get_logger, get_registry, trace
 from .config import FakeDetectorConfig
 from .model import FakeDetectorModel
 from .pipeline import GraphIndex, PipelineOutput, build_features, build_graph_index
@@ -66,6 +66,23 @@ class TrainingRecord:
             "article": self.article[epoch],
             "creator": self.creator[epoch],
             "subject": self.subject[epoch],
+        }
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """JSON-ready form: every per-epoch series plus summary scalars.
+
+        This is the payload :class:`repro.obs.RunRecord` stores under
+        ``series``, so a persisted run can be diffed and re-plotted without
+        re-training.
+        """
+        return {
+            "total": list(self.total),
+            "article": list(self.article),
+            "creator": list(self.creator),
+            "subject": list(self.subject),
+            "validation": list(self.validation),
+            "epoch_seconds": list(self.epoch_seconds),
+            "grad_norms": list(self.grad_norms),
         }
 
 
@@ -172,6 +189,7 @@ class FakeDetector:
         best_score = -float("inf")  # watched quantity, higher = better
         best_state = None
         stale = 0
+        registry = get_registry()
         with trace(
             "fit",
             epochs=config.epochs,
@@ -198,6 +216,13 @@ class FakeDetector:
                     self.record.subject.append(losses.get("subject", 0.0))
                     self.record.epoch_seconds.append(seconds)
                     self.record.grad_norms.append(stats["grad_norm"])
+                    # Publish the epoch to the global registry so a live
+                    # exporter (PeriodicExporter / MetricsServer) can scrape
+                    # training progress while fit() runs.
+                    registry.counter("train.epochs").inc()
+                    registry.gauge("train.loss").set(losses["total"])
+                    registry.gauge("train.grad_norm").set(stats["grad_norm"])
+                    registry.histogram("train.epoch_seconds").observe(seconds)
                     span.set(
                         loss_total=losses["total"],
                         loss_article=losses.get("article", 0.0),

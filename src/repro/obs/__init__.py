@@ -1,7 +1,6 @@
-"""Unified observability: structured events, span traces, metrics, op profiles.
+"""Unified observability: events, traces, metrics, profiles, exports, SLOs.
 
-Four dependency-free building blocks shared by training, serving and the
-autograd engine:
+Building blocks shared by training, serving and the autograd engine:
 
 - :mod:`repro.obs.events` — structured event logging. ``get_logger()``
   returns the process-global logger (human stderr sink by default);
@@ -14,9 +13,23 @@ autograd engine:
   over it.
 - :mod:`repro.obs.profiler` — :class:`OpProfiler` attributes wall time and
   call counts to every autograd tape op, forward and backward.
+- :mod:`repro.obs.memory` — :class:`MemoryProfiler` attributes allocated
+  bytes, peak live bytes and allocation lifetimes to tape ops, with a
+  live-tensor census by shape/dtype.
+- :mod:`repro.obs.export` — Prometheus text / JSON snapshot writers over a
+  registry, a :class:`PeriodicExporter` background flusher, and the stdlib
+  :class:`MetricsServer` serving ``/metrics`` + ``/healthz``.
+- :mod:`repro.obs.runs` — persistent :class:`RunRegistry` of per-run JSON
+  records (``results/runs/``) and :func:`diff_runs` regression gating.
+- :mod:`repro.obs.slo` — rolling-window :class:`SloMonitor` emitting
+  structured breach/recover events from inside the serving path.
+- :mod:`repro.obs.lifecycle` — exit-time flushing for buffered writers.
 
-CLI surface: ``repro train --trace t.jsonl --profile`` records a run,
-``repro obs report t.jsonl`` renders the span tree and op table.
+CLI surface: ``repro train --trace t.jsonl --profile --profile-memory``
+records a run (and a ``results/runs/`` record by default), ``repro obs
+report t.jsonl [--json]`` renders it, ``repro obs diff <a> <b>`` gates two
+run records, and ``repro serve --metrics-port`` exposes the scrape
+endpoint.
 """
 
 from .events import (
@@ -30,6 +43,20 @@ from .events import (
     read_events,
     reset_logging,
 )
+from .export import (
+    MetricsServer,
+    PeriodicExporter,
+    PROMETHEUS_CONTENT_TYPE,
+    SNAPSHOT_SCHEMA,
+    json_snapshot,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    write_json_snapshot,
+    write_prometheus,
+)
+from .lifecycle import flush_all, flush_at_exit, unregister_flush
+from .memory import MemoryProfiler, render_memory
 from .metrics import (
     Counter,
     Gauge,
@@ -40,7 +67,28 @@ from .metrics import (
     reset_registry,
 )
 from .profiler import OpProfiler, render_profile
-from .report import aggregate_spans, render_spans, render_trace_file, self_times
+from .report import (
+    REPORT_SCHEMA,
+    aggregate_spans,
+    render_spans,
+    render_trace_file,
+    report_to_dict,
+    self_times,
+)
+from .runs import (
+    DIFF_SCHEMA,
+    RUN_SCHEMA,
+    RunDiff,
+    RunRecord,
+    RunRegistry,
+    Threshold,
+    config_digest,
+    current_git_sha,
+    default_runs_dir,
+    diff_runs,
+    parse_threshold_specs,
+)
+from .slo import SloMonitor, SloRule, SloStatus, default_serving_rules
 from .tracing import (
     NULL_SPAN,
     Span,
@@ -63,6 +111,24 @@ __all__ = [
     "get_logger",
     "read_events",
     "reset_logging",
+    # export
+    "MetricsServer",
+    "PeriodicExporter",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SNAPSHOT_SCHEMA",
+    "json_snapshot",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
+    "write_json_snapshot",
+    "write_prometheus",
+    # lifecycle
+    "flush_all",
+    "flush_at_exit",
+    "unregister_flush",
+    # memory
+    "MemoryProfiler",
+    "render_memory",
     # metrics
     "Counter",
     "Gauge",
@@ -74,6 +140,23 @@ __all__ = [
     # profiler
     "OpProfiler",
     "render_profile",
+    # runs
+    "DIFF_SCHEMA",
+    "RUN_SCHEMA",
+    "RunDiff",
+    "RunRecord",
+    "RunRegistry",
+    "Threshold",
+    "config_digest",
+    "current_git_sha",
+    "default_runs_dir",
+    "diff_runs",
+    "parse_threshold_specs",
+    # slo
+    "SloMonitor",
+    "SloRule",
+    "SloStatus",
+    "default_serving_rules",
     # tracing
     "NULL_SPAN",
     "Span",
@@ -84,8 +167,10 @@ __all__ = [
     "trace",
     "uninstall_tracer",
     # report
+    "REPORT_SCHEMA",
     "aggregate_spans",
     "render_spans",
     "render_trace_file",
+    "report_to_dict",
     "self_times",
 ]

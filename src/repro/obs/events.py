@@ -23,6 +23,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
+from .lifecycle import flush_at_exit, unregister_flush
+
 #: Numeric severity thresholds, logging-module compatible.
 LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
@@ -96,7 +98,12 @@ class HumanSink:
 
 
 class JsonlSink:
-    """Append events as JSON lines to a file path or open text stream."""
+    """Append events as JSON lines to a file path or open text stream.
+
+    Registered with :func:`repro.obs.lifecycle.flush_at_exit`, so an exit
+    path that never reaches :meth:`close` (crash-adjacent ``sys.exit``,
+    unhandled exception in a script) still flushes the last buffered lines.
+    """
 
     def __init__(self, target: Union[str, Path, TextIO]):
         self._lock = threading.Lock()
@@ -106,6 +113,7 @@ class JsonlSink:
         else:
             self._file = target
             self._owns = False
+        flush_at_exit(self)
 
     def emit(self, event: Event) -> None:
         line = json.dumps(event.to_dict(), default=str)
@@ -113,7 +121,14 @@ class JsonlSink:
             self._file.write(line + "\n")
             self._file.flush()
 
+    def flush(self) -> None:
+        """Flush the underlying stream (safe on an already-closed file)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
     def close(self) -> None:
+        unregister_flush(self)
         if self._owns:
             self._file.close()
 

@@ -1,0 +1,73 @@
+"""Process-exit flushing for buffered observability writers.
+
+JSONL event sinks, span tracers and periodic exporters all buffer through
+file objects; an exit path that skips their ``close()`` (an unhandled
+exception in a script, ``sys.exit`` deep in a CLI) would truncate the last
+buffered lines — exactly the lines that explain the crash. Writers register
+here once and :func:`flush_all` runs from a single ``atexit`` hook.
+
+Registration is *weak*: the registry never keeps a writer alive, so a
+garbage-collected sink simply drops out. Flush failures at interpreter
+shutdown are counted, not raised — a half-dead stream must not mask the
+real exit reason.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+
+_LOCK = threading.Lock()
+_FLUSHABLES: "weakref.WeakSet" = weakref.WeakSet()
+_HOOKED = False
+
+#: flush() calls that raised during flush_all(); exposed for tests.
+flush_failures = 0
+
+
+def flush_at_exit(obj):
+    """Register ``obj`` (anything with ``flush()``) for exit-time flushing.
+
+    Idempotent and weak — registering the same writer twice is a no-op and
+    the registry never extends the writer's lifetime. Returns ``obj`` so
+    constructors can tail-call it.
+    """
+    global _HOOKED
+    with _LOCK:
+        _FLUSHABLES.add(obj)
+        if not _HOOKED:
+            atexit.register(flush_all)
+            _HOOKED = True
+    return obj
+
+
+def unregister_flush(obj) -> None:
+    """Drop ``obj`` from the exit-flush registry (e.g. after close())."""
+    with _LOCK:
+        _FLUSHABLES.discard(obj)
+
+
+def flush_all() -> int:
+    """Flush every registered writer; returns how many were flushed.
+
+    Runs at interpreter exit but is also callable directly (tests, a
+    crash handler). Exceptions from individual writers are swallowed into
+    :data:`flush_failures` so one broken stream cannot block the rest.
+    """
+    global flush_failures
+    with _LOCK:
+        writers = list(_FLUSHABLES)
+    flushed = 0
+    for writer in writers:
+        flush = getattr(writer, "flush", None)
+        if flush is None:
+            continue
+        try:
+            flush()
+            flushed += 1
+        except Exception:
+            # At shutdown the stream may already be closed by the runtime;
+            # count it so tests can assert nothing systematic is failing.
+            flush_failures += 1
+    return flushed

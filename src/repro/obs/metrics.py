@@ -135,7 +135,14 @@ class Histogram:
         return percentile(ordered, fraction)
 
     def snapshot(self) -> Dict[str, float]:
-        """Window statistics: count is cumulative, the rest windowed."""
+        """Window statistics plus cumulative totals.
+
+        ``count``/``sum`` are cumulative over the histogram's lifetime (the
+        monotone series Prometheus summaries need); ``min``/``max``/``mean``
+        and the percentiles describe the bounded window, whose current
+        occupancy is ``window`` — exporters use it to judge how much data
+        backs the quantiles.
+        """
         with self._lock:
             ordered = sorted(self._window)
             count, total = self._count, self._sum
@@ -148,6 +155,7 @@ class Histogram:
             "p50": percentile(ordered, 0.50),
             "p95": percentile(ordered, 0.95),
             "p99": percentile(ordered, 0.99),
+            "window": float(len(ordered)),
         }
 
     def reset(self) -> None:
@@ -189,6 +197,11 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._metrics)
+
+    def items(self) -> List:
+        """Sorted ``(name, metric)`` pairs — the exporters' iteration seam."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> Dict[str, float]:
         """Flat ``{name: value}`` dict; histograms expand to dotted keys."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .memory import render_memory
 from .profiler import render_profile
 from .tracing import read_trace
 
@@ -94,23 +95,67 @@ def render_spans(spans: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+#: Schema tag of the machine-readable trace report.
+REPORT_SCHEMA = "repro.obs.report/1"
+
+
+def report_to_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Machine-readable form of the ``repro obs report`` rendering.
+
+    Stable schema ``repro.obs.report/1`` (mirroring ``repro lint --json``):
+    record counts, path-aggregated span rows, every embedded profile
+    record verbatim, and the event tail.
+    """
+    records = read_trace(path)
+    spans = [r for r in records if r.get("type") == "span"]
+    profiles = [r for r in records if r.get("type") == "profile"]
+    memories = [r for r in records if r.get("type") == "memory"]
+    events = [r for r in records if r.get("type") == "event"]
+    return {
+        "schema": REPORT_SCHEMA,
+        "trace": str(path),
+        "counts": {
+            "spans": len(spans),
+            "profiles": len(profiles),
+            "memory_profiles": len(memories),
+            "events": len(events),
+        },
+        "spans": [
+            {
+                "path": list(span_path),
+                "count": count,
+                "total_seconds": total_s,
+                "self_seconds": self_s,
+            }
+            for span_path, count, total_s, self_s in aggregate_spans(spans)
+        ],
+        "profiles": profiles,
+        "memory_profiles": memories,
+        "events": events,
+    }
+
+
 def render_trace_file(path: Union[str, Path]) -> str:
     """Full ``repro obs report`` rendering of one trace JSONL file."""
     records = read_trace(path)
     spans = [r for r in records if r.get("type") == "span"]
     profiles = [r for r in records if r.get("type") == "profile"]
+    memories = [r for r in records if r.get("type") == "memory"]
     events = [r for r in records if r.get("type") == "event"]
 
     sections = [f"trace report: {path}"]
     sections.append(
         f"records: {len(spans)} spans, {len(profiles)} profiles, "
-        f"{len(events)} events"
+        f"{len(memories)} memory profiles, {len(events)} events"
     )
     sections.append("")
     sections.append(render_spans(spans))
     for profile in profiles:
         sections.append("")
         sections.append(render_profile(profile))
+    for memory in memories:
+        sections.append("")
+        sections.append(render_memory(memory))
     if events:
         sections.append("")
         sections.append("events:")

@@ -1,0 +1,388 @@
+"""Persistent run registry: one JSON record per run, plus regression diffing.
+
+Every training, benchmark or serving run that matters leaves a record in
+``results/runs/<run_id>.json`` (schema ``repro.obs.run/1``): the config and
+its digest, the git SHA, scalar summary ``metrics`` (final loss, latency
+percentiles, memory peaks, accuracy) and per-epoch ``series`` (losses,
+gradient norms). That turns the ``results/`` directory from a pile of
+hand-rolled snapshots into a longitudinal trajectory: any two records are
+comparable, and ``repro obs diff <a> <b>`` exits nonzero when a watched
+metric regresses beyond its threshold — the CI gate the bench trajectory
+was missing.
+
+Thresholds are relative by default (5%) with the regression *direction*
+inferred from the metric name (``accuracy``/``f1``/``throughput``-style
+metrics must not fall, everything else — losses, seconds, bytes — must not
+rise); both are overridable per metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+RUN_SCHEMA = "repro.obs.run/1"
+DIFF_SCHEMA = "repro.obs.diff/1"
+
+#: Default relative tolerance before a metric movement counts as regression.
+DEFAULT_TOLERANCE = 0.05
+
+#: Metric-name fragments whose value is better when *higher*.
+_HIGHER_IS_BETTER = (
+    "accuracy", "acc", "f1", "precision", "recall", "auc", "throughput",
+    "hit_rate", "rps",
+)
+
+
+def default_runs_dir() -> Path:
+    """``$REPRO_RUNS_DIR`` when set, else ``results/runs`` under the cwd."""
+    return Path(os.environ.get("REPRO_RUNS_DIR", "") or Path("results") / "runs")
+
+
+def config_digest(config: Dict) -> str:
+    """Stable short digest of a config dict (order-insensitive)."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def current_git_sha(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The repository HEAD SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def higher_is_better(metric: str) -> bool:
+    """Regression direction inferred from the metric name."""
+    lowered = metric.lower()
+    return any(frag in lowered for frag in _HIGHER_IS_BETTER)
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One persisted run: identity, provenance, metrics, series."""
+
+    run_id: str
+    kind: str                      # "train" | "benchmark" | "serve"
+    created_ts: float
+    config: Dict = dataclasses.field(default_factory=dict)
+    config_digest: str = ""
+    git_sha: Optional[str] = None
+    #: scalar summary metrics (losses, percentiles, peaks, accuracies)
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: per-epoch / per-step trajectories (losses, grad norms, seconds)
+    series: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": RUN_SCHEMA,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "created_ts": self.created_ts,
+            "config": self.config,
+            "config_digest": self.config_digest,
+            "git_sha": self.git_sha,
+            "metrics": self.metrics,
+            "series": self.series,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunRecord":
+        schema = payload.get("schema")
+        if schema != RUN_SCHEMA:
+            raise ValueError(
+                f"not a run record (schema {schema!r}, expected {RUN_SCHEMA!r})"
+            )
+        return cls(
+            run_id=str(payload["run_id"]),
+            kind=str(payload.get("kind", "train")),
+            created_ts=float(payload.get("created_ts", 0.0)),
+            config=dict(payload.get("config", {})),
+            config_digest=str(payload.get("config_digest", "")),
+            git_sha=payload.get("git_sha"),
+            metrics={k: float(v) for k, v in payload.get("metrics", {}).items()},
+            series={
+                k: [float(x) for x in v]
+                for k, v in payload.get("series", {}).items()
+            },
+            notes=str(payload.get("notes", "")),
+        )
+
+
+class RunRegistry:
+    """Filesystem-backed registry of :class:`RunRecord` JSON files."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_runs_dir()
+
+    # -- writing -------------------------------------------------------
+    def new_run_id(self, kind: str) -> str:
+        """``<kind>-<utc stamp>-<entropy>``, unique within the registry."""
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+        suffix = hashlib.sha1(
+            f"{time.time_ns()}-{os.getpid()}".encode()
+        ).hexdigest()[:6]
+        return f"{kind}-{stamp}-{suffix}"
+
+    def record(
+        self,
+        kind: str,
+        config: Optional[Dict] = None,
+        metrics: Optional[Dict[str, float]] = None,
+        series: Optional[Dict[str, Sequence[float]]] = None,
+        notes: str = "",
+        run_id: Optional[str] = None,
+    ) -> RunRecord:
+        """Build, persist and return a run record."""
+        config = dict(config or {})
+        record = RunRecord(
+            run_id=run_id or self.new_run_id(kind),
+            kind=kind,
+            created_ts=time.time(),
+            config=config,
+            config_digest=config_digest(config),
+            git_sha=current_git_sha(),
+            metrics={k: float(v) for k, v in (metrics or {}).items()},
+            series={k: [float(x) for x in v] for k, v in (series or {}).items()},
+            notes=notes,
+        )
+        self.save(record)
+        return record
+
+    def save(self, record: RunRecord) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(record.run_id)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    def path_for(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    # -- reading -------------------------------------------------------
+    def load(self, ref: Union[str, Path]) -> RunRecord:
+        """Load by run id (within this registry) or by explicit JSON path."""
+        path = Path(ref)
+        if not path.suffix == ".json":
+            path = self.path_for(str(ref))
+        if not path.exists():
+            raise FileNotFoundError(f"no run record at {path}")
+        return RunRecord.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def list(self, kind: Optional[str] = None) -> List[RunRecord]:
+        """All records (optionally one kind), oldest first."""
+        if not self.root.exists():
+            return []
+        records = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                record = RunRecord.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (ValueError, KeyError, json.JSONDecodeError):
+                continue  # foreign JSON in the runs dir is not a record
+            if kind is None or record.kind == kind:
+                records.append(record)
+        records.sort(key=lambda r: (r.created_ts, r.run_id))
+        return records
+
+    def latest(self, kind: Optional[str] = None, n: int = 1) -> List[RunRecord]:
+        """The ``n`` most recent records, newest last."""
+        return self.list(kind=kind)[-n:]
+
+
+# ----------------------------------------------------------------------
+# Regression diffing
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Threshold:
+    """Regression gate for one metric."""
+
+    metric: str
+    tolerance: float = DEFAULT_TOLERANCE       # relative movement allowed
+    higher_is_better: Optional[bool] = None    # None = infer from the name
+
+    def direction(self) -> bool:
+        if self.higher_is_better is None:
+            return higher_is_better(self.metric)
+        return self.higher_is_better
+
+
+#: Metrics gated by default when present in both records.
+DEFAULT_THRESHOLDS: Dict[str, Threshold] = {
+    name: Threshold(name, tolerance)
+    for name, tolerance in (
+        ("final_loss", 0.05),
+        ("total_seconds", 0.35),        # wall time is noisy; gate loosely
+        ("mean_epoch_seconds", 0.35),
+        ("latency_p95_ms", 0.35),
+        ("latency_p50_ms", 0.35),
+        ("peak_live_mib", 0.10),
+        ("article_bi_accuracy", 0.05),
+        ("article_macro_f1", 0.10),
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffEntry:
+    """One compared metric between run A (baseline) and run B (candidate)."""
+
+    metric: str
+    a: Optional[float]
+    b: Optional[float]
+    ratio: Optional[float]          # b / a when defined
+    status: str                     # "ok" | "regression" | "improved" |
+                                    # "info" | "only_a" | "only_b"
+    tolerance: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class RunDiff:
+    """The full comparison of two run records."""
+
+    a: str
+    b: str
+    entries: List[DiffEntry]
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": DIFF_SCHEMA,
+            "a": self.a,
+            "b": self.b,
+            "ok": self.ok,
+            "regressions": [e.metric for e in self.regressions],
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"run diff: {self.a} (baseline) vs {self.b} (candidate)",
+            f"  {'metric':<26s} {'baseline':>12s} {'candidate':>12s} "
+            f"{'ratio':>8s}  status",
+        ]
+        for entry in self.entries:
+            a = f"{entry.a:.6g}" if entry.a is not None else "-"
+            b = f"{entry.b:.6g}" if entry.b is not None else "-"
+            ratio = f"{entry.ratio:.3f}" if entry.ratio is not None else "-"
+            lines.append(
+                f"  {entry.metric:<26s} {a:>12s} {b:>12s} {ratio:>8s}  "
+                f"{entry.status}"
+            )
+        verdict = "OK" if self.ok else (
+            f"REGRESSION in {', '.join(e.metric for e in self.regressions)}"
+        )
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def _compare_metric(
+    metric: str, a: float, b: float, threshold: Optional[Threshold]
+) -> DiffEntry:
+    ratio = (b / a) if a else None
+    if threshold is None:
+        return DiffEntry(metric, a, b, ratio, "info")
+    tolerance = threshold.tolerance
+    scale = abs(a) if a else 1.0
+    delta = b - a
+    worse = -delta if threshold.direction() else delta
+    if worse > tolerance * scale:
+        status = "regression"
+    elif worse < -tolerance * scale:
+        status = "improved"
+    else:
+        status = "ok"
+    return DiffEntry(metric, a, b, ratio, status, tolerance=tolerance)
+
+
+def diff_runs(
+    a: RunRecord,
+    b: RunRecord,
+    thresholds: Optional[Dict[str, Threshold]] = None,
+) -> RunDiff:
+    """Compare two records metric-by-metric against the thresholds.
+
+    Metrics without a threshold are reported as ``info`` and never gate;
+    metrics present in only one record surface as ``only_a``/``only_b`` so
+    silently vanished series are visible in review.
+    """
+    gates = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        gates.update(thresholds)
+    entries: List[DiffEntry] = []
+    for metric in sorted(set(a.metrics) | set(b.metrics)):
+        in_a, in_b = metric in a.metrics, metric in b.metrics
+        if in_a and in_b:
+            entries.append(
+                _compare_metric(
+                    metric, a.metrics[metric], b.metrics[metric],
+                    gates.get(metric),
+                )
+            )
+        elif in_a:
+            entries.append(DiffEntry(metric, a.metrics[metric], None, None, "only_a"))
+        else:
+            entries.append(DiffEntry(metric, None, b.metrics[metric], None, "only_b"))
+    return RunDiff(a=a.run_id, b=b.run_id, entries=entries)
+
+
+def parse_threshold_specs(specs: Sequence[str]) -> Dict[str, Threshold]:
+    """CLI ``--threshold metric=tolerance[,higher|lower]`` parser."""
+    out: Dict[str, Threshold] = {}
+    for spec in specs:
+        spec = spec.strip()
+        if not spec:
+            continue
+        if "=" not in spec:
+            raise ValueError(
+                f"malformed threshold {spec!r} (expected metric=tolerance)"
+            )
+        metric, rest = spec.split("=", 1)
+        metric = metric.strip()
+        parts = [p.strip() for p in rest.split(",") if p.strip()]
+        if not parts:
+            raise ValueError(f"missing tolerance in threshold {spec!r}")
+        tolerance = float(parts[0])
+        direction: Optional[bool] = None
+        if len(parts) > 1:
+            if parts[1] not in ("higher", "lower"):
+                raise ValueError(
+                    f"threshold direction must be 'higher' or 'lower', "
+                    f"got {parts[1]!r}"
+                )
+            direction = parts[1] == "higher"
+        out[metric] = Threshold(metric, tolerance, direction)
+    return out

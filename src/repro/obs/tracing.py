@@ -28,6 +28,8 @@ from pathlib import Path
 from time import perf_counter, time
 from typing import Any, Dict, List, Optional, TextIO, Union
 
+from .lifecycle import flush_at_exit, unregister_flush
+
 _IDS = itertools.count(1)
 
 
@@ -122,6 +124,9 @@ class Tracer:
         if self.path is not None:
             self._file = open(self.path, "w", encoding="utf-8")
             self.write({"type": "trace_start", "wall_time": time()})
+            # Crash-adjacent exits flush the stream instead of truncating
+            # the spans that explain the crash.
+            flush_at_exit(self)
 
     # -- span lifecycle -----------------------------------------------
     def span(self, name: str, **attrs: Any) -> Span:
@@ -174,7 +179,14 @@ class Tracer:
                 handle.write(json.dumps(span.to_dict(), default=str) + "\n")
         return path
 
+    def flush(self) -> None:
+        """Flush the streamed JSONL file (no-op when not streaming)."""
+        with self._lock:
+            if self._file is not None and not self._file.closed:
+                self._file.flush()
+
     def close(self) -> None:
+        unregister_flush(self)
         with self._lock:
             if self._file is not None:
                 self._file.flush()

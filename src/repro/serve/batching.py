@@ -81,6 +81,13 @@ class BatchQueue:
         and queue wait; the handler runs under
         :meth:`ServingMetrics.deferred_latency` so a session sharing the
         same metrics object does not double-record.
+    slo:
+        Optional :class:`repro.obs.SloMonitor`. The queue feeds it the
+        signals only it can see — per-batch max queue wait, the post-batch
+        queue depth, and handler success/error counts — and evaluates the
+        rules after every batch, so breach events fire while the server
+        runs. Pass the same monitor to the :class:`InferenceSession` to add
+        the compute-latency signal.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class BatchQueue:
         max_batch_size: int = 32,
         max_wait: float = 0.01,
         metrics=None,
+        slo=None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -98,6 +106,7 @@ class BatchQueue:
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self.metrics = metrics
+        self.slo = slo
         self._queue: "queue.Queue" = queue.Queue()
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
@@ -196,6 +205,9 @@ class BatchQueue:
                 except BaseException as exc:  # propagate to every waiter
                     for pending in pendings:
                         pending._reject(exc)
+                    if self.slo is not None:
+                        self.slo.record_error(len(pendings))
+                        self.slo.evaluate()
                     continue
                 done = time.perf_counter()
                 span.set(
@@ -215,6 +227,11 @@ class BatchQueue:
                     ],
                     queue_waits=queue_waits,
                 )
+            if self.slo is not None:
+                self.slo.observe_queue_wait(max(queue_waits, default=0.0))
+                self.slo.observe_queue_depth(self._queue.qsize())
+                self.slo.record_success(len(pendings))
+                self.slo.evaluate()
 
     def _reject_pending(self) -> None:
         while True:

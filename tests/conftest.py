@@ -9,6 +9,31 @@ from repro.data import GeneratorConfig, PolitiFactGenerator
 from repro.graph.sampling import tri_splits
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _session_runs_dir(tmp_path_factory):
+    """Session-wide run-registry isolation.
+
+    The function-scoped guard below does not cover module/class/session
+    fixtures (they are set up before it), so a broad-scoped fixture calling
+    ``repro train`` would litter the checkout's ``results/runs``. This
+    backstop catches those.
+    """
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_RUNS_DIR", str(tmp_path_factory.mktemp("runs-session")))
+    yield
+    patch.undo()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the run registry at a fresh per-test tmp dir.
+
+    ``repro train`` writes a run record by default; tests asserting on
+    registry contents need an empty registry each time.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture(scope="session")
 def small_dataset():
     """A ~300-article corpus; session-scoped because generation is pure."""

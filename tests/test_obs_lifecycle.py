@@ -1,0 +1,86 @@
+"""Exit-time flushing: buffered obs writers drain without explicit close()."""
+
+import json
+
+from repro.obs import JsonlSink, Tracer, flush_all, flush_at_exit, trace
+from repro.obs import install_tracer, uninstall_tracer
+from repro.obs.lifecycle import unregister_flush
+
+
+class TestFlushRegistry:
+    def test_flush_all_calls_registered_flush(self):
+        class Writer:
+            flushed = 0
+
+            def flush(self):
+                self.flushed += 1
+
+        writer = Writer()
+        flush_at_exit(writer)
+        try:
+            assert flush_all() >= 1
+            assert writer.flushed == 1
+        finally:
+            unregister_flush(writer)
+
+    def test_unregistered_writer_not_flushed(self):
+        class Writer:
+            flushed = 0
+
+            def flush(self):
+                self.flushed += 1
+
+        writer = Writer()
+        flush_at_exit(writer)
+        unregister_flush(writer)
+        flush_all()
+        assert writer.flushed == 0
+
+    def test_flush_all_survives_broken_writers(self):
+        class Broken:
+            def flush(self):
+                raise RuntimeError("disk gone")
+
+        broken = Broken()
+        flush_at_exit(broken)
+        try:
+            flush_all()  # must not raise
+        finally:
+            unregister_flush(broken)
+
+
+class TestWriterRegistration:
+    def test_jsonl_sink_flushes_via_registry(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        try:
+            from repro.obs import Event
+
+            sink.emit(Event(name="x", level="info", ts=0.0, fields={}))
+            flush_all()
+            lines = path.read_text().strip().splitlines()
+            assert json.loads(lines[0])["name"] == "x"
+        finally:
+            sink.close()
+
+    def test_tracer_stream_flushes_via_registry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path=path)
+        install_tracer(tracer)
+        try:
+            with trace("unit"):
+                pass
+            flush_all()
+            types = [
+                json.loads(line)["type"]
+                for line in path.read_text().strip().splitlines()
+            ]
+            assert "span" in types
+        finally:
+            uninstall_tracer()
+            tracer.close()
+
+    def test_close_unregisters_tracer(self, tmp_path):
+        tracer = Tracer(path=tmp_path / "t.jsonl")
+        tracer.close()
+        flush_all()  # a second flush on the closed file must be harmless

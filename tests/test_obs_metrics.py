@@ -65,7 +65,13 @@ class TestPrimitives:
         snap = h.snapshot()
         assert snap["count"] == 8  # cumulative
         assert snap["max"] == 1.0  # windowed
+        assert snap["window"] == 4.0  # current occupancy backing percentiles
         assert h.values() == [1.0] * 4
+
+    def test_histogram_snapshot_reports_window_occupancy(self):
+        h = Histogram("x", window=100)
+        h.observe_many([1.0, 2.0, 3.0])
+        assert h.snapshot()["window"] == 3.0
 
     def test_histogram_reset(self):
         h = Histogram("x")

@@ -1,0 +1,247 @@
+"""Run registry: persistence round-trip, regression diffing, CLI gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    RUN_SCHEMA,
+    RunRecord,
+    RunRegistry,
+    Threshold,
+    config_digest,
+    default_runs_dir,
+    diff_runs,
+    parse_threshold_specs,
+)
+from repro.obs.runs import higher_is_better
+
+
+class TestRegistryPersistence:
+    def test_record_round_trips(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = registry.record(
+            kind="train",
+            config={"epochs": 3, "seed": 7},
+            metrics={"final_loss": 1.5},
+            series={"total": [3.0, 2.0, 1.5]},
+            notes="smoke",
+        )
+        loaded = registry.load(record.run_id)
+        assert loaded.run_id == record.run_id
+        assert loaded.kind == "train"
+        assert loaded.metrics == {"final_loss": 1.5}
+        assert loaded.series == {"total": [3.0, 2.0, 1.5]}
+        assert loaded.config_digest == config_digest({"epochs": 3, "seed": 7})
+
+    def test_schema_is_stamped(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = registry.record(kind="benchmark")
+        payload = json.loads(registry.path_for(record.run_id).read_text())
+        assert payload["schema"] == RUN_SCHEMA
+
+    def test_load_by_path_or_id(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = registry.record(kind="train")
+        by_path = registry.load(registry.path_for(record.run_id))
+        assert by_path.run_id == registry.load(record.run_id).run_id
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunRegistry(tmp_path).load("nope")
+
+    def test_foreign_json_skipped_by_list(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(kind="train")
+        (tmp_path / "BENCH_other.json").write_text('{"not": "a record"}')
+        assert len(registry.list()) == 1
+
+    def test_list_filters_kind_and_latest_orders(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        first = registry.record(kind="train", run_id="train-0")
+        registry.record(kind="benchmark", run_id="bench-0")
+        second = registry.record(kind="train", run_id="train-1")
+        trains = registry.list(kind="train")
+        assert [r.run_id for r in trains] == [first.run_id, second.run_id]
+        assert registry.latest(kind="train")[0].run_id == second.run_id
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            RunRecord.from_dict({"schema": "something/else", "run_id": "x"})
+
+    def test_default_runs_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "elsewhere"))
+        assert default_runs_dir() == tmp_path / "elsewhere"
+
+
+def _record(metrics, run_id="r"):
+    return RunRecord(
+        run_id=run_id, kind="train", created_ts=0.0, metrics=metrics
+    )
+
+
+class TestDiffing:
+    def test_identical_runs_are_ok(self):
+        diff = diff_runs(_record({"final_loss": 1.0}), _record({"final_loss": 1.0}))
+        assert diff.ok
+        assert diff.entries[0].status == "ok"
+
+    def test_loss_increase_is_regression(self):
+        diff = diff_runs(
+            _record({"final_loss": 1.0}), _record({"final_loss": 1.2})
+        )
+        assert not diff.ok
+        assert [e.metric for e in diff.regressions] == ["final_loss"]
+
+    def test_loss_decrease_is_improvement(self):
+        diff = diff_runs(
+            _record({"final_loss": 1.0}), _record({"final_loss": 0.5})
+        )
+        assert diff.ok
+        assert diff.entries[0].status == "improved"
+
+    def test_accuracy_direction_inferred(self):
+        assert higher_is_better("article_bi_accuracy")
+        assert not higher_is_better("final_loss")
+        diff = diff_runs(
+            _record({"article_bi_accuracy": 0.9}),
+            _record({"article_bi_accuracy": 0.5}),
+        )
+        assert not diff.ok
+
+    def test_ungated_metric_is_info(self):
+        diff = diff_runs(
+            _record({"something_custom": 1.0}),
+            _record({"something_custom": 99.0}),
+        )
+        assert diff.ok
+        assert diff.entries[0].status == "info"
+
+    def test_missing_metrics_surface_as_only(self):
+        diff = diff_runs(_record({"a_only": 1.0}), _record({"b_only": 2.0}))
+        statuses = {e.metric: e.status for e in diff.entries}
+        assert statuses == {"a_only": "only_a", "b_only": "only_b"}
+
+    def test_custom_threshold_overrides_default(self):
+        diff = diff_runs(
+            _record({"final_loss": 1.0}),
+            _record({"final_loss": 1.04}),
+            thresholds={"final_loss": Threshold("final_loss", 0.01)},
+        )
+        assert not diff.ok
+
+    def test_render_names_the_verdict(self):
+        diff = diff_runs(_record({"final_loss": 1.0}), _record({"final_loss": 9.0}))
+        assert "REGRESSION in final_loss" in diff.render()
+
+
+class TestThresholdSpecs:
+    def test_parses_tolerance_and_direction(self):
+        parsed = parse_threshold_specs(
+            ["final_loss=0.02", "throughput_rps=0.1,higher", "x=0.3,lower"]
+        )
+        assert parsed["final_loss"].tolerance == 0.02
+        assert parsed["final_loss"].higher_is_better is None
+        assert parsed["throughput_rps"].direction() is True
+        assert parsed["x"].direction() is False
+
+    @pytest.mark.parametrize("bad", ["final_loss", "x=", "x=0.1,sideways"])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_threshold_specs([bad])
+
+
+class TestCli:
+    def _write(self, registry, run_id, loss):
+        registry.record(
+            kind="train", run_id=run_id, metrics={"final_loss": loss}
+        )
+
+    def test_diff_exits_zero_when_unchanged(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path)
+        self._write(registry, "a", 1.0)
+        self._write(registry, "b", 1.0)
+        code = main(["obs", "diff", "a", "b", "--runs-dir", str(tmp_path)])
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_diff_exits_nonzero_on_regression(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path)
+        self._write(registry, "a", 1.0)
+        self._write(registry, "b", 2.0)
+        code = main(["obs", "diff", "a", "b", "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_json_has_diff_schema(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path)
+        self._write(registry, "a", 1.0)
+        self._write(registry, "b", 1.0)
+        code = main([
+            "obs", "diff", "a", "b", "--runs-dir", str(tmp_path), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs.diff/1"
+        assert payload["ok"] is True
+
+    def test_diff_threshold_flag_gates_custom_metric(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record(kind="train", run_id="a", metrics={"custom": 1.0})
+        registry.record(kind="train", run_id="b", metrics={"custom": 2.0})
+        assert main(["obs", "diff", "a", "b", "--runs-dir", str(tmp_path)]) == 0
+        assert main([
+            "obs", "diff", "a", "b", "--runs-dir", str(tmp_path),
+            "--threshold", "custom=0.05",
+        ]) == 1
+
+    def test_runs_lists_records(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path)
+        self._write(registry, "train-a", 1.0)
+        code = main(["obs", "runs", "--runs-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "train-a" in out
+        assert "final_loss=1" in out
+
+    def test_runs_empty_directory(self, tmp_path, capsys):
+        assert main(["obs", "runs", "--runs-dir", str(tmp_path)]) == 0
+        assert "no run records" in capsys.readouterr().out
+
+
+class TestTrainIntegration:
+    def test_train_writes_run_record_and_diff_passes(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        args = [
+            "train", "--scale", "0.01", "--epochs", "2",
+            "--runs-dir", str(runs),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        registry = RunRegistry(runs)
+        records = registry.list(kind="train")
+        assert len(records) == 2
+        first, second = records
+        assert first.metrics["final_loss"] == pytest.approx(
+            second.metrics["final_loss"]
+        )
+        assert "total" in first.series and "grad_norms" in first.series
+        assert first.config["epochs"] == 2
+        code = main([
+            "obs", "diff", first.run_id, second.run_id,
+            "--runs-dir", str(runs),
+            # wall time is noisy on CI machines; gate the learning metrics
+            "--threshold", "total_seconds=100",
+            "--threshold", "mean_epoch_seconds=100",
+        ])
+        assert code == 0
+
+    def test_no_run_record_flag(self, tmp_path):
+        runs = tmp_path / "runs"
+        assert main([
+            "train", "--scale", "0.01", "--epochs", "2",
+            "--runs-dir", str(runs), "--no-run-record",
+        ]) == 0
+        assert RunRegistry(runs).list() == []

@@ -16,10 +16,13 @@ pytestmark = pytest.mark.obs
 @pytest.fixture(scope="module")
 def trace_path(tmp_path_factory):
     path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+    # --no-run-record: this module-scoped fixture is built before the
+    # function-scoped REPRO_RUNS_DIR isolation applies, so recording here
+    # would leak into the repo's real results/runs/.
     code = main([
         "train", "--scale", "0.01", "--seed", "3", "--epochs", "2",
         "--explicit-dim", "30", "--max-seq-len", "10",
-        "--trace", str(path), "--profile",
+        "--trace", str(path), "--profile", "--no-run-record",
     ])
     assert code == 0
     return path

@@ -8,7 +8,8 @@ See DESIGN.md §2 for why this substrate exists (no PyTorch in the
 environment) and tests/test_autograd_*.py for finite-difference checks.
 """
 
-from . import functional, init, optim
+from . import functional, init, kernels, optim
+from .kernels import embedding_gather, gru_sequence, lstm_sequence
 from .nn import (
     Dropout,
     Embedding,
@@ -45,7 +46,11 @@ __all__ = [
     "randn",
     "functional",
     "init",
+    "kernels",
     "optim",
+    "embedding_gather",
+    "gru_sequence",
+    "lstm_sequence",
     "Module",
     "Parameter",
     "Linear",

@@ -66,8 +66,7 @@ class GRUCell(Module):
         z = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
         r = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
         cand = (x @ self.w_xh + (r * h) @ self.w_hh + self.b_h).tanh()
-        one = Tensor(np.ones_like(z.data))
-        return (one - z) * h + z * cand
+        return (1.0 - z) * h + z * cand
 
     def initial_state(self, batch_size: int) -> Tensor:
         return Tensor(np.zeros((batch_size, self.hidden_size)))
@@ -124,6 +123,14 @@ class GRUEncoder(Module):
     masked out of both the recurrence and the fusion sum, matching the
     paper's "zero-padding will be adopted" treatment without letting padding
     tokens perturb the state.
+
+    With ``fused=True`` (the default) the gru/lstm/bigru recurrences run
+    through :mod:`repro.autograd.kernels` — the whole sequence is a single
+    tape node with a hand-written BPTT backward — instead of the unrolled
+    per-timestep tape. The two paths are numerically equivalent (asserted
+    by tests/test_kernels.py); the fused one is several times faster
+    because it spends its time in large numpy matmuls rather than Python
+    closure dispatch. The 'rnn' cell keeps the unrolled path.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class GRUEncoder(Module):
         rng: Optional[np.random.Generator] = None,
         padding_idx: int = 0,
         cell: str = "gru",
+        fused: bool = True,
     ):
         super().__init__()
         from .nn import Embedding  # local import to avoid a cycle at module load
@@ -144,6 +152,7 @@ class GRUEncoder(Module):
         self.hidden_size = hidden_size
         self.output_size = output_size
         self.cell_type = cell
+        self.fused = bool(fused)
         self.embedding = Embedding(vocab_size, embed_dim, rng=rng, padding_idx=padding_idx)
         if cell == "gru":
             self.cell = GRUCell(embed_dim, hidden_size, rng=rng)
@@ -173,6 +182,21 @@ class GRUEncoder(Module):
             seq = seq[None, :]
         batch, length = seq.shape
         mask = (seq != self.padding_idx).astype(np.float64)  # (batch, seq_len)
+        # Trailing-pad truncation: columns past the longest real sequence in
+        # the batch cannot change any state (padded positions carry the
+        # previous state) nor the fusion sum (their mask is 0), so clipping
+        # the recurrence there is free speedup on ragged batches.
+        valid_cols = np.flatnonzero(mask.any(axis=0))
+        effective = int(valid_cols[-1]) + 1 if valid_cols.size else 0
+        if effective < length:
+            seq = seq[:, :effective]
+            mask = mask[:, :effective]
+            length = effective
+        if length == 0:
+            width = self.hidden_size * (2 if self.cell_type == "bigru" else 1)
+            return self.fusion(Tensor(np.zeros((batch, width)))).sigmoid()
+        if self.fused and self.cell_type in ("gru", "lstm", "bigru"):
+            return self._forward_fused(seq, mask)
         if self.cell_type == "bigru":
             return self._forward_bidirectional(seq, mask)
         is_lstm = self.cell_type == "lstm"
@@ -180,11 +204,13 @@ class GRUEncoder(Module):
             h, c = self.cell.initial_state(batch)
         else:
             h = self.cell.initial_state(batch)
+        m_cols = mask[:, :, None]            # hoisted out of the time loop
+        keep_cols = 1.0 - m_cols
         hidden_sum: Optional[Tensor] = None
         for t in range(length):
             x_t = self.embedding(seq[:, t])
-            m = Tensor(mask[:, t][:, None])
-            keep = Tensor(1.0 - mask[:, t][:, None])
+            m = Tensor(m_cols[:, t])
+            keep = Tensor(keep_cols[:, t])
             if is_lstm:
                 h_new, c_new = self.cell(x_t, (h, c))
                 # Carry the previous state through padded positions.
@@ -199,17 +225,65 @@ class GRUEncoder(Module):
             hidden_sum = Tensor(np.zeros((batch, self.hidden_size)))
         return self.fusion(hidden_sum).sigmoid()
 
+    @staticmethod
+    def _stacked_gru_gates(cell: GRUCell) -> tuple:
+        """Stack a GRUCell's per-gate parameters for the fused kernel.
+
+        One :func:`concatenate` tape node per matrix; its backward splits
+        the kernel's stacked gradient back onto the per-gate Parameters, so
+        checkpoints keep the historical per-gate state-dict layout.
+        """
+        return (
+            concatenate([cell.w_xz, cell.w_xr, cell.w_xh], axis=1),
+            concatenate([cell.w_hz, cell.w_hr, cell.w_hh], axis=1),
+            concatenate([cell.b_z, cell.b_r, cell.b_h], axis=0),
+        )
+
+    def _forward_fused(self, seq: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Single-tape-node path: fused gather + fused recurrence + pool."""
+        from .kernels import embedding_gather, gru_sequence, lstm_sequence
+
+        embedded = embedding_gather(self.embedding.weight, seq)  # (B, T, E)
+        if self.cell_type == "lstm":
+            cell = self.cell
+            w_x = concatenate([cell.w_xi, cell.w_xf, cell.w_xc, cell.w_xo], axis=1)
+            w_h = concatenate([cell.w_hi, cell.w_hf, cell.w_hc, cell.w_ho], axis=1)
+            b = concatenate([cell.b_i, cell.b_f, cell.b_c, cell.b_o], axis=0)
+            states = lstm_sequence(embedded, mask, w_x, w_h, b)
+        elif self.cell_type == "bigru":
+            states = concatenate(
+                [
+                    gru_sequence(
+                        embedded, mask, *self._stacked_gru_gates(self.cell)
+                    ),
+                    gru_sequence(
+                        embedded, mask,
+                        *self._stacked_gru_gates(self.cell_backward),
+                        reverse=True,
+                    ),
+                ],
+                axis=2,
+            )
+        else:
+            states = gru_sequence(
+                embedded, mask, *self._stacked_gru_gates(self.cell)
+            )
+        hidden_sum = (states * Tensor(mask[:, :, None])).sum(axis=1)
+        return self.fusion(hidden_sum).sigmoid()
+
     def _forward_bidirectional(self, seq: np.ndarray, mask: np.ndarray) -> Tensor:
         """Bidirectional pass: fuse Σ_t [h_fw(t) ; h_bw(t)] over valid steps."""
         batch, length = seq.shape
+        m_cols = mask[:, :, None]            # hoisted out of the time loops
+        keep_cols = 1.0 - m_cols
 
-        def direction(cell: GRUCell, time_indices) -> list:
+        def direction(cell: GRUCell, time_indices) -> dict:
             h = cell.initial_state(batch)
             states = {}
             for t in time_indices:
                 x_t = self.embedding(seq[:, t])
-                m = Tensor(mask[:, t][:, None])
-                keep = Tensor(1.0 - mask[:, t][:, None])
+                m = Tensor(m_cols[:, t])
+                keep = Tensor(keep_cols[:, t])
                 h = m * cell(x_t, h) + keep * h
                 states[t] = h
             return states
@@ -218,7 +292,7 @@ class GRUEncoder(Module):
         bw = direction(self.cell_backward, range(length - 1, -1, -1))
         hidden_sum: Optional[Tensor] = None
         for t in range(length):
-            m = Tensor(mask[:, t][:, None])
+            m = Tensor(m_cols[:, t])
             joint = concatenate([fw[t], bw[t]], axis=1)
             contribution = m * joint
             hidden_sum = contribution if hidden_sum is None else hidden_sum + contribution

@@ -28,6 +28,13 @@ class FakeDetectorConfig:
     latent_dim: int = 16
     max_seq_len: int = 30
     rnn_cell: str = "gru"
+    # Run the latent-branch recurrence through the fused sequence kernels
+    # (repro.autograd.kernels): one tape node per sequence with a
+    # hand-written BPTT backward, numerically equivalent to the unrolled
+    # tape but several times faster (see docs/performance.md and
+    # results/BENCH_training.json). `repro train --no-fused` is the
+    # escape hatch back to the reference path.
+    fused_kernels: bool = True
 
     # GDU / diffusion (§4.2)
     gdu_hidden: int = 32

@@ -26,6 +26,9 @@ class HFLU(Module):
     use_explicit / use_latent:
         Ablation switches; the full model keeps both (disabling one
         reproduces the paper's SVM-style or RNN-style feature family).
+    fused:
+        Route the recurrence through the fused sequence kernels
+        (:mod:`repro.autograd.kernels`) instead of the unrolled tape.
     """
 
     def __init__(
@@ -38,6 +41,7 @@ class HFLU(Module):
         use_explicit: bool = True,
         use_latent: bool = True,
         rnn_cell: str = "gru",
+        fused: bool = True,
     ):
         super().__init__()
         if not (use_explicit or use_latent):
@@ -65,6 +69,7 @@ class HFLU(Module):
                     output_size=latent_dim,
                     rng=rng,
                     cell=rnn_cell,
+                    fused=fused,
                 )
         else:
             self.encoder = None

@@ -67,6 +67,7 @@ class FakeDetectorModel(Module):
                 use_explicit=config.use_explicit_features,
                 use_latent=config.use_latent_features,
                 rnn_cell=config.rnn_cell,
+                fused=config.fused_kernels,
             )
 
         def feature_dim(kind: str) -> int:

@@ -46,20 +46,20 @@ def test_serving_latency(bench_dataset, bench_split):
     cold_runs = 3
     start = time.perf_counter()
     for article in articles[:cold_runs]:
-        InferenceSession(detector, feature_cache_size=0).predict_article(article)
+        InferenceSession(detector, feature_cache_size=0).predict([article])
     cold_per_article = (time.perf_counter() - start) / cold_runs
 
     # Warm: one session, per-article requests; the graph pass is sunk.
     session = InferenceSession(detector)
     start = time.perf_counter()
     for article in articles:
-        session.predict_article(article)
+        session.predict([article])
     warm_per_article = (time.perf_counter() - start) / len(articles)
 
     # Cached: identical texts again — the LRU removes feature extraction.
     start = time.perf_counter()
     for article in articles:
-        session.predict_article(article)
+        session.predict([article])
     cached_per_article = (time.perf_counter() - start) / len(articles)
 
     snapshot = session.snapshot()

@@ -13,9 +13,15 @@ evaluate   run the Figure 4/5 θ-sweep over the comparison methods
 tune       grid-search FakeDetector hyperparameters with inner CV
 report     write the complete reproduction artifact set to a directory
 infer      one-shot inductive scoring from a saved detector checkpoint
-serve      long-lived micro-batched serving loop over JSONL requests
-           (--metrics-port exposes /metrics + /healthz, --slo-* budgets
-           attach the rolling-window SLO monitor)
+           (emits one repro.serve.response/1 document)
+serve      prediction serving, two modes:
+           ``serve http`` runs the multi-process sharded service
+           (POST /v1/predict + /v1/healthz + /metrics; --workers/--shards
+           size the pool, --slo-* budgets drive /v1/healthz);
+           ``serve batch`` is the micro-batched JSONL replay loop
+           (--metrics-port exposes /metrics + /healthz).
+           Bare ``serve MODEL --input F`` still works (deprecated alias
+           for ``serve batch``).
 obs        observability utilities: ``obs report`` renders a trace,
            ``obs diff`` regression-gates two run records, ``obs runs``
            lists the registry
@@ -282,31 +288,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.set_defaults(func=cmd_infer)
 
     p_serve = sub.add_parser(
-        "serve", help="micro-batched serving loop over JSONL requests"
+        "serve", help="prediction serving (http service / batch replay)"
     )
-    p_serve.add_argument("model", type=Path, help="detector checkpoint directory")
-    p_serve.add_argument("--input", type=Path, default=None,
-                         help="JSONL request stream (default: stdin)")
-    p_serve.add_argument("--proba", action="store_true")
-    p_serve.add_argument("--max-batch-size", type=int, default=32)
-    p_serve.add_argument("--max-wait", type=float, default=0.01,
-                         help="seconds to coalesce a micro-batch")
-    p_serve.add_argument("--cache-size", type=int, default=2048,
-                         help="LRU text-feature cache entries (0 disables)")
-    p_serve.add_argument("--metrics-port", type=int, default=None,
-                         help="expose /metrics (Prometheus) and /healthz on "
-                              "this port (0 = ephemeral, printed to stderr)")
-    p_serve.add_argument("--slo-p95-ms", type=float, default=None,
-                         help="SLO: rolling p95 per-request latency budget "
-                              "in milliseconds")
-    p_serve.add_argument("--slo-error-rate", type=float, default=None,
-                         help="SLO: rolling handler error-rate budget (0..1)")
-    p_serve.add_argument("--slo-queue-wait-ms", type=float, default=None,
-                         help="SLO: rolling p95 queue-wait budget in "
-                              "milliseconds")
-    p_serve.add_argument("--slo-window", type=float, default=60.0,
-                         help="rolling SLO window in seconds")
-    p_serve.set_defaults(func=cmd_serve)
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    def _add_slo_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--slo-p95-ms", type=float, default=None,
+                            help="SLO: rolling p95 per-request latency budget "
+                                 "in milliseconds")
+        parser.add_argument("--slo-error-rate", type=float, default=None,
+                            help="SLO: rolling error-rate budget (0..1)")
+        parser.add_argument("--slo-queue-wait-ms", type=float, default=None,
+                            help="SLO: rolling p95 queue-wait budget in "
+                                 "milliseconds")
+        parser.add_argument("--slo-window", type=float, default=60.0,
+                            help="rolling SLO window in seconds")
+
+    p_serve_http = serve_sub.add_parser(
+        "http", help="multi-process sharded HTTP prediction service"
+    )
+    p_serve_http.add_argument("model", type=Path,
+                              help="detector checkpoint directory")
+    p_serve_http.add_argument("--host", default="127.0.0.1")
+    p_serve_http.add_argument("--port", type=int, default=0,
+                              help="bind port (0 = ephemeral, printed to "
+                                   "stderr)")
+    p_serve_http.add_argument("--workers", type=int, default=2,
+                              help="worker processes (model replicas)")
+    p_serve_http.add_argument("--shards", type=int, default=1,
+                              help="News-HSN community shards (workers are "
+                                   "dealt round-robin over shards)")
+    p_serve_http.add_argument("--max-batch-size", type=int, default=32,
+                              help="per-worker dynamic-batching cap")
+    p_serve_http.add_argument("--max-wait", type=float, default=0.002,
+                              help="seconds a worker coalesces a micro-batch")
+    p_serve_http.add_argument("--queue-depth", type=int, default=32,
+                              help="admission control: in-flight requests "
+                                   "per worker before 429")
+    p_serve_http.add_argument("--timeout", type=float, default=30.0,
+                              help="seconds before a dispatched request 504s")
+    p_serve_http.add_argument("--cache-size", type=int, default=2048,
+                              help="per-worker LRU text-feature cache entries")
+    p_serve_http.add_argument("--duration", type=float, default=None,
+                              help="serve for this many seconds then exit "
+                                   "(default: until interrupted)")
+    p_serve_http.add_argument("--export", type=Path, default=None,
+                              help="periodically flush /metrics to this file "
+                                   "(node-exporter textfile style)")
+    p_serve_http.add_argument("--export-interval", type=float, default=5.0,
+                              help="seconds between --export flushes")
+    p_serve_http.add_argument("--export-format", default="prometheus",
+                              choices=("prometheus", "json"))
+    _add_slo_args(p_serve_http)
+    p_serve_http.set_defaults(func=cmd_serve_http)
+
+    p_serve_batch = serve_sub.add_parser(
+        "batch", help="micro-batched serving loop over JSONL requests"
+    )
+    p_serve_batch.add_argument("model", type=Path,
+                               help="detector checkpoint directory")
+    p_serve_batch.add_argument("--input", type=Path, default=None,
+                               help="JSONL request stream (default: stdin)")
+    p_serve_batch.add_argument("--proba", action="store_true")
+    p_serve_batch.add_argument("--max-batch-size", type=int, default=32)
+    p_serve_batch.add_argument("--max-wait", type=float, default=0.01,
+                               help="seconds to coalesce a micro-batch")
+    p_serve_batch.add_argument("--cache-size", type=int, default=2048,
+                               help="LRU text-feature cache entries "
+                                    "(0 disables)")
+    p_serve_batch.add_argument("--metrics-port", type=int, default=None,
+                               help="expose /metrics (Prometheus) and "
+                                    "/healthz on this port (0 = ephemeral, "
+                                    "printed to stderr)")
+    _add_slo_args(p_serve_batch)
+    p_serve_batch.set_defaults(func=cmd_serve_batch)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -529,37 +584,35 @@ def _read_requests(path: Optional[Path]):
 
 
 def cmd_infer(args) -> int:
-    """One-shot scoring: load checkpoint, answer a batch, exit."""
-    import json
+    """One-shot scoring: load checkpoint, answer a batch, exit.
 
-    from .serve import InferenceSession
+    Emits a single ``repro.serve.response/1`` document on stdout, the same
+    schema the HTTP service speaks.
+    """
+    import json
+    from time import perf_counter
+
+    from .serve import InferenceSession, PredictResponse, checkpoint_digest
 
     detector = FakeDetector.load(args.model)
     requests = _read_requests(args.articles)
     session = InferenceSession(detector)
-    for prediction in session.predict_articles(requests, return_proba=args.proba):
-        print(json.dumps(prediction.to_dict()))
+    start = perf_counter()
+    predictions = session.predict(requests, return_proba=args.proba)
+    response = PredictResponse.from_predictions(
+        predictions,
+        model_digest=checkpoint_digest(args.model),
+        timing={"total_ms": 1e3 * (perf_counter() - start)},
+    )
+    print(json.dumps(response.to_dict()))
     print(session.metrics.render(), file=sys.stderr)
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Long-lived loop: cached-state session + micro-batching queue.
+def _build_slo_rules(args):
+    from .obs import default_serving_rules
 
-    Reads JSONL requests, submits each through the :class:`BatchQueue`
-    (exercising the same coalescing path a network front-end would), emits
-    one JSON prediction per line, and reports serving metrics on exit.
-    ``--metrics-port`` adds a live Prometheus scrape endpoint; the
-    ``--slo-*`` budgets attach an :class:`repro.obs.SloMonitor` whose
-    breaches flip ``/healthz`` to 503 and emit structured warning events.
-    """
-    import json
-
-    from .obs import MetricsServer, SloMonitor, default_serving_rules
-    from .serve import BatchQueue, InferenceSession
-
-    detector = FakeDetector.load(args.model)
-    rules = default_serving_rules(
+    return default_serving_rules(
         p95_latency_s=(
             args.slo_p95_ms / 1e3 if args.slo_p95_ms is not None else None
         ),
@@ -570,6 +623,99 @@ def cmd_serve(args) -> int:
         ),
         window_seconds=args.slo_window,
     )
+
+
+def cmd_serve_http(args) -> int:
+    """Run the multi-process sharded prediction service.
+
+    ``POST /v1/predict`` speaks ``repro.serve.request/1`` →
+    ``response/1``; ``GET /v1/healthz`` reports pool + SLO state (503 when
+    degraded); ``GET /metrics`` serves the Prometheus registry.
+    ``--export`` additionally flushes the registry to a file on an
+    interval (the PR 4 :class:`repro.obs.PeriodicExporter`).
+    """
+    import time as time_mod
+
+    from .obs import PeriodicExporter, SloMonitor
+    from .serve import PredictionService
+
+    service = PredictionService(
+        args.model,
+        workers=args.workers,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait=args.max_wait,
+        max_queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        feature_cache_size=args.cache_size,
+    )
+    rules = _build_slo_rules(args)
+    monitor = None
+    if rules:
+        monitor = SloMonitor(rules, registry=service.metrics.registry)
+        service.slo = monitor
+    exporter = None
+    try:
+        service.start()
+        print(
+            f"serving {args.model} at {service.url} "
+            f"(workers={args.workers}, shards={args.shards}, "
+            f"digest={service.model_digest})",
+            file=sys.stderr,
+        )
+        if args.export is not None:
+            exporter = PeriodicExporter(
+                service.metrics.registry,
+                args.export,
+                interval=args.export_interval,
+                fmt=args.export_format,
+            ).start()
+        if args.duration is not None:
+            time_mod.sleep(args.duration)
+        else:
+            try:
+                while True:
+                    time_mod.sleep(3600.0)
+            except KeyboardInterrupt:
+                print("interrupted, shutting down", file=sys.stderr)
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        service.close()
+    print(service.metrics.render(), file=sys.stderr)
+    if monitor is not None and monitor.breached_rules:
+        print(f"SLO breached: {', '.join(monitor.breached_rules)}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_serve_batch(args) -> int:
+    """Long-lived loop: cached-state session + micro-batching queue.
+
+    Reads JSONL requests, submits each through the :class:`BatchQueue`
+    (exercising the same coalescing path a network front-end would), emits
+    one ``repro.serve.response/1`` line per request, and reports serving
+    metrics on exit. ``--metrics-port`` adds a live Prometheus scrape
+    endpoint; the ``--slo-*`` budgets attach an
+    :class:`repro.obs.SloMonitor` whose breaches flip ``/healthz`` to 503
+    and emit structured warning events.
+    """
+    import json
+
+    from .obs import MetricsServer, SloMonitor
+    from .serve import (
+        BatchQueue,
+        InferenceSession,
+        PredictResponse,
+        checkpoint_digest,
+    )
+
+    detector = FakeDetector.load(args.model)
+    digest = checkpoint_digest(args.model)
+    rules = _build_slo_rules(args)
     metrics = None
     monitor = None
     session = InferenceSession(detector, feature_cache_size=args.cache_size)
@@ -590,7 +736,7 @@ def cmd_serve(args) -> int:
     )
 
     def handle(batch):
-        return session.predict_articles(batch, return_proba=args.proba)
+        return session.predict(batch, return_proba=args.proba)
 
     try:
         with BatchQueue(handle, max_batch_size=args.max_batch_size,
@@ -601,7 +747,10 @@ def cmd_serve(args) -> int:
                 for request in _read_requests(args.input)
             ]
             for _, handle_ in pending:
-                print(json.dumps(handle_.result(timeout=60.0).to_dict()))
+                response = PredictResponse.from_predictions(
+                    [handle_.result(timeout=60.0)], model_digest=digest
+                )
+                print(json.dumps(response.to_dict()))
     finally:
         if metrics is not None:
             metrics.close()
@@ -666,9 +815,30 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _compat_serve_argv(argv: List[str]) -> List[str]:
+    """Rewrite the pre-split ``repro serve MODEL ...`` form to ``serve batch``.
+
+    ``repro serve`` grew ``http``/``batch`` sub-modes; the bare historical
+    invocation keeps working (as ``batch``) with a deprecation notice.
+    """
+    if not argv or argv[0] != "serve" or len(argv) < 2:
+        return argv
+    mode = argv[1]
+    if mode in ("http", "batch") or mode.startswith("-"):
+        return argv
+    print(
+        "deprecated: bare `repro serve MODEL` is now `repro serve batch "
+        "MODEL` (see also `repro serve http`)",
+        file=sys.stderr,
+    )
+    return [argv[0], "batch", *argv[1:]]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = parser.parse_args(_compat_serve_argv(list(argv)))
     return args.func(args)
 
 

@@ -512,7 +512,7 @@ class FakeDetector:
         ids = [a.article_id for a in articles]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate article ids in inductive batch")
-        preds = self.session().predict_articles(articles)
+        preds = self.session().predict(articles)
         return {p.entity_id: p.class_index for p in preds}
 
     # ------------------------------------------------------------------

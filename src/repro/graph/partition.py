@@ -1,0 +1,126 @@
+"""Community partitioning of the News-HSN for shard-parallel serving.
+
+A creator/subject **community** is a connected component of the bipartite
+creator↔subject projection of the News-HSN: two context nodes belong to the
+same community when some training article links them (directly or through a
+chain of articles). Communities are the natural unit of shard placement
+because the GDU diffusion context of an article — its creator's hidden
+state and its subjects' hidden states — is closed under community
+membership for every article of the training corpus: placing whole
+communities on one shard makes that shard's diffusion context local.
+
+:func:`community_labels` finds the components with a union-find over the
+checkpointed :class:`repro.core.pipeline.GraphIndex` edge arrays (no
+dataset required — a serving process only has the checkpoint), and
+:func:`balanced_assignment` bin-packs communities onto ``num_shards``
+shards with the greedy longest-processing-time heuristic, weighting each
+community by its article count so shards see comparable traffic.
+
+Both functions are deterministic: identical inputs produce identical
+partitions, which is what makes shard routing reproducible across service
+restarts (asserted in ``tests/test_serve_shard.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class UnionFind:
+    """Path-compressing union-find over ``n`` integer nodes."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, a: int) -> int:
+        root = a
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[a] != root:  # path compression
+            self.parent[a], a = root, self.parent[a]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+def community_labels(
+    num_creators: int,
+    num_subjects: int,
+    article_creator: np.ndarray,
+    article_subject_gather: np.ndarray,
+    article_subject_segment: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Connected components over creators ∪ subjects, linked via articles.
+
+    Parameters mirror the :class:`repro.core.pipeline.GraphIndex` arrays:
+    ``article_creator[i]`` is article row ``i``'s creator row, and the
+    ``(gather, segment)`` pair lists subject-row/article-row link endpoints.
+
+    Returns ``(creator_community, subject_community, num_communities)``
+    where the community ids are dense integers ``0..num_communities-1``,
+    numbered in order of first appearance over creator rows then subject
+    rows (deterministic).
+    """
+    uf = UnionFind(num_creators + num_subjects)
+    article_creator = np.asarray(article_creator, dtype=np.intp)
+    gather = np.asarray(article_subject_gather, dtype=np.intp)
+    segment = np.asarray(article_subject_segment, dtype=np.intp)
+    # Each subject link joins the subject with its article's creator.
+    for subject_row, article_row in zip(gather, segment):
+        uf.union(int(article_creator[article_row]), num_creators + int(subject_row))
+
+    remap: Dict[int, int] = {}
+    creator_community = np.empty(num_creators, dtype=np.intp)
+    for row in range(num_creators):
+        root = uf.find(row)
+        creator_community[row] = remap.setdefault(root, len(remap))
+    subject_community = np.empty(num_subjects, dtype=np.intp)
+    for row in range(num_subjects):
+        root = uf.find(num_creators + row)
+        subject_community[row] = remap.setdefault(root, len(remap))
+    return creator_community, subject_community, len(remap)
+
+
+def balanced_assignment(
+    weights: Sequence[float], num_shards: int
+) -> List[int]:
+    """Greedy LPT bin-packing: community ``i`` (weight ``weights[i]``) → shard.
+
+    Heaviest community first, each onto the currently lightest shard; ties
+    break on the lowest shard id and, among equal weights, the lowest
+    community id, so the assignment is a pure function of its inputs.
+    Returns ``assignment`` with ``assignment[i]`` in ``0..num_shards-1``.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    order = sorted(range(len(weights)), key=lambda i: (-float(weights[i]), i))
+    loads = [0.0] * num_shards
+    assignment = [0] * len(weights)
+    for community in order:
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        assignment[community] = shard
+        loads[shard] += float(weights[community])
+    return assignment
+
+
+def community_article_weights(
+    creator_community: np.ndarray,
+    num_communities: int,
+    article_creator: np.ndarray,
+) -> np.ndarray:
+    """Articles per community (every article weighs on its creator's one)."""
+    weights = np.zeros(num_communities, dtype=np.float64)
+    for creator_row in np.asarray(article_creator, dtype=np.intp):
+        weights[creator_community[creator_row]] += 1.0
+    return weights

@@ -28,8 +28,8 @@ Building blocks shared by training, serving and the autograd engine:
 CLI surface: ``repro train --trace t.jsonl --profile --profile-memory``
 records a run (and a ``results/runs/`` record by default), ``repro obs
 report t.jsonl [--json]`` renders it, ``repro obs diff <a> <b>`` gates two
-run records, and ``repro serve --metrics-port`` exposes the scrape
-endpoint.
+run records, and ``repro serve batch --metrics-port`` exposes the scrape
+endpoint (``repro serve http`` serves ``/metrics`` on its own port).
 """
 
 from .events import (

@@ -15,7 +15,7 @@ layer:
   file on an interval, with atomic replace and a clean shutdown flush.
 - :class:`MetricsServer` — a stdlib ``http.server`` endpoint exposing
   ``/metrics`` (Prometheus text) and ``/healthz`` (JSON; 503 once an
-  attached health callback reports degradation). ``repro serve
+  attached health callback reports degradation). ``repro serve batch
   --metrics-port`` wires it to the live serving registry.
 
 :func:`parse_prometheus` is a minimal reader for the exposition format so
@@ -357,7 +357,7 @@ class MetricsServer:
         Registry rendered on every ``/metrics`` scrape.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (read it back from
-        :attr:`port` — handy for tests and for `repro serve` logs).
+        :attr:`port` — handy for tests and for `repro serve batch` logs).
     labels:
         Constant labels stamped on every sample.
     health:

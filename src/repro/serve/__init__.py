@@ -1,32 +1,72 @@
-"""Persistent inference subsystem: checkpoints, sessions, batching, metrics.
+"""Persistent inference subsystem: checkpoints, sessions, service, batching.
 
 The serving stack, bottom-up:
 
 - :mod:`repro.serve.checkpoint` — ``save_detector``/``load_detector``
   round-trip a fitted :class:`repro.FakeDetector` through an on-disk
-  directory (also exposed as ``FakeDetector.save``/``FakeDetector.load``).
+  directory (also exposed as ``FakeDetector.save``/``FakeDetector.load``);
+  :func:`checkpoint_digest` identifies a build on the wire.
 - :class:`InferenceSession` — runs the full-graph forward once, caches the
-  creator/subject GDU states, then scores new articles in O(batch).
-- :class:`BatchQueue` — micro-batching request queue for concurrent clients.
-- :class:`LRUCache` — text-feature cache keyed on article-text hash.
-- :class:`ServingMetrics` — latency/throughput/cache counters with
-  ``snapshot()`` reporting.
+  creator/subject GDU states, then scores via one keyword-driven
+  :meth:`InferenceSession.predict` (new articles and/or known node ids).
+- :class:`BatchQueue` — in-process micro-batching queue (the ``serve
+  batch`` path).
+- :class:`ShardPlan` — community partitioning of the News-HSN plus the
+  deterministic article → shard router.
+- :mod:`repro.serve.worker` / :class:`PredictionService` — the
+  multi-process pool behind ``repro serve http``: model replicas with
+  shard-local diffusion context, dynamic batching, admission control and
+  the versioned HTTP API (``POST /v1/predict``).
+- :mod:`repro.serve.protocol` — the ``repro.serve.request/1`` /
+  ``response/1`` / ``error/1`` wire schemas every surface serializes
+  through.
+- :mod:`repro.serve.loadgen` — load harness: concurrency sweeps,
+  p50/p95/p99, saturation point.
+- :class:`LRUCache` / :class:`ServingMetrics` — feature cache and
+  latency/throughput/cache counters.
 
-Typical server::
+Typical service::
+
+    service = PredictionService("checkpoints/politifact", workers=4, shards=2)
+    with service:
+        print(service.url)          # POST /v1/predict, GET /v1/healthz, /metrics
+        ...
+
+Typical embedded session::
 
     detector = FakeDetector.load("checkpoints/politifact")
     session = InferenceSession(detector)
-    with BatchQueue(session.predict_articles, max_batch_size=64) as queue:
-        prediction = queue.predict(ArticleRequest("id1", "claim text ..."))
-    print(session.snapshot())
+    predictions = session.predict([ArticleRequest("id1", "claim text ...")])
 """
 
 from ..core.predictions import Prediction, predictions_from_logits
 from .batching import BatchQueue, PendingResult, QueueStopped
 from .cache import LRUCache
-from .checkpoint import CHECKPOINT_FORMAT, load_detector, save_detector
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    checkpoint_digest,
+    load_detector,
+    save_detector,
+)
 from .metrics import ServingMetrics
+from .protocol import (
+    ERROR_SCHEMA,
+    REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    encode_prediction,
+    error_body,
+)
+from .service import (
+    PredictionService,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from .session import ArticleRequest, InferenceSession
+from .shard import ShardPlan
 
 __all__ = [
     "Prediction",
@@ -40,5 +80,19 @@ __all__ = [
     "ServingMetrics",
     "save_detector",
     "load_detector",
+    "checkpoint_digest",
     "CHECKPOINT_FORMAT",
+    "PredictRequest",
+    "PredictResponse",
+    "ProtocolError",
+    "encode_prediction",
+    "error_body",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "ERROR_SCHEMA",
+    "ShardPlan",
+    "PredictionService",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceUnavailable",
 ]

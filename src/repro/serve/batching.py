@@ -2,7 +2,7 @@
 
 Concurrent callers submit single items; a worker thread coalesces them into
 batches bounded by ``max_batch_size`` and ``max_wait`` seconds, hands each
-batch to a user handler (e.g. ``InferenceSession.predict_articles``), and
+batch to a user handler (e.g. ``InferenceSession.predict``), and
 resolves every caller's :class:`PendingResult`. Batching amortizes the
 per-forward overhead of the numpy substrate across simultaneous requests —
 the standard dynamic-batching pattern of model servers.

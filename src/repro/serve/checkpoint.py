@@ -18,6 +18,7 @@ exactly through JSON, so a loaded detector reproduces bit-identical
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
@@ -74,6 +75,21 @@ def save_detector(detector: "FakeDetector", path: PathLike) -> Path:
     save_arrays(arrays, path / _ARRAYS)
     save_state(detector.model, path / _MODEL)
     return path
+
+
+def checkpoint_digest(path: PathLike) -> str:
+    """Short stable digest identifying a checkpoint's exact weights.
+
+    SHA-256 over ``model.npz`` and ``detector.json`` bytes, truncated to 16
+    hex chars — enough to tell two deployments apart. Stamped on every
+    ``repro.serve.response/1`` document as ``model_digest`` so clients can
+    attribute predictions to the model build that produced them.
+    """
+    path = Path(path)
+    digest = hashlib.sha256()
+    for name in (_MODEL, _MANIFEST):
+        digest.update((path / name).read_bytes())
+    return digest.hexdigest()[:16]
 
 
 def load_detector(path: PathLike) -> "FakeDetector":

@@ -1,0 +1,235 @@
+"""Load-generation harness for the prediction service.
+
+Replays synthetic traffic against a running :class:`PredictionService` (or
+any endpoint speaking ``repro.serve.request/1``) at a configurable
+concurrency and reports client-side percentiles:
+
+- :func:`run_load` — ``concurrency`` threads issue ``requests`` POSTs
+  round-robin over a payload set, returning a :class:`LoadResult` with
+  p50/p95/p99 latency, throughput and the 200/429/error split;
+- :func:`sweep_concurrency` — repeats :func:`run_load` over increasing
+  concurrency levels and finds the **saturation point**: the first level
+  where throughput stops improving by ``min_gain`` (or starts drawing
+  429s), i.e. where extra concurrency buys queueing instead of work.
+
+``benchmarks/test_serve_scale.py`` drives this against 1-shard and 2-shard
+pools and records the whole sweep to ``results/BENCH_serve_scale.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import itertools
+import json
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import percentile
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """Client-side view of one constant-concurrency load run."""
+
+    concurrency: int
+    requests: int
+    ok: int
+    rejected: int            # HTTP 429 (admission control)
+    errors: int              # transport failures and 5xx
+    seconds: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]   # p50/p95/p99/mean/max over successes
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+def _split_url(url: str) -> Tuple[str, int, str]:
+    parts = urllib.parse.urlsplit(url)
+    if parts.scheme != "http" or parts.hostname is None:
+        raise ValueError(f"loadgen needs an http:// URL, got {url!r}")
+    return parts.hostname, parts.port or 80, parts.path or "/"
+
+
+class _Client:
+    """One persistent keep-alive connection (per load thread).
+
+    A fresh TCP connect per request would measure the client's socket
+    churn, not the service — and would spawn one short-lived server thread
+    per request in :class:`http.server.ThreadingHTTPServer`. HTTP/1.1
+    keep-alive pins each load thread to one server thread instead.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self._host, self._port, self._timeout = host, port, timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def post(self, path: str, body: bytes) -> int:
+        """One POST; returns the HTTP status (transport failures → -1)."""
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._conn.connect()
+            # small POSTs each fit one segment; Nagle would hold them back
+            # ~40ms against the server's delayed ACK
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        try:
+            self._conn.request(
+                "POST", path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            reply = self._conn.getresponse()
+            reply.read()
+            return reply.status
+        except (http.client.HTTPException, OSError, TimeoutError):
+            self.close()   # drop the broken connection; reconnect next call
+            return -1
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def run_load(
+    url: str,
+    payloads: Sequence[Dict],
+    *,
+    concurrency: int,
+    requests: int,
+    timeout: float = 30.0,
+) -> LoadResult:
+    """Fire ``requests`` POSTs at ``url`` from ``concurrency`` threads.
+
+    ``payloads`` are ``repro.serve.request/1`` documents cycled round-robin;
+    each is serialized once up front so the measured latency is wire + server
+    time, not JSON encoding.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if not payloads:
+        raise ValueError("need at least one payload")
+    host, port, path = _split_url(url)
+    bodies = [json.dumps(p).encode("utf-8") for p in payloads]
+    body_cycle = itertools.cycle(bodies)
+    work = [next(body_cycle) for _ in range(requests)]
+
+    counters = {"ok": 0, "rejected": 0, "errors": 0}
+    latencies: List[float] = []
+    lock = threading.Lock()
+    cursor = itertools.count()
+
+    def client() -> None:
+        connection = _Client(host, port, timeout)
+        try:
+            while True:
+                index = next(cursor)
+                if index >= len(work):
+                    return
+                begin = time.perf_counter()
+                status = connection.post(path, work[index])
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    if status == 200:
+                        counters["ok"] += 1
+                        latencies.append(elapsed)
+                    elif status == 429:
+                        counters["rejected"] += 1
+                    else:
+                        counters["errors"] += 1
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, daemon=True, name=f"repro-loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+
+    ordered = sorted(latencies)
+    latency_ms = {
+        "p50": 1e3 * percentile(ordered, 0.50),
+        "p95": 1e3 * percentile(ordered, 0.95),
+        "p99": 1e3 * percentile(ordered, 0.99),
+        "mean": 1e3 * (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "max": 1e3 * ordered[-1] if ordered else 0.0,
+    }
+    return LoadResult(
+        concurrency=concurrency,
+        requests=requests,
+        ok=counters["ok"],
+        rejected=counters["rejected"],
+        errors=counters["errors"],
+        seconds=seconds,
+        throughput_rps=counters["ok"] / seconds if seconds > 0 else 0.0,
+        latency_ms=latency_ms,
+    )
+
+
+def saturation_point(
+    results: Sequence[LoadResult], min_gain: float = 0.10
+) -> Optional[Dict]:
+    """The first level where extra concurrency stopped paying off.
+
+    Saturation is declared at level ``i`` when its throughput improves on
+    level ``i-1`` by less than ``min_gain`` (fractional), or when admission
+    control started rejecting (any 429 seen). Returns ``None`` when the
+    sweep never saturated (every step kept scaling cleanly).
+    """
+    for i, result in enumerate(results):
+        if result.rejected > 0:
+            return {
+                "concurrency": result.concurrency,
+                "throughput_rps": result.throughput_rps,
+                "reason": "admission_control",
+            }
+        if i > 0:
+            previous = results[i - 1].throughput_rps
+            if previous > 0 and (
+                result.throughput_rps < previous * (1.0 + min_gain)
+            ):
+                return {
+                    "concurrency": result.concurrency,
+                    "throughput_rps": result.throughput_rps,
+                    "reason": "throughput_plateau",
+                }
+    return None
+
+
+def sweep_concurrency(
+    url: str,
+    payloads: Sequence[Dict],
+    *,
+    levels: Sequence[int] = (1, 2, 4, 8, 16),
+    requests_per_level: int = 64,
+    timeout: float = 30.0,
+    min_gain: float = 0.10,
+) -> Dict:
+    """Run :func:`run_load` per level; report the sweep + saturation point."""
+    results = [
+        run_load(
+            url,
+            payloads,
+            concurrency=level,
+            requests=requests_per_level,
+            timeout=timeout,
+        )
+        for level in levels
+    ]
+    return {
+        "levels": [r.to_dict() for r in results],
+        "saturation": saturation_point(results, min_gain=min_gain),
+        "peak_throughput_rps": max(r.throughput_rps for r in results),
+    }

@@ -10,7 +10,7 @@ and tests read the same report.
 
 Latency accounting distinguishes two paths:
 
-- **direct** calls (``InferenceSession.predict_articles`` with no queue):
+- **direct** calls (``InferenceSession.predict`` with no queue):
   every request in the batch is charged the compute share
   ``seconds / size``, which *is* its latency because nothing waited;
 - **queued** calls (:class:`repro.serve.BatchQueue` with ``metrics=``):

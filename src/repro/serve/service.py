@@ -1,0 +1,548 @@
+"""The multi-process sharded prediction service behind ``repro serve http``.
+
+Topology::
+
+                      POST /v1/predict (repro.serve.request/1)
+                                  |
+    client ── HTTP ──► PredictionService (stdlib ThreadingHTTPServer)
+                                  |  ShardPlan.route() per article
+                    ┌─────────────┼─────────────┐
+                 shard 0       shard 1       shard k        (request queues)
+                 worker(s)     worker(s)     worker(s)      (OS processes)
+                    └─────────────┼─────────────┘
+                         shared response queue
+                                  |
+                        collector thread → pending futures
+                                  |
+                      repro.serve.response/1 to the client
+
+Every worker holds a model replica loaded from the same directory
+checkpoint, with its GDU diffusion context restricted to its shard's
+creator/subject communities (:class:`repro.serve.ShardPlan`). The parent
+routes each article of a request to its shard, fans the request out to the
+least-loaded replica per shard, and reassembles predictions in input order.
+
+Admission control is a bounded per-worker in-flight budget
+(``max_queue_depth``): when the budget of any needed worker is exhausted
+the request is rejected *before* anything is enqueued, surfacing as HTTP
+429 with a ``Retry-After`` header — queues cannot grow without bound.
+
+Observability is the PR 4 stack wired in directly: the service registry
+feeds ``GET /metrics`` (Prometheus text format) and an optional
+:class:`repro.obs.PeriodicExporter`; an optional
+:class:`repro.obs.SloMonitor` sees every request's latency, success/error
+flag and the global in-flight depth, and its breaches flip
+``GET /v1/healthz`` to 503 — the load-balancer eject signal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import get_logger, render_prometheus
+from .checkpoint import checkpoint_digest
+from .metrics import ServingMetrics
+from .protocol import (
+    PredictRequest,
+    PredictResponse,
+    ProtocolError,
+    error_body,
+)
+from .shard import ShardPlan
+from .worker import WorkerHandle, spawn_worker
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected the request (HTTP 429)."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """A needed worker is dead or the pool is not ready (HTTP 503)."""
+
+
+class ServiceTimeout(RuntimeError):
+    """A dispatched request missed the deadline (HTTP 504)."""
+
+
+class _PendingCall:
+    """Future for one shard-group dispatch."""
+
+    __slots__ = ("event", "predictions", "stats", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.predictions: Optional[List[Dict]] = None
+        self.stats: Dict = {}
+        self.error: Optional[str] = None
+
+
+def _article_payload(article) -> Dict:
+    return {
+        "article_id": article.article_id,
+        "text": article.text,
+        "creator_id": article.creator_id,
+        "subject_ids": list(article.subject_ids),
+    }
+
+
+class PredictionService:
+    """Worker-pool prediction service with a versioned HTTP API.
+
+    Parameters
+    ----------
+    checkpoint:
+        Detector checkpoint directory; every worker loads its own replica.
+    workers:
+        Pool size (>= ``shards``); workers are dealt round-robin over
+        shards so every shard has at least one replica.
+    shards:
+        News-HSN partitions (1 = no partitioning, full context per worker).
+    host / port:
+        HTTP bind address; ``port=0`` picks an ephemeral port.
+    max_batch_size / max_wait:
+        Per-worker dynamic batching knobs (see :mod:`repro.serve.worker`).
+    max_queue_depth:
+        Admission control: in-flight request budget per worker; beyond it
+        requests get 429 + ``Retry-After``.
+    request_timeout:
+        Seconds a dispatched request may wait before 504.
+    feature_cache_size:
+        Per-worker LRU text-feature cache entries.
+    slo:
+        Optional :class:`repro.obs.SloMonitor`; fed latency/error/depth
+        signals, drives ``/v1/healthz``.
+    """
+
+    def __init__(
+        self,
+        checkpoint,
+        *,
+        workers: int = 2,
+        shards: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 32,
+        max_wait: float = 0.002,
+        max_queue_depth: int = 32,
+        request_timeout: float = 30.0,
+        feature_cache_size: int = 2048,
+        warmup_timeout: float = 120.0,
+        slo=None,
+        mp_context=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if workers < shards:
+            raise ValueError(
+                f"workers ({workers}) must be >= shards ({shards}) so every "
+                "shard has a replica"
+            )
+        self.checkpoint = str(checkpoint)
+        self.num_workers = workers
+        self.num_shards = shards
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.max_queue_depth = max_queue_depth
+        self.request_timeout = request_timeout
+        self.feature_cache_size = feature_cache_size
+        self.warmup_timeout = warmup_timeout
+        self.slo = slo
+        self._mp_context = mp_context
+        self._host_arg, self._port_arg = host, port
+        self._log = get_logger("serve.service")
+
+        self.metrics = ServingMetrics()
+        registry = self.metrics.registry
+        self._http_requests = registry.counter("serve.http_requests")
+        self._http_rejected = registry.counter("serve.http_rejected")
+        self._http_errors = registry.counter("serve.http_errors")
+        self._inflight_gauge = registry.gauge("serve.inflight")
+
+        self.plan = (
+            ShardPlan.single()
+            if shards == 1
+            else ShardPlan.from_checkpoint(self.checkpoint, shards)
+        )
+        self.model_digest = checkpoint_digest(self.checkpoint)
+
+        self._workers: List[WorkerHandle] = []
+        self._shard_workers: Dict[int, List[WorkerHandle]] = {}
+        self._responses = None
+        self._collector: Optional[threading.Thread] = None
+        self._pending: Dict[int, _PendingCall] = {}
+        self._lock = threading.Lock()
+        self._req_ids = itertools.count(1)
+        self._ready = threading.Event()
+        self._ready_count = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionService":
+        """Spawn the pool, wait for warm replicas, open the HTTP endpoint."""
+        if self._started:
+            raise RuntimeError("PredictionService already started")
+        import multiprocessing
+
+        ctx = self._mp_context or multiprocessing.get_context()
+        self._responses = ctx.Queue()
+        plan_payload = self.plan.to_dict() if self.num_shards > 1 else None
+        for worker_id in range(self.num_workers):
+            shard = worker_id % self.num_shards
+            handle = spawn_worker(
+                self.checkpoint,
+                worker_id,
+                shard,
+                plan_payload,
+                self._responses,
+                max_batch_size=self.max_batch_size,
+                max_wait=self.max_wait,
+                feature_cache_size=self.feature_cache_size,
+                mp_context=ctx,
+            )
+            self._workers.append(handle)
+            self._shard_workers.setdefault(shard, []).append(handle)
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="repro-serve-collector"
+        )
+        self._collector.start()
+        if not self._ready.wait(self.warmup_timeout):
+            self.close()
+            raise RuntimeError(
+                f"worker pool not ready within {self.warmup_timeout}s "
+                f"({self._ready_count}/{self.num_workers} warm)"
+            )
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host_arg, self._port_arg), _make_handler(self)
+        )
+        self.host, self.port = self._httpd.server_address[:2]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True, name="repro-serve-http"
+        )
+        self._http_thread.start()
+        self._started = True
+        self._log.info(
+            "listening",
+            url=self.url,
+            workers=self.num_workers,
+            shards=self.num_shards,
+            digest=self.model_digest,
+        )
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop HTTP, workers and the collector; reject anything pending."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._http_thread is not None:
+                self._http_thread.join(5.0)
+            self._httpd = None
+            self._http_thread = None
+        for handle in self._workers:
+            handle.stop()
+        if self._responses is not None:
+            self._responses.put(("close",))
+        if self._collector is not None:
+            self._collector.join(5.0)
+            self._collector = None
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            call.error = "service shut down"
+            call.event.set()
+        self._started = False
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        by_id = {handle.worker_id: handle for handle in self._workers}
+        while True:
+            message = self._responses.get()
+            kind = message[0]
+            if kind == "close":
+                return
+            if kind == "ready":
+                _, worker_id, digest = message
+                by_id[worker_id].model_digest = digest
+                with self._lock:
+                    self._ready_count += 1
+                    if self._ready_count >= self.num_workers:
+                        self._ready.set()
+                continue
+            if kind == "result":
+                _, worker_id, req_id, predictions, stats = message
+                error = None
+            else:  # "error"
+                _, worker_id, req_id, error = message
+                predictions, stats = None, {}
+            with self._lock:
+                call = self._pending.pop(req_id, None)
+                handle = by_id.get(worker_id)
+                # Abandoned calls (timeout) already returned their budget in
+                # the dispatcher's finally block — don't decrement twice.
+                if call is not None and handle is not None and handle.inflight > 0:
+                    handle.inflight -= 1
+            if call is not None:
+                call.predictions = predictions
+                call.stats = stats
+                call.error = error
+                call.event.set()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _admit(self, needed: Dict[int, int]) -> Dict[int, WorkerHandle]:
+        """Pick one replica per shard and charge the in-flight budget.
+
+        ``needed`` maps shard → request count (always 1 per shard-group
+        here, but kept general). All-or-nothing under one lock: either
+        every chosen worker has budget and all are charged, or nothing is
+        and the caller gets the 429/503.
+        """
+        with self._lock:
+            chosen: Dict[int, WorkerHandle] = {}
+            for shard in needed:
+                replicas = [
+                    h for h in self._shard_workers.get(shard, ()) if h.alive()
+                ]
+                if not replicas:
+                    raise ServiceUnavailable(f"no live worker for shard {shard}")
+                handle = min(replicas, key=lambda h: (h.inflight, h.worker_id))
+                if handle.inflight + needed[shard] > self.max_queue_depth:
+                    raise ServiceOverloaded(
+                        f"worker {handle.worker_id} at queue depth "
+                        f"{handle.inflight}/{self.max_queue_depth}"
+                    )
+                chosen[shard] = handle
+            for shard, handle in chosen.items():
+                handle.inflight += needed[shard]
+            self._inflight_gauge.set(sum(h.inflight for h in self._workers))
+        return chosen
+
+    def predict(self, request: PredictRequest) -> PredictResponse:
+        """Route one decoded request through the pool; merge shard results."""
+        if not self._started:
+            raise ServiceUnavailable("service is not running")
+        start = time.perf_counter()
+        articles = request.articles
+        groups: Dict[int, List[int]] = {}
+        for i, article in enumerate(articles):
+            groups.setdefault(self.plan.route(article), []).append(i)
+
+        chosen = self._admit({shard: 1 for shard in groups})
+        calls: List[tuple] = []
+        with self._lock:
+            for shard, indexes in groups.items():
+                req_id = next(self._req_ids)
+                call = _PendingCall()
+                self._pending[req_id] = call
+                calls.append((shard, indexes, req_id, call))
+        for shard, indexes, req_id, call in calls:
+            chosen[shard].requests.put((
+                "predict",
+                req_id,
+                [_article_payload(articles[i]) for i in indexes],
+                request.return_proba,
+            ))
+
+        deadline = start + self.request_timeout
+        merged: List[Optional[Dict]] = [None] * len(articles)
+        compute_ms = 0.0
+        try:
+            for shard, indexes, req_id, call in calls:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not call.event.wait(remaining):
+                    raise ServiceTimeout(
+                        f"shard {shard} did not answer within "
+                        f"{self.request_timeout}s"
+                    )
+                if call.error is not None:
+                    if not chosen[shard].alive():
+                        raise ServiceUnavailable(
+                            f"worker {chosen[shard].worker_id} died"
+                        )
+                    raise ServiceUnavailable(call.error)
+                for local, index in enumerate(indexes):
+                    merged[index] = call.predictions[local]
+                compute_ms = max(compute_ms, float(call.stats.get("compute_ms", 0.0)))
+        finally:
+            with self._lock:
+                for shard, _, req_id, _ in calls:
+                    if self._pending.pop(req_id, None) is not None:
+                        # Never answered (timeout/shutdown): the collector
+                        # will not decrement for us — return the budget.
+                        handle = chosen[shard]
+                        if handle.inflight > 0:
+                            handle.inflight -= 1
+                self._inflight_gauge.set(
+                    sum(h.inflight for h in self._workers)
+                )
+
+        total_seconds = time.perf_counter() - start
+        self.metrics.record_batch(len(articles), total_seconds)
+        if self.slo is not None:
+            self.slo.observe_latency(total_seconds)
+            self.slo.record_success()
+            self.slo.observe_queue_depth(
+                sum(h.inflight for h in self._workers)
+            )
+            self.slo.evaluate()
+        return PredictResponse(
+            predictions=[p for p in merged if p is not None],
+            model_digest=self.model_digest,
+            timing={
+                "total_ms": 1e3 * total_seconds,
+                "compute_ms": compute_ms,
+                "shards": float(len(groups)),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """``/v1/healthz`` payload; non-``ok`` status renders as HTTP 503."""
+        workers = [
+            {
+                "worker_id": h.worker_id,
+                "shard": h.shard,
+                "alive": h.alive(),
+                "inflight": h.inflight,
+            }
+            for h in self._workers
+        ]
+        dead = [w["worker_id"] for w in workers if not w["alive"]]
+        payload: Dict = {
+            "status": "ok",
+            "model_digest": self.model_digest,
+            "shards": self.num_shards,
+            "workers": workers,
+        }
+        if self.slo is not None:
+            slo_health = self.slo.health()
+            payload["slo"] = slo_health
+            if slo_health["status"] != "ok":
+                payload["status"] = "degraded"
+        if dead or not self._started:
+            payload["status"] = "degraded"
+            payload["dead_workers"] = dead
+        return payload
+
+
+def _make_handler(service: PredictionService):
+    """The stdlib request handler bound to one service instance."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1"
+        protocol_version = "HTTP/1.1"
+        # keep-alive without Nagle: a buffered small reply would otherwise
+        # stall ~40ms against the client's delayed ACK
+        disable_nagle_algorithm = True
+
+        def do_GET(self) -> None:  # stdlib handler naming contract
+            route = self.path.split("?", 1)[0]
+            if route == "/v1/healthz":
+                payload = service.health()
+                status = 200 if payload["status"] == "ok" else 503
+                self._reply_json(status, payload)
+            elif route == "/metrics":
+                body = render_prometheus(service.metrics.registry).encode("utf-8")
+                self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            else:
+                self._reply_json(404, error_body("not_found", f"no route {route}"))
+
+        def do_POST(self) -> None:  # stdlib handler naming contract
+            route = self.path.split("?", 1)[0]
+            if route != "/v1/predict":
+                self._reply_json(404, error_body("not_found", f"no route {route}"))
+                return
+            service._http_requests.inc(1)
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length else b""
+                document = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self._reply_json(
+                    400, error_body("bad_request", "body is not valid JSON")
+                )
+                return
+            try:
+                request = PredictRequest.from_dict(document)
+            except ProtocolError as exc:
+                self._reply_json(400, error_body(exc.code, exc.message))
+                return
+            try:
+                response = service.predict(request)
+            except ServiceOverloaded as exc:
+                service._http_rejected.inc(1)
+                self._reply_json(
+                    429,
+                    error_body("overloaded", str(exc)),
+                    headers={"Retry-After": "1"},
+                )
+                return
+            except ServiceTimeout as exc:
+                self._record_error()
+                self._reply_json(504, error_body("timeout", str(exc)))
+                return
+            except ServiceUnavailable as exc:
+                self._record_error()
+                self._reply_json(503, error_body("unavailable", str(exc)))
+                return
+            self._reply_json(200, response.to_dict())
+
+        def _record_error(self) -> None:
+            service._http_errors.inc(1)
+            if service.slo is not None:
+                service.slo.record_error()
+                service.slo.evaluate()
+
+        def _reply_json(
+            self, status: int, payload: Dict, headers: Optional[Dict] = None
+        ) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._reply(status, "application/json", body, headers)
+
+        def _reply(
+            self,
+            status: int,
+            content_type: str,
+            body: bytes,
+            headers: Optional[Dict] = None,
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt: str, *args) -> None:
+            get_logger("serve.http").debug("request", detail=fmt % args)
+
+    return _Handler

@@ -62,6 +62,22 @@ def _text_key(text: str) -> str:
     return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
 
+#: Deprecated alias names that already emitted their obs warning event.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """One ``serve.session`` warning event per deprecated alias per process."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    from ..obs import get_logger
+
+    get_logger("serve.session").warning(
+        "deprecated", method=name, use=replacement
+    )
+
+
 class InferenceSession:
     """Persistent serving wrapper around a fitted :class:`FakeDetector`.
 
@@ -79,9 +95,15 @@ class InferenceSession:
         evaluation, so SLO breach events fire from inside the serving path
         (a :class:`repro.serve.BatchQueue` sharing the same monitor adds
         queue wait/depth and error-rate signals).
+    context_ids:
+        Optional ``{"creator": ids, "subject": ids}`` restriction of the
+        cached diffusion context — the shard-local mode used by
+        :mod:`repro.serve.worker`. Creators/subjects outside the sets take
+        the zero-state fallback exactly like ids absent from the graph;
+        with ``None`` (the default) the full graph context is cached.
 
     The constructor performs the single full-graph forward pass; afterwards
-    :meth:`predict_articles` never touches the graph again.
+    :meth:`predict` never touches the graph again.
     """
 
     def __init__(
@@ -91,6 +113,7 @@ class InferenceSession:
         feature_cache_size: int = 2048,
         metrics: Optional[ServingMetrics] = None,
         slo: Optional["SloMonitor"] = None,
+        context_ids: Optional[Dict[str, set]] = None,
     ):
         if detector.model is None or detector.features is None:
             raise RuntimeError("InferenceSession requires a fitted detector")
@@ -115,8 +138,26 @@ class InferenceSession:
         self._h_subject = states["subject"].data.copy()
         self._creator_rows = dict(detector.features.creators.index)
         self._subject_rows = dict(detector.features.subjects.index)
+        if context_ids is not None:
+            keep_creators = set(context_ids.get("creator", ()))
+            keep_subjects = set(context_ids.get("subject", ()))
+            self._creator_rows = {
+                cid: row for cid, row in self._creator_rows.items()
+                if cid in keep_creators
+            }
+            self._subject_rows = {
+                sid: row for sid, row in self._subject_rows.items()
+                if sid in keep_subjects
+            }
         self._extractor = detector.features.extractors["article"]
         self._vocab = detector.features.vocab
+        # id -> (kind, row) lookup for known-node predictions, resolved in
+        # article → creator → subject order (entity namespaces are disjoint
+        # in every loader; the order only matters for pathological corpora).
+        self._known_nodes: Dict[str, tuple] = {}
+        for kind in ("subject", "creator", "article"):
+            for eid, row in detector.features.by_type(kind).index.items():
+                self._known_nodes[eid] = (kind, row)
 
     # ------------------------------------------------------------------
     def _encode(self, text: str):
@@ -135,18 +176,62 @@ class InferenceSession:
         self._feature_cache.put(key, encoded)
         return encoded
 
-    def predict_articles(
+    def predict(
         self,
-        articles: Sequence,
+        articles: Sequence = (),
         *,
         return_proba: bool = False,
+        known_ids: Optional[Sequence[str]] = None,
     ) -> List[Prediction]:
-        """Score a batch of new articles against the cached graph states.
+        """The one serving entry point: score new articles and/or known nodes.
 
-        Each element needs ``article_id``, ``text``, ``creator_id`` and
-        ``subject_ids`` attributes (``Article`` or :class:`ArticleRequest`).
-        Returns one :class:`Prediction` per input, in order.
+        Parameters
+        ----------
+        articles:
+            New (inductive) articles — anything with ``article_id``,
+            ``text``, ``creator_id`` and ``subject_ids`` attributes
+            (``Article`` or :class:`ArticleRequest`). Scored against the
+            cached graph states with one batched forward.
+        return_proba:
+            Attach the 6-class softmax distribution to every prediction.
+        known_ids:
+            Entity ids already in the trained graph (any node type). Their
+            predictions are served from the logits cached at construction —
+            no forward pass. Unknown ids raise ``KeyError``.
+
+        Returns one :class:`Prediction` per input — articles first, then
+        known ids, each group in input order.
         """
+        result = self._predict_articles(articles, return_proba=return_proba)
+        if known_ids is not None:
+            result.extend(self._predict_known_ids(known_ids, return_proba))
+        return result
+
+    def _predict_known_ids(
+        self, known_ids: Sequence[str], return_proba: bool
+    ) -> List[Prediction]:
+        """Cached-logit lookups for nodes already in the trained graph."""
+        out: List[Prediction] = []
+        for eid in known_ids:
+            try:
+                kind, row = self._known_nodes[eid]
+            except KeyError:
+                raise KeyError(
+                    f"{eid!r} is not a node of the trained graph "
+                    "(new articles go in the 'articles' argument)"
+                ) from None
+            out.extend(
+                predictions_from_logits(
+                    [eid],
+                    self._graph_logits[kind][row : row + 1],
+                    return_proba=return_proba,
+                )
+            )
+        return out
+
+    def _predict_articles(
+        self, articles: Sequence, *, return_proba: bool
+    ) -> List[Prediction]:
         if not articles:
             return []
         with trace("serve.predict", batch=len(articles)) as span:
@@ -191,18 +276,24 @@ class InferenceSession:
             span.set(compute_seconds=seconds)
         return result
 
-    def predict_article(self, article, *, return_proba: bool = False) -> Prediction:
-        """Single-request convenience wrapper over :meth:`predict_articles`."""
-        return self.predict_articles([article], return_proba=return_proba)[0]
+    # -- deprecated aliases (pre-service API surface) ------------------
+    def predict_articles(
+        self, articles: Sequence, *, return_proba: bool = False
+    ) -> List[Prediction]:
+        """Deprecated alias for :meth:`predict` (articles only)."""
+        _warn_deprecated("predict_articles", "predict(articles)")
+        return self.predict(articles, return_proba=return_proba)
 
-    # ------------------------------------------------------------------
+    def predict_article(self, article, *, return_proba: bool = False) -> Prediction:
+        """Deprecated single-article alias for :meth:`predict`."""
+        _warn_deprecated("predict_article", "predict([article])[0]")
+        return self.predict([article], return_proba=return_proba)[0]
+
     def predict_known(
         self, kind: str, *, return_proba: bool = False
     ) -> List[Prediction]:
-        """Predictions for every node already in the trained graph.
-
-        Served from the logits cached at construction — no forward pass.
-        """
+        """Deprecated alias: every trained node of ``kind`` via cached logits."""
+        _warn_deprecated("predict_known", "predict(known_ids=...)")
         entity = self.detector.features.by_type(kind)
         return predictions_from_logits(
             entity.ids, self._graph_logits[kind], return_proba=return_proba

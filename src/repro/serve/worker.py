@@ -1,0 +1,182 @@
+"""Worker processes: model replicas with shard-local diffusion context.
+
+Each :class:`WorkerHandle` owns one OS process running :func:`worker_main`:
+load the directory checkpoint, build an :class:`repro.serve.InferenceSession`
+restricted to the worker's shard context (see :class:`repro.serve.ShardPlan`),
+then loop — drain a micro-batch from the request queue (dynamic batching:
+up to ``max_batch_size`` items, waiting at most ``max_wait`` seconds after
+the first), run one batched forward, and push per-request results to the
+shared response queue. The wire between parent and worker carries only
+plain dicts (protocol article payloads in, protocol prediction objects
+out), so the parent never touches numpy state and the processes stay
+restart-equivalent.
+
+Messages
+--------
+parent → worker:  ``("predict", req_id, [article payload, ...], return_proba)``
+                  or the stop sentinel ``("stop",)``
+worker → parent:  ``("ready", worker_id, model_digest)`` once warm, then
+                  ``("result", worker_id, req_id, [prediction, ...], stats)``
+                  or ``("error", worker_id, req_id, message)``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Dict, List, Optional
+
+#: Fallback result when a drained request cannot be answered.
+_STOP = ("stop",)
+
+
+def _drain_batch(requests, first, max_batch_size: int, max_wait: float) -> List:
+    """Dynamic batching: coalesce queued predict messages behind ``first``."""
+    batch = [first]
+    deadline = time.monotonic() + max_wait
+    while len(batch) < max_batch_size:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            message = requests.get(timeout=remaining)
+        except queue_mod.Empty:
+            break
+        if message[0] == "stop":
+            # Re-enqueue so the main loop exits after this batch.
+            requests.put(_STOP)
+            break
+        batch.append(message)
+    return batch
+
+
+def worker_main(
+    checkpoint: str,
+    worker_id: int,
+    shard: int,
+    plan_payload: Optional[Dict],
+    requests,
+    responses,
+    *,
+    max_batch_size: int = 32,
+    max_wait: float = 0.002,
+    feature_cache_size: int = 2048,
+) -> None:
+    """Process entry point: warm a session, then serve until ``("stop",)``."""
+    from ..obs import get_logger
+    from .checkpoint import checkpoint_digest, load_detector
+    from .protocol import encode_prediction
+    from .session import ArticleRequest, InferenceSession
+    from .shard import ShardPlan
+
+    log = get_logger("serve.worker")
+    detector = load_detector(checkpoint)
+    context_ids = None
+    if plan_payload is not None:
+        plan = ShardPlan.from_dict(plan_payload)
+        if plan.num_shards > 1:
+            context_ids = plan.context_ids(shard)
+    session = InferenceSession(
+        detector,
+        feature_cache_size=feature_cache_size,
+        context_ids=context_ids,
+    )
+    digest = checkpoint_digest(checkpoint)
+    responses.put(("ready", worker_id, digest))
+    log.info("warm", worker=worker_id, shard=shard, digest=digest)
+
+    while True:
+        message = requests.get()
+        if message[0] == "stop":
+            break
+        batch = _drain_batch(requests, message, max_batch_size, max_wait)
+        start = time.perf_counter()
+        # One forward for the whole micro-batch; probabilities are computed
+        # when any rider asked, then stripped from the ones that did not.
+        articles = []
+        spans = []
+        any_proba = False
+        for _, _, payloads, return_proba in batch:
+            spans.append((len(articles), len(articles) + len(payloads), return_proba))
+            articles.extend(ArticleRequest.from_dict(p) for p in payloads)
+            any_proba = any_proba or return_proba
+        try:
+            predictions = session.predict(articles, return_proba=any_proba)
+        except Exception as exc:
+            log.error("batch_failed", worker=worker_id, error=repr(exc))
+            for _, req_id, _, _ in batch:
+                responses.put(("error", worker_id, req_id, repr(exc)))
+            continue
+        seconds = time.perf_counter() - start
+        stats = {
+            "compute_ms": 1e3 * seconds,
+            "batch_size": len(articles),
+            "batch_requests": len(batch),
+            "shard": shard,
+        }
+        for (lo, hi, return_proba), (_, req_id, _, _) in zip(spans, batch):
+            encoded = []
+            for prediction in predictions[lo:hi]:
+                if not return_proba:
+                    prediction.proba = None
+                encoded.append(encode_prediction(prediction, shard=shard))
+            responses.put(("result", worker_id, req_id, encoded, stats))
+    log.info("stopped", worker=worker_id, shard=shard)
+
+
+@dataclasses.dataclass
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    worker_id: int
+    shard: int
+    process: multiprocessing.Process
+    requests: "multiprocessing.Queue"
+    #: outstanding requests (parent-maintained, admission-control input)
+    inflight: int = 0
+    model_digest: str = ""
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self.process.is_alive():
+            self.requests.put(_STOP)
+            self.process.join(timeout)
+        if self.process.is_alive():  # drain-free hard stop
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+def spawn_worker(
+    checkpoint: str,
+    worker_id: int,
+    shard: int,
+    plan_payload: Optional[Dict],
+    responses,
+    *,
+    max_batch_size: int = 32,
+    max_wait: float = 0.002,
+    feature_cache_size: int = 2048,
+    mp_context=None,
+) -> WorkerHandle:
+    """Start one worker process and return its parent-side handle."""
+    ctx = mp_context or multiprocessing.get_context()
+    requests = ctx.Queue()
+    process = ctx.Process(
+        target=worker_main,
+        args=(str(checkpoint), worker_id, shard, plan_payload, requests, responses),
+        kwargs={
+            "max_batch_size": max_batch_size,
+            "max_wait": max_wait,
+            "feature_cache_size": feature_cache_size,
+        },
+        daemon=True,
+        name=f"repro-serve-worker-{worker_id}",
+    )
+    process.start()
+    return WorkerHandle(
+        worker_id=worker_id, shard=shard, process=process, requests=requests
+    )

@@ -97,34 +97,88 @@ class TestServing:
         assert (checkpoint / "arrays.npz").exists()
         assert (checkpoint / "model.npz").exists()
 
-    def test_infer_scores_requests(self, checkpoint, tmp_path, capsys):
+    def test_infer_emits_response_document(self, checkpoint, tmp_path, capsys):
         import json
 
         requests = tmp_path / "requests.jsonl"
         ids = self._write_requests(requests)
         code = main(["infer", str(checkpoint), "--articles", str(requests), "--proba"])
         assert code == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
-        assert [line["entity_id"] for line in lines] == ids
-        for line in lines:
-            assert 0 <= line["class_index"] <= 5
-            assert len(line["proba"]) == 6
+        doc = json.loads(capsys.readouterr().out.strip())
+        assert doc["schema"] == "repro.serve.response/1"
+        assert len(doc["model_digest"]) == 16
+        assert doc["timing"]["total_ms"] > 0
+        assert [p["entity_id"] for p in doc["predictions"]] == ids
+        for p in doc["predictions"]:
+            assert 0 <= p["class_index"] <= 5
+            assert len(p["proba"]) == 6
 
-    def test_serve_processes_stream_and_reports_metrics(self, checkpoint, tmp_path, capsys):
+    def test_serve_batch_streams_response_documents(self, checkpoint, tmp_path, capsys):
         import json
 
         requests = tmp_path / "stream.jsonl"
         ids = self._write_requests(requests)
         code = main([
-            "serve", str(checkpoint), "--input", str(requests),
+            "serve", "batch", str(checkpoint), "--input", str(requests),
             "--max-batch-size", "4", "--max-wait", "0.005",
         ])
         assert code == 0
         captured = capsys.readouterr()
-        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
-        assert sorted(line["entity_id"] for line in lines) == sorted(ids)
+        docs = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert all(d["schema"] == "repro.serve.response/1" for d in docs)
+        returned = [p["entity_id"] for d in docs for p in d["predictions"]]
+        assert sorted(returned) == sorted(ids)
         assert "serving metrics:" in captured.err
         assert "throughput_rps" in captured.err
+
+    def test_bare_serve_compat_shim(self, checkpoint, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "compat.jsonl"
+        ids = self._write_requests(requests)
+        code = main(["serve", str(checkpoint), "--input", str(requests)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        docs = [json.loads(l) for l in captured.out.strip().splitlines()]
+        returned = [p["entity_id"] for d in docs for p in d["predictions"]]
+        assert sorted(returned) == sorted(ids)
+
+    def test_serve_http_round_trip(self, checkpoint, tmp_path, capsys):
+        import json
+        import urllib.request
+
+        from repro.serve import REQUEST_SCHEMA, PredictionService
+
+        service = PredictionService(checkpoint, workers=2, shards=2,
+                                    max_wait=0.001)
+        payload = {
+            "schema": REQUEST_SCHEMA,
+            "articles": [{"article_id": "h1",
+                          "text": "secret rigged hoax conspiracy"}],
+        }
+        with service:
+            request = urllib.request.Request(
+                service.url + "/v1/predict",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60.0) as reply:
+                doc = json.loads(reply.read().decode("utf-8"))
+        assert doc["schema"] == "repro.serve.response/1"
+        assert doc["predictions"][0]["entity_id"] == "h1"
+
+    def test_serve_http_parser_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "http", "ckpt", "--workers", "4", "--shards", "2",
+            "--queue-depth", "8", "--duration", "0.5",
+        ])
+        assert args.workers == 4
+        assert args.shards == 2
+        assert args.queue_depth == 8
+        assert args.duration == 0.5
 
 
 class TestTune:

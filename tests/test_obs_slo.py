@@ -170,7 +170,7 @@ class TestServingIntegration:
             ArticleRequest(article_id=f"n{i}", text=f"claim number {i}")
             for i in range(3)
         ]
-        session.predict_articles(requests)
+        session.predict(requests)
         assert [e.name for e in sink.events] == ["breach"]
 
     def test_batch_queue_feeds_errors_and_queue_signals(self):

@@ -1,0 +1,200 @@
+"""End-to-end HTTP service: parity, routing, admission control, health."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.serve import (
+    REQUEST_SCHEMA,
+    ArticleRequest,
+    InferenceSession,
+    PredictionService,
+)
+
+
+def _post(url, payload, timeout=60.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/v1/predict", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8")), reply.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8")), exc.headers
+
+
+def _get(url, path, timeout=60.0):
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as reply:
+            return reply.status, reply.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def checkpoint(request, tmp_path_factory):
+    dataset = request.getfixturevalue("tiny_dataset")
+    split = request.getfixturevalue("tiny_split")
+    config = FakeDetectorConfig(
+        epochs=2, explicit_dim=24, vocab_size=400, max_seq_len=10,
+        embed_dim=4, rnn_hidden=6, latent_dim=4, gdu_hidden=8, seed=0,
+    )
+    detector = FakeDetector(config).fit(dataset, split)
+    path = tmp_path_factory.mktemp("ckpt") / "detector"
+    detector.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def service(checkpoint):
+    svc = PredictionService(
+        checkpoint, workers=2, shards=2, max_wait=0.001, max_queue_depth=8,
+    )
+    with svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def shard_articles(request, service):
+    """Shard-local articles for both shards, plus a cold one.
+
+    Each grounded article names a creator from a distinct shard (and no
+    subjects), plus one training-shaped request (a known creator with its
+    training subjects) — the traffic classes shard-local serving is
+    lossless for.
+    """
+    dataset = request.getfixturevalue("tiny_dataset")
+    by_shard = {}
+    for creator, shard in sorted(service.plan.creator_shard.items()):
+        by_shard.setdefault(shard, creator)
+    assert set(by_shard) == {0, 1}
+    articles = [
+        ArticleRequest(f"grounded_{shard}",
+                       "secret rigged hoax conspiracy scandal",
+                       creator_id=creator)
+        for shard, creator in sorted(by_shard.items())
+    ]
+    template = next(iter(dataset.articles.values()))
+    articles.append(
+        ArticleRequest("training_shaped", template.text,
+                       creator_id=template.creator_id,
+                       subject_ids=list(template.subject_ids))
+    )
+    articles.append(ArticleRequest("cold_1", "census report data percent"))
+    return articles
+
+
+def _payload(articles, return_proba=False):
+    return {
+        "schema": REQUEST_SCHEMA,
+        "articles": [
+            {"article_id": a.article_id, "text": a.text,
+             "creator_id": a.creator_id, "subject_ids": list(a.subject_ids)}
+            for a in articles
+        ],
+        "return_proba": return_proba,
+    }
+
+
+class TestPredictEndpoint:
+    def test_http_labels_match_inference_session(self, service, checkpoint,
+                                                 shard_articles):
+        status, doc, _ = _post(service.url, _payload(shard_articles))
+        assert status == 200
+        assert doc["schema"] == "repro.serve.response/1"
+        assert doc["model_digest"] == service.model_digest
+        session = InferenceSession(FakeDetector.load(checkpoint))
+        expected = session.predict(shard_articles)
+        assert [p["entity_id"] for p in doc["predictions"]] \
+            == [a.article_id for a in shard_articles]
+        assert [p["class_index"] for p in doc["predictions"]] \
+            == [p.class_index for p in expected]
+
+    def test_request_fans_out_across_shards(self, service, shard_articles):
+        status, doc, _ = _post(service.url, _payload(shard_articles))
+        assert status == 200
+        assert doc["timing"]["shards"] == 2.0
+        for raw, article in zip(doc["predictions"], shard_articles):
+            assert raw["shard"] == service.plan.route(article)
+
+    def test_proba_round_trip(self, service, shard_articles):
+        status, doc, _ = _post(
+            service.url, _payload(shard_articles, return_proba=True)
+        )
+        assert status == 200
+        for raw in doc["predictions"]:
+            assert len(raw["proba"]) == 6
+            assert max(range(6), key=raw["proba"].__getitem__) \
+                == raw["class_index"]
+
+    def test_repeated_requests_are_deterministic(self, service, shard_articles):
+        _, first, _ = _post(service.url, _payload(shard_articles))
+        _, second, _ = _post(service.url, _payload(shard_articles))
+        assert first["predictions"] == second["predictions"]
+
+
+class TestErrorPaths:
+    def test_unknown_schema_version_400(self, service):
+        payload = _payload([ArticleRequest("a", "text")])
+        payload["schema"] = "repro.serve.request/2"
+        status, doc, _ = _post(service.url, payload)
+        assert status == 400
+        assert doc["schema"] == "repro.serve.error/1"
+        assert doc["error"]["code"] == "bad_schema"
+
+    def test_invalid_json_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/v1/predict", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=60.0)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"]["code"] == "bad_request"
+
+    def test_unknown_route_404(self, service):
+        code, body = _get(service.url, "/v1/nothing")
+        assert code == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_overload_returns_429_with_retry_after(self, service, shard_articles):
+        saved = service.max_queue_depth
+        service.max_queue_depth = 0   # exhaust the admission budget
+        try:
+            status, doc, headers = _post(service.url, _payload(shard_articles))
+        finally:
+            service.max_queue_depth = saved
+        assert status == 429
+        assert doc["error"]["code"] == "overloaded"
+        assert headers["Retry-After"] == "1"
+        # and the pool recovers once the budget is back
+        status, _, _ = _post(service.url, _payload(shard_articles))
+        assert status == 200
+
+
+class TestOperationalEndpoints:
+    def test_healthz_reports_pool(self, service):
+        code, body = _get(service.url, "/v1/healthz")
+        assert code == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["shards"] == 2
+        assert [w["shard"] for w in health["workers"]] == [0, 1]
+        assert all(w["alive"] for w in health["workers"])
+
+    def test_metrics_exposes_http_counters(self, service, shard_articles):
+        _post(service.url, _payload(shard_articles))
+        code, body = _get(service.url, "/metrics")
+        assert code == 200
+        assert "repro_serve_http_requests" in body
+        assert "repro_serve_inflight" in body
+
+    def test_worker_digests_match_checkpoint(self, service):
+        assert all(
+            h.model_digest == service.model_digest for h in service._workers
+        )

@@ -69,14 +69,14 @@ class TestAgreement:
         detector, _ = fitted
         session = InferenceSession(detector)
         expected = cold_path_logits(detector, new_articles)
-        preds = session.predict_articles(new_articles)
+        preds = session.predict(new_articles)
         assert [p.class_index for p in preds] == list(expected.argmax(axis=1))
 
     def test_predict_new_articles_routes_through_session(self, fitted, new_articles):
         detector, _ = fitted
         session_preds = {
             p.entity_id: p.class_index
-            for p in detector.session().predict_articles(new_articles)
+            for p in detector.session().predict(new_articles)
         }
         assert detector.predict_new_articles(new_articles) == session_preds
 
@@ -92,8 +92,8 @@ class TestAgreement:
 
         detector.model.forward_with_states = spy
         try:
-            session.predict_articles(new_articles)
-            session.predict_articles(new_articles, return_proba=True)
+            session.predict(new_articles)
+            session.predict(new_articles, return_proba=True)
         finally:
             del detector.model.forward_with_states
         assert calls["n"] == 0
@@ -103,17 +103,21 @@ class TestAgreement:
         assert detector.session() is detector.session()
         assert detector.session(refresh=True) is detector.session()
 
-    def test_predict_known_matches_transductive(self, fitted):
+    def test_predict_known_ids_matches_transductive(self, fitted):
         detector, _ = fitted
         session = InferenceSession(detector)
-        known = {p.entity_id: p.class_index for p in session.predict_known("article")}
+        ids = detector.features.articles.ids
+        known = {
+            p.entity_id: p.class_index
+            for p in session.predict(known_ids=ids)
+        }
         assert known == detector.predict("article")
 
 
 class TestPredictionSurface:
     def test_prediction_records(self, fitted, new_articles):
         detector, _ = fitted
-        preds = detector.session().predict_articles(new_articles, return_proba=True)
+        preds = detector.session().predict(new_articles, return_proba=True)
         for p in preds:
             assert isinstance(p, Prediction)
             assert p.label.class_index == p.class_index
@@ -152,15 +156,15 @@ class TestPredictionSurface:
             })
             for a in new_articles
         ]
-        via_articles = session.predict_articles(new_articles)
-        via_requests = session.predict_articles(requests)
+        via_articles = session.predict(new_articles)
+        via_requests = session.predict(requests)
         assert [p.class_index for p in via_articles] == [p.class_index for p in via_requests]
 
     def test_to_dict_is_json_ready(self, fitted, new_articles):
         import json
 
         detector, _ = fitted
-        pred = detector.session().predict_article(new_articles[0], return_proba=True)
+        pred = detector.session().predict([new_articles[0]], return_proba=True)[0]
         payload = json.loads(json.dumps(pred.to_dict()))
         assert payload["entity_id"] == "s1"
         assert 0 <= payload["class_index"] <= 5
@@ -171,24 +175,24 @@ class TestCacheAndMetrics:
     def test_feature_cache_hits_on_repeat_text(self, fitted, new_articles):
         detector, _ = fitted
         session = InferenceSession(detector)
-        session.predict_articles(new_articles)
+        session.predict(new_articles)
         assert session.metrics.cache_misses == len(new_articles)
-        session.predict_articles(new_articles)
+        session.predict(new_articles)
         assert session.metrics.cache_hits == len(new_articles)
         assert session.cache_stats()["hit_rate"] == 0.5
 
     def test_cached_features_do_not_change_results(self, fitted, new_articles):
         detector, _ = fitted
         session = InferenceSession(detector)
-        first = session.predict_articles(new_articles, return_proba=True)
-        second = session.predict_articles(new_articles, return_proba=True)
+        first = session.predict(new_articles, return_proba=True)
+        second = session.predict(new_articles, return_proba=True)
         for a, b in zip(first, second):
             np.testing.assert_array_equal(a.proba, b.proba)
 
     def test_snapshot_reports_counters(self, fitted, new_articles):
         detector, _ = fitted
         session = InferenceSession(detector)
-        session.predict_articles(new_articles)
+        session.predict(new_articles)
         snap = session.snapshot()
         assert snap["requests"] == len(new_articles)
         assert snap["batches"] == 1
@@ -199,9 +203,103 @@ class TestCacheAndMetrics:
     def test_empty_batch(self, fitted):
         detector, _ = fitted
         session = InferenceSession(detector)
-        assert session.predict_articles([]) == []
+        assert session.predict([]) == []
         assert session.metrics.requests == 0
 
     def test_unfitted_detector_rejected(self):
         with pytest.raises(RuntimeError):
             InferenceSession(FakeDetector())
+
+
+class TestUnifiedSurface:
+    """The collapsed predict(articles, *, return_proba, known_ids) API."""
+
+    def test_mixed_articles_and_known_ids_preserve_order(self, fitted, new_articles):
+        detector, _ = fitted
+        session = InferenceSession(detector)
+        known = list(detector.features.articles.ids[:2])
+        preds = session.predict(new_articles, known_ids=known)
+        assert [p.entity_id for p in preds] == (
+            [a.article_id for a in new_articles] + known
+        )
+
+    def test_known_ids_accept_any_node_type(self, fitted):
+        detector, _ = fitted
+        session = InferenceSession(detector)
+        ids = [
+            detector.features.creators.ids[0],
+            detector.features.subjects.ids[0],
+            detector.features.articles.ids[0],
+        ]
+        preds = session.predict(known_ids=ids, return_proba=True)
+        assert [p.entity_id for p in preds] == ids
+        for p in preds:
+            assert p.proba.shape == (6,)
+
+    def test_unknown_known_id_raises_keyerror(self, fitted):
+        detector, _ = fitted
+        session = InferenceSession(detector)
+        with pytest.raises(KeyError, match="not a node"):
+            session.predict(known_ids=["never_seen_id"])
+
+    def test_deprecated_aliases_delegate(self, fitted, new_articles):
+        detector, _ = fitted
+        session = InferenceSession(detector)
+        new = session.predict(new_articles)
+        assert [p.class_index for p in session.predict_articles(new_articles)] \
+            == [p.class_index for p in new]
+        assert session.predict_article(new_articles[0]).class_index \
+            == new[0].class_index
+        known = {p.entity_id: p.class_index
+                 for p in session.predict_known("article")}
+        assert known == detector.predict("article")
+
+    def test_deprecation_warning_emitted_once(self, fitted, new_articles, monkeypatch):
+        import repro.serve.session as session_mod
+        from repro.obs import get_logger
+
+        detector, _ = fitted
+        session = InferenceSession(detector)
+        monkeypatch.setattr(session_mod, "_DEPRECATION_WARNED", set())
+        events = []
+
+        class Recorder:
+            def emit(self, event):
+                if event.name.endswith("deprecated"):
+                    events.append(event)
+
+        root = get_logger()
+        sink = Recorder()
+        root.add_sink(sink)
+        try:
+            session.predict_articles(new_articles)
+            session.predict_articles(new_articles)
+            session.predict_articles(new_articles)
+        finally:
+            root._sinks.remove(sink)
+        assert len(events) == 1
+        assert events[0].fields["method"] == "predict_articles"
+
+    def test_context_ids_prune_to_zero_state(self, fitted, new_articles):
+        detector, _ = fitted
+        pruned = InferenceSession(
+            detector, context_ids={"creator": set(), "subject": set()}
+        )
+        full = InferenceSession(detector)
+        ghost = [a for a in new_articles if a.article_id == "s3"]
+        grounded = [a for a in new_articles if a.article_id != "s3"]
+        # s3's creator/subject are unknown everywhere: pruning is a no-op.
+        assert [p.class_index for p in pruned.predict(ghost)] \
+            == [p.class_index for p in full.predict(ghost)]
+        # Grounded articles lose their diffusion context under an empty
+        # shard: logits must equal the all-unknown (zero state) path.
+        stripped = [
+            type(a)(a.article_id, a.text, a.label, "no_such_creator", [])
+            if hasattr(a, "label")
+            else ArticleRequest(a.article_id, a.text, "no_such_creator", [])
+            for a in grounded
+        ]
+        a = pruned.predict(grounded, return_proba=True)
+        b = full.predict(stripped, return_proba=True)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.proba, y.proba)

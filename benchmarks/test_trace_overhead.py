@@ -1,0 +1,112 @@
+"""Distributed tracing + drift telemetry overhead on the warm serve path.
+
+The PR 7 instrumentation touches every request: the front-end opens a
+``serve.request`` span tree, dispatch stamps each worker queue entry with a
+trace payload, workers build four :func:`repro.obs.span_record` dicts and a
+drift window summary per result, and the collector merges it all into the
+:class:`repro.obs.TraceStore`. This benchmark measures that cost end to end
+against the same pool with the instrumentation off:
+
+- **baseline**: a 2-worker sharded :class:`PredictionService` with no
+  ``trace_dir`` and no drift baseline — the pre-PR request path;
+- **instrumented**: the identical pool with ``trace_dir`` set and
+  ``drift_baseline="auto"``, every request client-traced via a
+  ``traceparent`` context.
+
+Both modes run the same request mix through ``service.predict`` (in-process,
+skipping HTTP socket noise) and take the min over
+``REPRO_BENCH_TRACE_REPEATS`` passes (default 3). The acceptance bar is the
+issue's budget: instrumented/baseline <= 1.10x. Writes
+``results/BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED, save_bench_run
+
+from repro.core import FakeDetector, FakeDetectorConfig
+from repro.obs import TraceContext
+from repro.serve import PredictionService, PredictRequest
+
+REPEATS = int(os.environ.get("REPRO_BENCH_TRACE_REPEATS", "3"))
+REQUESTS_PER_PASS = 40
+OVERHEAD_BUDGET = 1.10   # traced + drift-monitored request path: <10%
+
+
+def _requests(dataset, count):
+    """Round-robin single-article requests over real corpus texts."""
+    articles = list(dataset.articles.values())
+    docs = []
+    for i in range(count):
+        article = articles[i % len(articles)]
+        docs.append(PredictRequest.from_dict({
+            "schema": "repro.serve.request/1",
+            "articles": [{
+                "article_id": f"bench_{i}",
+                "text": article.text,
+                "creator_id": article.creator_id,
+                "subject_ids": list(article.subject_ids),
+            }],
+        }))
+    return docs
+
+
+def _pass_seconds(service, requests, traced: bool) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        parent = TraceContext.new() if traced else None
+        service.predict(request, parent_context=parent)
+    return time.perf_counter() - start
+
+
+def _min_pass(service, requests, traced: bool) -> float:
+    service.predict(requests[0], parent_context=None)   # warm the pool
+    return min(
+        _pass_seconds(service, requests, traced) for _ in range(REPEATS)
+    )
+
+
+def test_trace_overhead(bench_dataset, bench_split, tmp_path):
+    config = FakeDetectorConfig(
+        epochs=5, explicit_dim=60, vocab_size=2000, max_seq_len=16,
+        seed=BENCH_SEED,
+    )
+    detector = FakeDetector(config).fit(bench_dataset, bench_split)
+    checkpoint = tmp_path / "ckpt"
+    detector.save(checkpoint)
+    requests = _requests(bench_dataset, REQUESTS_PER_PASS)
+    pool = dict(workers=2, shards=2, max_wait=0.001)
+
+    with PredictionService(checkpoint, **pool) as service:
+        baseline = _min_pass(service, requests, traced=False)
+
+    trace_dir = tmp_path / "traces"
+    with PredictionService(
+        checkpoint, **pool,
+        trace_dir=trace_dir, drift_baseline="auto",
+    ) as service:
+        instrumented = _min_pass(service, requests, traced=True)
+        drift_armed = bool(service.drift_status())
+        traces_written = len(service.trace_store.trace_ids())
+
+    per_request_ms = 1e3 * instrumented / REQUESTS_PER_PASS
+    report = {
+        "repeats": REPEATS,
+        "requests_per_pass": REQUESTS_PER_PASS,
+        "baseline_seconds": baseline,
+        "instrumented_seconds": instrumented,
+        "overhead_ratio": instrumented / baseline,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "instrumented_ms_per_request": per_request_ms,
+        "traces_written": traces_written,
+        "drift_armed": drift_armed,
+    }
+    save_bench_run("BENCH_trace.json", report)
+
+    # Sanity: the instrumented pool actually did the extra work.
+    assert traces_written >= REQUESTS_PER_PASS
+    assert drift_armed, report
+    assert instrumented / baseline < OVERHEAD_BUDGET, report

@@ -22,9 +22,11 @@ serve      prediction serving, two modes:
            (--metrics-port exposes /metrics + /healthz).
            Bare ``serve MODEL --input F`` still works (deprecated alias
            for ``serve batch``).
-obs        observability utilities: ``obs report`` renders a trace,
-           ``obs diff`` regression-gates two run records, ``obs runs``
-           lists the registry
+obs        observability utilities: ``obs report`` renders a trace
+           (including drift breach/recover summaries when present),
+           ``obs trace`` renders one merged distributed request timeline
+           from a ``--trace-dir`` store, ``obs diff`` regression-gates
+           two run records, ``obs runs`` lists the registry
 lint       run the repro.analysis static rules over source trees
 analysis   static-analysis utilities (``analysis report`` summarizes by rule)
 """
@@ -301,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--slo-queue-wait-ms", type=float, default=None,
                             help="SLO: rolling p95 queue-wait budget in "
                                  "milliseconds")
+        parser.add_argument("--slo-drift-psi", type=float, default=None,
+                            help="SLO: rolling mean class-distribution PSI "
+                                 "budget (needs a drift baseline)")
         parser.add_argument("--slo-window", type=float, default=60.0,
                             help="rolling SLO window in seconds")
 
@@ -329,6 +334,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds before a dispatched request 504s")
     p_serve_http.add_argument("--cache-size", type=int, default=2048,
                               help="per-worker LRU text-feature cache entries")
+    p_serve_http.add_argument("--trace-dir", type=Path, default=None,
+                              help="distributed-trace store directory: every "
+                                   "request's front-end + worker spans merge "
+                                   "into one <trace_id>.jsonl (render with "
+                                   "`repro obs trace`)")
+    p_serve_http.add_argument("--drift-baseline", default=None,
+                              metavar="auto|PATH",
+                              help="arm per-worker drift monitors: 'auto' "
+                                   "uses the checkpoint's "
+                                   "drift_baseline.json, or give an explicit "
+                                   "profile path")
+    p_serve_http.add_argument("--drift-threshold", type=float, default=0.25,
+                              help="PSI level that flags a drift breach")
     p_serve_http.add_argument("--duration", type=float, default=None,
                               help="serve for this many seconds then exit "
                                    "(default: until interrupted)")
@@ -360,6 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
                                help="expose /metrics (Prometheus) and "
                                     "/healthz on this port (0 = ephemeral, "
                                     "printed to stderr)")
+    p_serve_batch.add_argument("--drift-baseline", default=None,
+                               metavar="auto|PATH",
+                               help="arm an in-process drift monitor: 'auto' "
+                                    "uses the checkpoint's "
+                                    "drift_baseline.json, or give an "
+                                    "explicit profile path")
+    p_serve_batch.add_argument("--drift-threshold", type=float, default=0.25,
+                               help="PSI level that flags a drift breach")
     _add_slo_args(p_serve_batch)
     p_serve_batch.set_defaults(func=cmd_serve_batch)
 
@@ -373,6 +399,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit the stable repro.obs.report/1 JSON "
                                    "instead of text")
     p_obs_report.set_defaults(func=cmd_obs_report)
+    p_obs_trace = obs_sub.add_parser(
+        "trace", help="render one merged distributed request timeline"
+    )
+    p_obs_trace.add_argument("trace_id",
+                             help="32-hex trace id (from the response meta "
+                                  "block or the X-Request-Id echo)")
+    p_obs_trace.add_argument("--trace-dir", type=Path, required=True,
+                             help="trace store directory the service wrote "
+                                  "(`repro serve http --trace-dir`)")
+    p_obs_trace.add_argument("--json", action="store_true", dest="as_json",
+                             help="emit the raw repro.obs.trace/1 records")
+    p_obs_trace.set_defaults(func=cmd_obs_trace)
     p_obs_diff = obs_sub.add_parser(
         "diff", help="compare two run records; exit 1 on metric regression"
     )
@@ -470,6 +508,26 @@ def cmd_obs_report(args) -> int:
         print(json.dumps(report_to_dict(args.trace), indent=2, sort_keys=True))
     else:
         print(render_trace_file(args.trace))
+    return 0
+
+
+def cmd_obs_trace(args) -> int:
+    """Render one merged per-request timeline from a trace-dir store."""
+    import json
+
+    from .obs import TraceStore, render_timeline
+
+    store = TraceStore(args.trace_dir)
+    try:
+        records = store.read(args.trace_id)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"trace {args.trace_id} not found in {args.trace_dir}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    else:
+        print(render_timeline(records))
     return 0
 
 
@@ -621,6 +679,7 @@ def _build_slo_rules(args):
             args.slo_queue_wait_ms / 1e3
             if args.slo_queue_wait_ms is not None else None
         ),
+        drift_psi=args.slo_drift_psi,
         window_seconds=args.slo_window,
     )
 
@@ -650,6 +709,9 @@ def cmd_serve_http(args) -> int:
         max_queue_depth=args.queue_depth,
         request_timeout=args.timeout,
         feature_cache_size=args.cache_size,
+        trace_dir=args.trace_dir,
+        drift_baseline=args.drift_baseline,
+        drift_threshold=args.drift_threshold,
     )
     rules = _build_slo_rules(args)
     monitor = None
@@ -722,6 +784,23 @@ def cmd_serve_batch(args) -> int:
     if rules:
         monitor = SloMonitor(rules, registry=session.metrics.registry)
         session.slo = monitor
+    if args.drift_baseline is not None:
+        from .obs.drift import BaselineProfile, DriftMonitor, load_baseline
+
+        if args.drift_baseline == "auto":
+            baseline = load_baseline(args.model)
+        else:
+            baseline = BaselineProfile.load(args.drift_baseline)
+        if baseline is not None:
+            session.drift = DriftMonitor(
+                baseline,
+                threshold=args.drift_threshold,
+                registry=session.metrics.registry,
+                slo=monitor,
+            )
+        else:
+            print(f"no drift baseline in {args.model}; monitor disarmed",
+                  file=sys.stderr)
     if args.metrics_port is not None:
         metrics = MetricsServer(
             session.metrics.registry,

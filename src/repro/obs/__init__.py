@@ -7,7 +7,15 @@ Building blocks shared by training, serving and the autograd engine:
   ``configure_logging`` rewires levels, namespace filters and JSONL sinks.
 - :mod:`repro.obs.tracing` — nested timed spans.
   ``with trace("epoch", epoch=i) as span: span.set(loss=...)`` is free when
-  no tracer is installed and streams JSONL when one is.
+  no tracer is installed and streams JSONL when one is. A
+  :class:`TraceStore` merges spans from several processes into one
+  ``repro.obs.trace/1`` file per distributed request.
+- :mod:`repro.obs.context` — the request-scoped :class:`TraceContext`
+  carried via ``contextvars`` and W3C-style ``traceparent`` headers so
+  worker spans parent under the front-end request span.
+- :mod:`repro.obs.drift` — :class:`DriftMonitor` compares a serving-time
+  rolling window against the checkpoint's :class:`BaselineProfile` with
+  PSI/KL and flips ``/v1/healthz`` degraded on sustained drift.
 - :mod:`repro.obs.metrics` — named counters/gauges/histograms in a
   :class:`MetricsRegistry`; :class:`repro.serve.ServingMetrics` is a facade
   over it.
@@ -32,6 +40,29 @@ run records, and ``repro serve batch --metrics-port`` exposes the scrape
 endpoint (``repro serve http`` serves ``/metrics`` on its own port).
 """
 
+from .context import (
+    REQUEST_ID_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_context,
+    extract_context,
+    inject,
+    new_request_id,
+    new_trace_id,
+    reset_context,
+    set_context,
+)
+from .drift import (
+    BASELINE_SCHEMA,
+    BaselineProfile,
+    DRIFT_BASELINE_FILE,
+    DriftMonitor,
+    bernoulli_psi,
+    drift_slo_rule,
+    kl_divergence,
+    load_baseline,
+    psi,
+)
 from .events import (
     Event,
     EventLogger,
@@ -70,7 +101,9 @@ from .profiler import OpProfiler, render_profile
 from .report import (
     REPORT_SCHEMA,
     aggregate_spans,
+    render_drift,
     render_spans,
+    render_timeline,
     render_trace_file,
     report_to_dict,
     self_times,
@@ -92,15 +125,40 @@ from .slo import SloMonitor, SloRule, SloStatus, default_serving_rules
 from .tracing import (
     NULL_SPAN,
     Span,
+    TRACE_SCHEMA,
+    TraceStore,
     Tracer,
     get_tracer,
     install_tracer,
+    new_span_id,
     read_trace,
+    span_record,
     trace,
     uninstall_tracer,
 )
 
 __all__ = [
+    # context
+    "REQUEST_ID_HEADER",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "current_context",
+    "extract_context",
+    "inject",
+    "new_request_id",
+    "new_trace_id",
+    "reset_context",
+    "set_context",
+    # drift
+    "BASELINE_SCHEMA",
+    "BaselineProfile",
+    "DRIFT_BASELINE_FILE",
+    "DriftMonitor",
+    "bernoulli_psi",
+    "drift_slo_rule",
+    "kl_divergence",
+    "load_baseline",
+    "psi",
     # events
     "Event",
     "EventLogger",
@@ -160,16 +218,22 @@ __all__ = [
     # tracing
     "NULL_SPAN",
     "Span",
+    "TRACE_SCHEMA",
+    "TraceStore",
     "Tracer",
     "get_tracer",
     "install_tracer",
+    "new_span_id",
     "read_trace",
+    "span_record",
     "trace",
     "uninstall_tracer",
     # report
     "REPORT_SCHEMA",
     "aggregate_spans",
+    "render_drift",
     "render_spans",
+    "render_timeline",
     "render_trace_file",
     "report_to_dict",
     "self_times",

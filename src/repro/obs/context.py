@@ -1,0 +1,158 @@
+"""Request-scoped trace context, propagated across threads and processes.
+
+A :class:`TraceContext` names one distributed request: a 128-bit hex
+``trace_id``, the ``span_id`` of the currently-open span (the parent for
+any child work), and a small string ``baggage`` map. The ambient context
+lives in a :mod:`contextvars` variable so it follows the logical flow of
+control — each HTTP handler thread binds its own context without touching
+the others.
+
+On the wire the context travels as a W3C-style ``traceparent`` header::
+
+    traceparent: 00-<32 hex trace_id>-<16 hex span_id>-01
+
+:func:`inject` stamps an outgoing header dict, :func:`extract_context`
+parses an incoming header mapping (case-insensitively, so both plain dicts
+and :class:`email.message.Message` header objects work). Malformed headers
+are ignored — a bad ``traceparent`` must never fail the request it rides.
+
+Ids come from :func:`os.urandom`, not :mod:`random` — trace ids must be
+unique across forked workers and are not part of any seeded experiment.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import os
+import re
+from typing import Dict, Mapping, Optional, Tuple
+
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "X-Request-Id"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+def new_request_id() -> str:
+    """A fresh 64-bit request id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """One distributed request's identity.
+
+    ``span_id`` is the integer id of the span that owns the current unit
+    of work; ``None`` means the context carries only a trace id (a fresh
+    root — children created under it start a new top-level span).
+    """
+
+    trace_id: str
+    span_id: Optional[int] = None
+    baggage: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def new(cls, **baggage: str) -> "TraceContext":
+        return cls(trace_id=new_trace_id(), baggage=tuple(sorted(baggage.items())))
+
+    def child(self, span_id: int) -> "TraceContext":
+        """Same trace, re-parented under ``span_id``."""
+        return dataclasses.replace(self, span_id=span_id)
+
+    def baggage_dict(self) -> Dict[str, str]:
+        return dict(self.baggage)
+
+    # -- wire format ----------------------------------------------------
+    def to_traceparent(self) -> str:
+        span = self.span_id if self.span_id is not None else 0
+        return f"00-{self.trace_id}-{span & (2**64 - 1):016x}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` value; ``None`` when malformed."""
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_id = match.group("trace_id")
+        if trace_id == "0" * 32:
+            return None
+        span_id = int(match.group("span_id"), 16)
+        return cls(trace_id=trace_id, span_id=span_id or None)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        if self.baggage:
+            record["baggage"] = self.baggage_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceContext":
+        baggage = payload.get("baggage") or {}
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=payload.get("span_id"),
+            baggage=tuple(sorted((str(k), str(v)) for k, v in baggage.items())),
+        )
+
+
+def inject(context: TraceContext, headers: Dict[str, str]) -> Dict[str, str]:
+    """Stamp ``headers`` with the context's ``traceparent``; returns headers."""
+    headers[TRACEPARENT_HEADER] = context.to_traceparent()
+    return headers
+
+
+def extract_context(headers: Mapping[str, str]) -> Optional[TraceContext]:
+    """Pull a :class:`TraceContext` out of an incoming header mapping.
+
+    Header lookup is case-insensitive. Works with plain dicts and with
+    stdlib :class:`email.message.Message`-style header objects (which the
+    http.server handlers expose). Returns ``None`` when no parseable
+    ``traceparent`` is present.
+    """
+    value = None
+    getter = getattr(headers, "get", None)
+    if getter is not None:
+        value = getter(TRACEPARENT_HEADER)
+    if value is None:
+        for key in headers:
+            if str(key).lower() == TRACEPARENT_HEADER:
+                value = headers[key]
+                break
+    if value is None:
+        return None
+    return TraceContext.from_traceparent(str(value))
+
+
+# ----------------------------------------------------------------------
+# Ambient context (contextvars)
+# ----------------------------------------------------------------------
+_CURRENT: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext`, or ``None`` outside any request."""
+    return _CURRENT.get()
+
+
+def set_context(context: Optional[TraceContext]) -> contextvars.Token:
+    """Bind the ambient context; pass the token to :func:`reset_context`."""
+    return _CURRENT.set(context)
+
+
+def reset_context(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)

@@ -7,9 +7,14 @@ records distinguished by ``type``:
   because spans are streamed at close time.
 - ``profile`` — an op-profiler dump (:meth:`OpProfiler.to_dict`).
 - ``event`` — a structured log record sharing the file.
+- ``drift`` — a drift breach/recover transition from
+  :class:`repro.obs.drift.DriftMonitor`.
 - ``trace_start`` — wall-clock anchor written when the tracer opens.
 
-:func:`render_trace_file` is what ``repro obs report`` prints.
+:func:`render_trace_file` is what ``repro obs report`` prints;
+:func:`render_timeline` is the per-request view behind
+``repro obs trace <trace_id>``, ordering one merged distributed trace
+(schema ``repro.obs.trace/1``) by wall-clock start.
 """
 
 from __future__ import annotations
@@ -111,6 +116,7 @@ def report_to_dict(path: Union[str, Path]) -> Dict[str, Any]:
     profiles = [r for r in records if r.get("type") == "profile"]
     memories = [r for r in records if r.get("type") == "memory"]
     events = [r for r in records if r.get("type") == "event"]
+    drifts = [r for r in records if r.get("type") == "drift"]
     return {
         "schema": REPORT_SCHEMA,
         "trace": str(path),
@@ -119,6 +125,7 @@ def report_to_dict(path: Union[str, Path]) -> Dict[str, Any]:
             "profiles": len(profiles),
             "memory_profiles": len(memories),
             "events": len(events),
+            "drift_transitions": len(drifts),
         },
         "spans": [
             {
@@ -132,6 +139,7 @@ def report_to_dict(path: Union[str, Path]) -> Dict[str, Any]:
         "profiles": profiles,
         "memory_profiles": memories,
         "events": events,
+        "drift": drifts,
     }
 
 
@@ -142,11 +150,13 @@ def render_trace_file(path: Union[str, Path]) -> str:
     profiles = [r for r in records if r.get("type") == "profile"]
     memories = [r for r in records if r.get("type") == "memory"]
     events = [r for r in records if r.get("type") == "event"]
+    drifts = [r for r in records if r.get("type") == "drift"]
 
     sections = [f"trace report: {path}"]
     sections.append(
         f"records: {len(spans)} spans, {len(profiles)} profiles, "
-        f"{len(memories)} memory profiles, {len(events)} events"
+        f"{len(memories)} memory profiles, {len(events)} events, "
+        f"{len(drifts)} drift transitions"
     )
     sections.append("")
     sections.append(render_spans(spans))
@@ -156,6 +166,9 @@ def render_trace_file(path: Union[str, Path]) -> str:
     for memory in memories:
         sections.append("")
         sections.append(render_memory(memory))
+    if drifts:
+        sections.append("")
+        sections.append(render_drift(drifts))
     if events:
         sections.append("")
         sections.append("events:")
@@ -165,3 +178,77 @@ def render_trace_file(path: Union[str, Path]) -> str:
             )
             sections.append(f"  {event.get('level', '?'):<7s} {event['name']}  {fields}")
     return "\n".join(sections)
+
+
+def render_drift(drifts: List[Dict[str, Any]]) -> str:
+    """Summarize drift breach/recover transitions embedded in a trace."""
+    if not drifts:
+        return "drift: (no transitions)"
+    breaches = sum(1 for d in drifts if d.get("event") == "breach")
+    lines = [
+        f"drift transitions: {breaches} breach(es), "
+        f"{len(drifts) - breaches} recover(ies)",
+    ]
+    for record in drifts:
+        shard = record.get("shard")
+        where = f" shard={shard}" if shard is not None else ""
+        metrics = " ".join(
+            f"{key}={record[key]:.4f}"
+            for key in ("class_psi", "confidence_psi", "feature_psi")
+            if isinstance(record.get(key), (int, float))
+        )
+        lines.append(
+            f"  {record.get('event', '?'):<8s}{where} {metrics} "
+            f"(threshold={record.get('threshold')}, "
+            f"samples={record.get('samples')})"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(records: List[Dict[str, Any]]) -> str:
+    """One merged distributed trace as a wall-clock timeline.
+
+    Spans (from every process that touched the request) are sorted by
+    ``start`` and indented by parent depth; the offset column is
+    milliseconds since the earliest span. Orphan parents — e.g. a worker
+    span whose front-end parent record was lost — render at depth 0
+    rather than being dropped.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    meta = next((r for r in records if r.get("type") == "trace_meta"), None)
+    header = []
+    if meta is not None:
+        header.append(
+            f"trace {meta.get('trace_id', '?')} ({meta.get('schema', '?')})"
+        )
+    if not spans:
+        header.append("(no spans)")
+        return "\n".join(header)
+
+    by_id = {span["span_id"]: span for span in spans}
+
+    def depth_of(span: Dict[str, Any]) -> int:
+        depth, node, seen = 0, span, set()
+        while True:
+            parent_id = node.get("parent_id")
+            if parent_id is None or parent_id not in by_id or parent_id in seen:
+                return depth
+            seen.add(parent_id)
+            node = by_id[parent_id]
+            depth += 1
+
+    origin = min(float(s["start"]) for s in spans)
+    lines = header + [
+        f"{'offset ms':>10s} {'dur ms':>9s}  span",
+    ]
+    for span in sorted(spans, key=lambda s: (float(s["start"]), s["span_id"])):
+        offset_ms = 1e3 * (float(span["start"]) - origin)
+        duration_ms = 1e3 * float(span["duration"])
+        indent = "  " * depth_of(span)
+        attrs = span.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        label = f"{indent}{span['name']}"
+        if detail:
+            label += f"  [{detail}]"
+        lines.append(f"{offset_ms:>10.2f} {duration_ms:>9.2f}  {label}")
+    return "\n".join(lines)

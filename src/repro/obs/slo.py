@@ -78,10 +78,16 @@ def default_serving_rules(
     error_rate: Optional[float] = None,
     queue_wait_p95_s: Optional[float] = None,
     queue_depth: Optional[float] = None,
+    drift_psi: Optional[float] = None,
     window_seconds: float = 60.0,
 ) -> List[SloRule]:
     """The standard serving rule set, one rule per provided threshold."""
     rules: List[SloRule] = []
+    if drift_psi is not None:
+        rules.append(SloRule(
+            "drift_psi", "drift_class_psi", "mean", drift_psi,
+            window_seconds=window_seconds,
+        ))
     if p95_latency_s is not None:
         rules.append(SloRule(
             "latency_p95", "latency_seconds", "p95", p95_latency_s,

@@ -23,25 +23,47 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from time import perf_counter, time
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
+from .context import current_context
 from .lifecycle import flush_at_exit, unregister_flush
 
 _IDS = itertools.count(1)
+_ID_LOCK = threading.Lock()
+
+
+def new_span_id() -> int:
+    """A span id unique across threads *and* forked workers.
+
+    The naive module-level counter collides after ``fork()``: every child
+    inherits the same counter state, so two workers both emit span 7. The
+    id is therefore salted with the pid in the high bits — the counter
+    disambiguates within a process, the pid across processes — while still
+    fitting the 64-bit ``traceparent`` span field.
+    """
+    with _ID_LOCK:
+        serial = next(_IDS)
+    return ((os.getpid() & 0xFFFFFF) << 40) | (serial & 0xFFFFFFFFFF)
 
 
 class Span:
     """One timed section. Context manager; attributes via :meth:`set`."""
 
-    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_tracer")
+    __slots__ = (
+        "name", "span_id", "parent_id", "trace_id",
+        "start", "end", "attrs", "_tracer",
+    )
 
     def __init__(self, name: str, tracer: "Tracer", attrs: Optional[Dict] = None):
         self.name = name
-        self.span_id = next(_IDS)
+        self.span_id = new_span_id()
         self.parent_id: Optional[int] = None
+        self.trace_id: Optional[str] = None
         self.start: float = 0.0
         self.end: float = 0.0
         self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
@@ -57,18 +79,18 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
-        self.start = perf_counter()
+        self.start = self._tracer._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.end = perf_counter()
+        self.end = self._tracer._clock()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._pop(self)
         return False
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record: Dict[str, Any] = {
             "type": "span",
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -78,6 +100,9 @@ class Span:
             "duration": self.duration,
             "attrs": self.attrs,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        return record
 
 
 class _NullSpan:
@@ -112,11 +137,28 @@ class Tracer:
     keep:
         Retain finished spans in :attr:`spans` (default). Disable for
         long-running servers that only want the streamed file.
+    sink:
+        Optional callable invoked with each finished span's dict — how the
+        serving front-end routes request spans into a :class:`TraceStore`.
+    clock:
+        Timestamp source (default :func:`time.perf_counter`). Distributed
+        traces that must merge spans from several processes pass
+        :func:`time.time`: ``perf_counter`` readings are only comparable
+        within one process.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None, keep: bool = True):
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        keep: bool = True,
+        *,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        clock: Callable[[], float] = perf_counter,
+    ):
         self.spans: List[Span] = []
         self._keep = keep
+        self._sink = sink
+        self._clock = clock
         self._local = threading.local()
         self._lock = threading.Lock()
         self._file: Optional[TextIO] = None
@@ -142,6 +184,15 @@ class Tracer:
         stack = self._stack()
         if stack:
             span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
+        else:
+            # Top-level span: adopt the ambient request context, if any,
+            # so cross-process children link back to the remote parent.
+            context = current_context()
+            if context is not None:
+                span.trace_id = context.trace_id
+                if context.span_id is not None:
+                    span.parent_id = context.span_id
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -159,6 +210,8 @@ class Tracer:
                 self.spans.append(span)
             if self._file is not None:
                 self._file.write(json.dumps(span.to_dict(), default=str) + "\n")
+        if self._sink is not None:
+            self._sink(span.to_dict())
 
     # -- export ---------------------------------------------------------
     def current(self) -> Optional[Span]:
@@ -241,3 +294,141 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+# ----------------------------------------------------------------------
+# Distributed trace assembly
+# ----------------------------------------------------------------------
+TRACE_SCHEMA = "repro.obs.trace/1"
+
+
+def span_record(
+    name: str,
+    *,
+    trace_id: str,
+    parent_id: Optional[int],
+    start: float,
+    end: float,
+    span_id: Optional[int] = None,
+    **attrs: Any,
+) -> Dict[str, Any]:
+    """Build a span dict by hand — for code that measures a section without
+    a live :class:`Tracer` (workers timestamp queue wait / batch assembly
+    with :func:`time.time` and ship the records over the response queue).
+    """
+    return {
+        "type": "span",
+        "span_id": span_id if span_id is not None else new_span_id(),
+        "parent_id": parent_id,
+        "trace_id": trace_id,
+        "name": name,
+        "start": start,
+        "end": end,
+        "duration": max(0.0, end - start),
+        "attrs": attrs,
+    }
+
+
+class TraceStore:
+    """A directory of per-request trace files, one ``<trace_id>.jsonl`` each.
+
+    The front-end request span and every worker span that carries the same
+    ``trace_id`` are appended to the same file, so one ``POST /v1/predict``
+    yields exactly one merged trace regardless of how many processes
+    touched it. The first line of each file is a ``trace_meta`` record
+    naming the schema (``repro.obs.trace/1``); the rest are span records in
+    arrival order (readers re-sort by ``start``).
+    """
+
+    #: open append handles retained (spans of one request arrive in a
+    #: burst — re-opening the file per span dominates the write cost)
+    _MAX_HANDLES = 8
+    #: max staleness of buffered writes; a live reader (CLI tailing the
+    #: directory) sees a trace at most this many seconds late
+    _FLUSH_INTERVAL = 0.05
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handles: "OrderedDict[str, TextIO]" = OrderedDict()
+        self._last_flush = 0.0
+
+    def path_for(self, trace_id: str) -> Path:
+        if not _is_hex_id(trace_id):
+            raise ValueError(f"malformed trace id: {trace_id!r}")
+        return self.root / f"{trace_id}.jsonl"
+
+    def _handle(self, trace_id: str) -> TextIO:
+        """The trace's append handle, opened (and meta-stamped) on demand.
+
+        Handles are kept in a small LRU so the burst of spans one request
+        produces shares a single open file; writes are flushed on a short
+        interval (and on eviction, :meth:`read` and :meth:`close`), so a
+        per-span sink pays buffered writes, not one syscall each.
+        """
+        handle = self._handles.get(trace_id)
+        if handle is not None and not handle.closed:
+            self._handles.move_to_end(trace_id)
+            return handle
+        path = self.path_for(trace_id)
+        fresh = not path.exists()
+        handle = open(path, "a", encoding="utf-8")
+        if fresh:
+            meta = {
+                "type": "trace_meta",
+                "schema": TRACE_SCHEMA,
+                "trace_id": trace_id,
+                "created": time(),
+            }
+            handle.write(json.dumps(meta) + "\n")
+        self._handles[trace_id] = handle
+        while len(self._handles) > self._MAX_HANDLES:
+            _, oldest = self._handles.popitem(last=False)
+            oldest.close()
+        return handle
+
+    def add_spans(self, trace_id: str, spans: List[Dict[str, Any]]) -> None:
+        """Append span records to the trace's file (creating it if new)."""
+        if not spans:
+            return
+        with self._lock:
+            handle = self._handle(trace_id)
+            for span in spans:
+                handle.write(json.dumps(span, default=str) + "\n")
+            now = time()
+            if now - self._last_flush >= self._FLUSH_INTERVAL:
+                self._last_flush = now
+                for open_handle in self._handles.values():
+                    open_handle.flush()
+
+    def sink(self, record: Dict[str, Any]) -> None:
+        """A :class:`Tracer` ``sink=`` adapter: file spans by trace id."""
+        trace_id = record.get("trace_id")
+        if trace_id:
+            self.add_spans(str(trace_id), [record])
+
+    def read(self, trace_id: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            for handle in self._handles.values():
+                handle.flush()
+        path = self.path_for(trace_id)
+        if not path.exists():
+            raise FileNotFoundError(f"no trace {trace_id} under {self.root}")
+        return read_trace(path)
+
+    def trace_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def close(self) -> None:
+        """Close every retained append handle (writes are already flushed)."""
+        with self._lock:
+            while self._handles:
+                _, handle = self._handles.popitem(last=False)
+                handle.close()
+
+
+def _is_hex_id(value: str) -> bool:
+    return bool(value) and len(value) <= 64 and all(
+        c in "0123456789abcdef" for c in value
+    )

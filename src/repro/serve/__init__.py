@@ -52,6 +52,7 @@ from .metrics import ServingMetrics
 from .protocol import (
     ERROR_SCHEMA,
     REQUEST_SCHEMA,
+    RESPONSE_REVISION,
     RESPONSE_SCHEMA,
     PredictRequest,
     PredictResponse,
@@ -89,6 +90,7 @@ __all__ = [
     "error_body",
     "REQUEST_SCHEMA",
     "RESPONSE_SCHEMA",
+    "RESPONSE_REVISION",
     "ERROR_SCHEMA",
     "ShardPlan",
     "PredictionService",

@@ -6,9 +6,11 @@ graph index and the model weights — so a server process can
 :func:`load_detector` and answer requests without ever seeing the training
 corpus. Layout::
 
-    <dir>/detector.json   format tag, config, vocab, extractors, entity ids
-    <dir>/arrays.npz      explicit/sequence/label matrices + graph edge lists
-    <dir>/model.npz       module state dict (repro.autograd.save_state)
+    <dir>/detector.json        format tag, config, vocab, extractors, entity ids
+    <dir>/arrays.npz           explicit/sequence/label matrices + graph edge lists
+    <dir>/model.npz            module state dict (repro.autograd.save_state)
+    <dir>/drift_baseline.json  training-corpus drift profile
+                               (repro.obs.drift_baseline/1, optional)
 
 Arrays round-trip bit-exactly through ``.npz`` and floats round-trip
 exactly through JSON, so a loaded detector reproduces bit-identical
@@ -74,6 +76,13 @@ def save_detector(detector: "FakeDetector", path: PathLike) -> Path:
         arrays[f"graph.{field.name}"] = getattr(detector.graph, field.name)
     save_arrays(arrays, path / _ARRAYS)
     save_state(detector.model, path / _MODEL)
+
+    # Serving-time drift monitoring compares against this profile; it is
+    # deliberately outside checkpoint_digest() (which hashes only weights +
+    # manifest) so adding it never changes a deployment's identity.
+    from ..obs.drift import BaselineProfile
+
+    BaselineProfile.from_detector(detector).save(path)
     return path
 
 

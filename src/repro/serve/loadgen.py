@@ -28,6 +28,7 @@ import time
 import urllib.parse
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.context import TraceContext, inject
 from ..obs.metrics import percentile
 
 
@@ -43,9 +44,15 @@ class LoadResult:
     seconds: float
     throughput_rps: float
     latency_ms: Dict[str, float]   # p50/p95/p99/mean/max over successes
+    #: trace ids this run minted (``trace=True`` only) — one per request,
+    #: matching the server-side merged trace files.
+    trace_ids: List[str] = dataclasses.field(default_factory=list)
 
     def to_dict(self) -> Dict:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        # The id list can be huge; the report only needs the count.
+        payload["trace_ids"] = len(self.trace_ids)
+        return payload
 
 
 def _split_url(url: str) -> Tuple[str, int, str]:
@@ -68,7 +75,9 @@ class _Client:
         self._host, self._port, self._timeout = host, port, timeout
         self._conn: Optional[http.client.HTTPConnection] = None
 
-    def post(self, path: str, body: bytes) -> int:
+    def post(
+        self, path: str, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> int:
         """One POST; returns the HTTP status (transport failures → -1)."""
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
@@ -83,7 +92,7 @@ class _Client:
         try:
             self._conn.request(
                 "POST", path, body=body,
-                headers={"Content-Type": "application/json"},
+                headers={"Content-Type": "application/json", **(headers or {})},
             )
             reply = self._conn.getresponse()
             reply.read()
@@ -105,12 +114,16 @@ def run_load(
     concurrency: int,
     requests: int,
     timeout: float = 30.0,
+    trace: bool = False,
 ) -> LoadResult:
     """Fire ``requests`` POSTs at ``url`` from ``concurrency`` threads.
 
     ``payloads`` are ``repro.serve.request/1`` documents cycled round-robin;
     each is serialized once up front so the measured latency is wire + server
-    time, not JSON encoding.
+    time, not JSON encoding. With ``trace=True`` every request carries a
+    fresh client-minted ``traceparent`` header, and the minted trace ids
+    come back on :attr:`LoadResult.trace_ids` so a caller can pull the
+    server-side merged traces afterwards.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -120,6 +133,12 @@ def run_load(
     bodies = [json.dumps(p).encode("utf-8") for p in payloads]
     body_cycle = itertools.cycle(bodies)
     work = [next(body_cycle) for _ in range(requests)]
+    trace_headers: List[Optional[Dict[str, str]]] = [None] * len(work)
+    trace_ids: List[str] = []
+    if trace:
+        contexts = [TraceContext.new() for _ in work]
+        trace_headers = [inject(ctx, {}) for ctx in contexts]
+        trace_ids = [ctx.trace_id for ctx in contexts]
 
     counters = {"ok": 0, "rejected": 0, "errors": 0}
     latencies: List[float] = []
@@ -134,7 +153,9 @@ def run_load(
                 if index >= len(work):
                     return
                 begin = time.perf_counter()
-                status = connection.post(path, work[index])
+                status = connection.post(
+                    path, work[index], headers=trace_headers[index]
+                )
                 elapsed = time.perf_counter() - begin
                 with lock:
                     if status == 200:
@@ -175,6 +196,7 @@ def run_load(
         seconds=seconds,
         throughput_rps=counters["ok"] / seconds if seconds > 0 else 0.0,
         latency_ms=latency_ms,
+        trace_ids=trace_ids,
     )
 
 

@@ -18,7 +18,13 @@ reject what it does not speak:
        "model_digest": "2f6ab91c03d4e5f6",
        "predictions": [{"entity_id": "a1", "class_index": 4,
                         "label": "Mostly True", "shard": 0}],
-       "timing": {"total_ms": 3.1, "compute_ms": 1.4}}
+       "timing": {"total_ms": 3.1, "compute_ms": 1.4},
+       "meta": {"revision": 2, "request_id": "9f2...", "trace_id": "43f..."}}
+
+  The ``meta`` block is an *additive* revision-2 extension: it carries the
+  request/trace correlation ids and a ``revision`` marker. Revision-1
+  clients that ignore unknown keys keep parsing unchanged, and revision-2
+  decoders accept documents without any ``meta`` block at all.
 
 - ``repro.serve.error/1`` — the structured error body every non-2xx HTTP
   reply carries (``code`` is machine-readable: ``bad_schema``,
@@ -41,6 +47,10 @@ from .session import ArticleRequest
 REQUEST_SCHEMA = "repro.serve.request/1"
 RESPONSE_SCHEMA = "repro.serve.response/1"
 ERROR_SCHEMA = "repro.serve.error/1"
+
+#: Minor revision of the response document within schema version 1.
+#: Revision 2 added the additive ``meta`` block (request_id / trace_id).
+RESPONSE_REVISION = 2
 
 
 class ProtocolError(ValueError):
@@ -141,13 +151,19 @@ class PredictResponse:
     predictions: List[Dict]
     model_digest: str = ""
     timing: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Revision-2 correlation ids (``request_id``, ``trace_id``, ...).
+    #: ``None`` values are dropped at encode time.
+    meta: Dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict:
+        meta = {k: v for k, v in self.meta.items() if v is not None}
+        meta["revision"] = RESPONSE_REVISION
         return {
             "schema": RESPONSE_SCHEMA,
             "model_digest": self.model_digest,
             "predictions": list(self.predictions),
             "timing": {k: float(v) for k, v in self.timing.items()},
+            "meta": meta,
         }
 
     @classmethod
@@ -162,10 +178,15 @@ class PredictResponse:
                     "bad_request",
                     f"predictions[{i}] must be an object with 'entity_id'",
                 )
+        meta = payload.get("meta")
+        if meta is not None and not isinstance(meta, dict):
+            raise ProtocolError("bad_request", "'meta' must be an object")
         return cls(
             predictions=list(predictions),
             model_digest=str(payload.get("model_digest", "")),
             timing=dict(payload.get("timing", {})),
+            # Revision-1 documents have no meta block; absence is valid.
+            meta=dict(meta or {}),
         )
 
     @classmethod

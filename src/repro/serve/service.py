@@ -42,9 +42,20 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import get_logger, render_prometheus
+from ..obs.context import (
+    REQUEST_ID_HEADER,
+    TraceContext,
+    extract_context,
+    new_request_id,
+    reset_context,
+    set_context,
+)
+from ..obs.drift import DRIFT_BASELINE_FILE
+from ..obs.tracing import NULL_SPAN, TraceStore, Tracer
 from .checkpoint import checkpoint_digest
 from .metrics import ServingMetrics
 from .protocol import (
@@ -115,7 +126,21 @@ class PredictionService:
         Per-worker LRU text-feature cache entries.
     slo:
         Optional :class:`repro.obs.SloMonitor`; fed latency/error/depth
-        signals, drives ``/v1/healthz``.
+        signals (and, when drift monitoring is on, the per-shard class
+        PSI under ``drift_class_psi``), drives ``/v1/healthz``.
+    trace_dir:
+        Optional directory for distributed request traces. When set, every
+        ``predict`` call opens a ``serve.request`` root span, propagates a
+        :class:`repro.obs.TraceContext` to the workers, and a
+        :class:`repro.obs.TraceStore` merges front-end + worker spans into
+        one ``<trace_id>.jsonl`` file (schema ``repro.obs.trace/1``).
+    drift_baseline:
+        Optional path to a ``repro.obs.drift_baseline/1`` JSON profile.
+        Each worker arms a :class:`repro.obs.DriftMonitor` against it and
+        ships window summaries back with every result; sustained breach on
+        any shard degrades ``/v1/healthz``.
+    drift_threshold / drift_window / drift_min_samples:
+        Worker-side :class:`repro.obs.DriftMonitor` knobs.
     """
 
     def __init__(
@@ -133,6 +158,11 @@ class PredictionService:
         feature_cache_size: int = 2048,
         warmup_timeout: float = 120.0,
         slo=None,
+        trace_dir=None,
+        drift_baseline=None,
+        drift_threshold: float = 0.25,
+        drift_window: int = 1024,
+        drift_min_samples: int = 50,
         mp_context=None,
     ):
         if workers < 1:
@@ -157,6 +187,29 @@ class PredictionService:
         self._mp_context = mp_context
         self._host_arg, self._port_arg = host, port
         self._log = get_logger("serve.service")
+        self._drift_log = get_logger("obs.drift")
+
+        self.trace_store: Optional[TraceStore] = None
+        self._tracer: Optional[Tracer] = None
+        if trace_dir is not None:
+            self.trace_store = TraceStore(trace_dir)
+            # Wall-clock spans: worker spans from other processes must land
+            # on the same axis, and perf_counter is per-process.
+            self._tracer = Tracer(
+                keep=False, sink=self.trace_store.sink, clock=time.time
+            )
+        if drift_baseline == "auto":
+            # Use the checkpoint's own profile when it shipped one; old
+            # checkpoints simply serve without drift monitoring.
+            candidate = Path(self.checkpoint) / DRIFT_BASELINE_FILE
+            drift_baseline = candidate if candidate.exists() else None
+        self.drift_baseline = str(drift_baseline) if drift_baseline else None
+        self.drift_threshold = drift_threshold
+        self.drift_window = drift_window
+        self.drift_min_samples = drift_min_samples
+        #: latest drift window summary per shard (collector-maintained)
+        self._drift_status: Dict[int, Dict] = {}
+        self._drift_breached: Dict[int, bool] = {}
 
         self.metrics = ServingMetrics()
         registry = self.metrics.registry
@@ -208,6 +261,10 @@ class PredictionService:
                 max_batch_size=self.max_batch_size,
                 max_wait=self.max_wait,
                 feature_cache_size=self.feature_cache_size,
+                drift_baseline=self.drift_baseline,
+                drift_threshold=self.drift_threshold,
+                drift_window=self.drift_window,
+                drift_min_samples=self.drift_min_samples,
                 mp_context=ctx,
             )
             self._workers.append(handle)
@@ -267,6 +324,10 @@ class PredictionService:
         for call in pending:
             call.error = "service shut down"
             call.event.set()
+        if self._tracer is not None:
+            self._tracer.close()
+        if self.trace_store is not None:
+            self.trace_store.close()
         self._started = False
 
     def __enter__(self) -> "PredictionService":
@@ -294,8 +355,16 @@ class PredictionService:
                         self._ready.set()
                 continue
             if kind == "result":
-                _, worker_id, req_id, predictions, stats = message
+                worker_id, req_id, predictions, stats = message[1:5]
                 error = None
+                worker_spans = message[5] if len(message) > 5 else []
+                if worker_spans and self.trace_store is not None:
+                    trace_id = worker_spans[0].get("trace_id")
+                    if trace_id:
+                        self.trace_store.add_spans(str(trace_id), worker_spans)
+                drift = stats.get("drift")
+                if drift is not None:
+                    self._note_drift(int(stats.get("shard", 0)), drift)
             else:  # "error"
                 _, worker_id, req_id, error = message
                 predictions, stats = None, {}
@@ -313,8 +382,57 @@ class PredictionService:
                 call.event.set()
 
     # ------------------------------------------------------------------
+    # Drift aggregation (collector thread)
+    # ------------------------------------------------------------------
+    def _note_drift(self, shard: int, summary: Dict) -> None:
+        """Fold one worker's drift window summary into parent-side state.
+
+        Exports per-shard ``drift_*`` gauges, feeds the SLO monitor's
+        ``drift_class_psi`` signal, and emits edge-triggered
+        ``obs.drift.breach`` / ``obs.drift.recover`` events per shard.
+        """
+        with self._lock:
+            self._drift_status[shard] = dict(summary)
+        registry = self.metrics.registry
+        for key in ("class_psi", "confidence_psi", "feature_psi"):
+            value = summary.get(key)
+            if value is not None:
+                registry.gauge(f"drift.{key}.shard{shard}").set(float(value))
+        registry.gauge(f"drift.samples.shard{shard}").set(
+            float(summary.get("samples", 0))
+        )
+        if self.slo is not None and summary.get("class_psi") is not None:
+            self.slo.observe("drift_class_psi", float(summary["class_psi"]))
+            self.slo.evaluate()
+        breached = bool(summary.get("breached"))
+        was = self._drift_breached.get(shard, False)
+        if breached != was:
+            self._drift_breached[shard] = breached
+            detail = {
+                "shard": shard,
+                "class_psi": summary.get("class_psi"),
+                "confidence_psi": summary.get("confidence_psi"),
+                "samples": summary.get("samples"),
+                "threshold": summary.get("threshold"),
+            }
+            if breached:
+                self._drift_log.warning("breach", **detail)
+            else:
+                self._drift_log.info("recover", **detail)
+
+    def drift_status(self) -> Dict[int, Dict]:
+        """Latest per-shard drift window summaries (empty when unarmed)."""
+        with self._lock:
+            return {shard: dict(s) for shard, s in self._drift_status.items()}
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _span(self, name: str, **attrs):
+        """A front-end span when tracing is on, the shared no-op when off."""
+        if self._tracer is None:
+            return NULL_SPAN
+        return self._tracer.span(name, **attrs)
     def _admit(self, needed: Dict[int, int]) -> Dict[int, WorkerHandle]:
         """Pick one replica per shard and charge the in-flight budget.
 
@@ -343,52 +461,111 @@ class PredictionService:
             self._inflight_gauge.set(sum(h.inflight for h in self._workers))
         return chosen
 
-    def predict(self, request: PredictRequest) -> PredictResponse:
-        """Route one decoded request through the pool; merge shard results."""
+    def predict(
+        self,
+        request: PredictRequest,
+        *,
+        request_id: Optional[str] = None,
+        parent_context: Optional[TraceContext] = None,
+    ) -> PredictResponse:
+        """Route one decoded request through the pool; merge shard results.
+
+        With tracing enabled (``trace_dir``), the whole call runs under a
+        ``serve.request`` root span: ``parent_context`` (a client's
+        ``traceparent``, when supplied) names the trace and remote parent,
+        otherwise a fresh trace id is minted. The root's context is
+        rebound via :mod:`contextvars` so dispatch stamps every worker
+        queue entry, and the merged trace lands in :attr:`trace_store`.
+        """
         if not self._started:
             raise ServiceUnavailable("service is not running")
+        if self._tracer is None:
+            return self._predict(request, request_id=request_id, trace_ctx=None)
+        context = (
+            parent_context if parent_context is not None else TraceContext.new()
+        )
+        token = set_context(context)
+        try:
+            attrs = {"articles": len(request.articles)}
+            if request_id is not None:
+                attrs["request_id"] = request_id
+            with self._tracer.span("serve.request", **attrs) as root:
+                inner = context.child(root.span_id)
+                inner_token = set_context(inner)
+                try:
+                    response = self._predict(
+                        request, request_id=request_id, trace_ctx=inner
+                    )
+                finally:
+                    reset_context(inner_token)
+            response.meta["trace_id"] = context.trace_id
+            return response
+        finally:
+            reset_context(token)
+
+    def _predict(
+        self,
+        request: PredictRequest,
+        *,
+        request_id: Optional[str],
+        trace_ctx: Optional[TraceContext],
+    ) -> PredictResponse:
         start = time.perf_counter()
         articles = request.articles
-        groups: Dict[int, List[int]] = {}
-        for i, article in enumerate(articles):
-            groups.setdefault(self.plan.route(article), []).append(i)
+        with self._span("serve.route"):
+            groups: Dict[int, List[int]] = {}
+            for i, article in enumerate(articles):
+                groups.setdefault(self.plan.route(article), []).append(i)
 
-        chosen = self._admit({shard: 1 for shard in groups})
+        with self._span("serve.admit"):
+            chosen = self._admit({shard: 1 for shard in groups})
         calls: List[tuple] = []
-        with self._lock:
-            for shard, indexes in groups.items():
-                req_id = next(self._req_ids)
-                call = _PendingCall()
-                self._pending[req_id] = call
-                calls.append((shard, indexes, req_id, call))
-        for shard, indexes, req_id, call in calls:
-            chosen[shard].requests.put((
-                "predict",
-                req_id,
-                [_article_payload(articles[i]) for i in indexes],
-                request.return_proba,
-            ))
+        with self._span("serve.dispatch", shards=len(groups)):
+            with self._lock:
+                for shard, indexes in groups.items():
+                    req_id = next(self._req_ids)
+                    call = _PendingCall()
+                    self._pending[req_id] = call
+                    calls.append((shard, indexes, req_id, call))
+            for shard, indexes, req_id, call in calls:
+                trace_payload = None
+                if trace_ctx is not None:
+                    trace_payload = {
+                        "trace_id": trace_ctx.trace_id,
+                        "parent_id": trace_ctx.span_id,
+                        "enqueued": time.time(),
+                    }
+                chosen[shard].requests.put((
+                    "predict",
+                    req_id,
+                    [_article_payload(articles[i]) for i in indexes],
+                    request.return_proba,
+                    trace_payload,
+                ))
 
         deadline = start + self.request_timeout
         merged: List[Optional[Dict]] = [None] * len(articles)
         compute_ms = 0.0
         try:
-            for shard, indexes, req_id, call in calls:
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0 or not call.event.wait(remaining):
-                    raise ServiceTimeout(
-                        f"shard {shard} did not answer within "
-                        f"{self.request_timeout}s"
-                    )
-                if call.error is not None:
-                    if not chosen[shard].alive():
-                        raise ServiceUnavailable(
-                            f"worker {chosen[shard].worker_id} died"
+            with self._span("serve.collect", shards=len(calls)):
+                for shard, indexes, req_id, call in calls:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not call.event.wait(remaining):
+                        raise ServiceTimeout(
+                            f"shard {shard} did not answer within "
+                            f"{self.request_timeout}s"
                         )
-                    raise ServiceUnavailable(call.error)
-                for local, index in enumerate(indexes):
-                    merged[index] = call.predictions[local]
-                compute_ms = max(compute_ms, float(call.stats.get("compute_ms", 0.0)))
+                    if call.error is not None:
+                        if not chosen[shard].alive():
+                            raise ServiceUnavailable(
+                                f"worker {chosen[shard].worker_id} died"
+                            )
+                        raise ServiceUnavailable(call.error)
+                    for local, index in enumerate(indexes):
+                        merged[index] = call.predictions[local]
+                    compute_ms = max(
+                        compute_ms, float(call.stats.get("compute_ms", 0.0))
+                    )
         finally:
             with self._lock:
                 for shard, _, req_id, _ in calls:
@@ -419,6 +596,7 @@ class PredictionService:
                 "compute_ms": compute_ms,
                 "shards": float(len(groups)),
             },
+            meta={"request_id": request_id},
         )
 
     # ------------------------------------------------------------------
@@ -446,6 +624,17 @@ class PredictionService:
             slo_health = self.slo.health()
             payload["slo"] = slo_health
             if slo_health["status"] != "ok":
+                payload["status"] = "degraded"
+        drift = self.drift_status()
+        if drift:
+            breached_shards = sorted(
+                shard for shard, s in drift.items() if s.get("breached")
+            )
+            payload["drift"] = {
+                "shards": {str(shard): s for shard, s in drift.items()},
+                "breached_shards": breached_shards,
+            }
+            if breached_shards:
                 payload["status"] = "degraded"
         if dead or not self._started:
             payload["status"] = "degraded"
@@ -481,39 +670,51 @@ def _make_handler(service: PredictionService):
                 self._reply_json(404, error_body("not_found", f"no route {route}"))
                 return
             service._http_requests.inc(1)
+            # Correlation ids: echo the client's X-Request-Id (or mint one)
+            # on every predict reply, success or failure, and adopt the
+            # client's traceparent as the distributed trace parent.
+            request_id = self.headers.get(REQUEST_ID_HEADER) or new_request_id()
+            echo = {REQUEST_ID_HEADER: request_id}
+            parent_context = extract_context(self.headers)
             try:
                 length = int(self.headers.get("Content-Length", "0"))
                 raw = self.rfile.read(length) if length else b""
                 document = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 self._reply_json(
-                    400, error_body("bad_request", "body is not valid JSON")
+                    400,
+                    error_body("bad_request", "body is not valid JSON"),
+                    headers=echo,
                 )
                 return
             try:
                 request = PredictRequest.from_dict(document)
             except ProtocolError as exc:
-                self._reply_json(400, error_body(exc.code, exc.message))
+                self._reply_json(400, error_body(exc.code, exc.message), headers=echo)
                 return
             try:
-                response = service.predict(request)
+                response = service.predict(
+                    request,
+                    request_id=request_id,
+                    parent_context=parent_context,
+                )
             except ServiceOverloaded as exc:
                 service._http_rejected.inc(1)
                 self._reply_json(
                     429,
                     error_body("overloaded", str(exc)),
-                    headers={"Retry-After": "1"},
+                    headers={"Retry-After": "1", **echo},
                 )
                 return
             except ServiceTimeout as exc:
                 self._record_error()
-                self._reply_json(504, error_body("timeout", str(exc)))
+                self._reply_json(504, error_body("timeout", str(exc)), headers=echo)
                 return
             except ServiceUnavailable as exc:
                 self._record_error()
-                self._reply_json(503, error_body("unavailable", str(exc)))
+                self._reply_json(503, error_body("unavailable", str(exc)), headers=echo)
                 return
-            self._reply_json(200, response.to_dict())
+            self._reply_json(200, response.to_dict(), headers=echo)
 
         def _record_error(self) -> None:
             service._http_errors.inc(1)

@@ -101,6 +101,11 @@ class InferenceSession:
         :mod:`repro.serve.worker`. Creators/subjects outside the sets take
         the zero-state fallback exactly like ids absent from the graph;
         with ``None`` (the default) the full graph context is cached.
+    drift:
+        Optional :class:`repro.obs.DriftMonitor`. When set, every article
+        batch's explicit features and logits feed the monitor's rolling
+        window, so PSI/KL drift is measured exactly where the prediction
+        happens.
 
     The constructor performs the single full-graph forward pass; afterwards
     :meth:`predict` never touches the graph again.
@@ -114,6 +119,7 @@ class InferenceSession:
         metrics: Optional[ServingMetrics] = None,
         slo: Optional["SloMonitor"] = None,
         context_ids: Optional[Dict[str, set]] = None,
+        drift=None,
     ):
         if detector.model is None or detector.features is None:
             raise RuntimeError("InferenceSession requires a fitted detector")
@@ -121,6 +127,7 @@ class InferenceSession:
         self.config = detector.config
         self.metrics = metrics or ServingMetrics()
         self.slo = slo
+        self.drift = drift
         self._feature_cache = LRUCache(feature_cache_size)
 
         model = detector.model
@@ -262,6 +269,8 @@ class InferenceSession:
 
             h = model.gdu_article(x, Tensor(z), Tensor(t))
             logits = model.head_article(h).data
+            if self.drift is not None:
+                self.drift.observe_batch(explicit, logits)
             ids = [a.article_id for a in articles]
             result = predictions_from_logits(ids, logits, return_proba=return_proba)
             seconds = perf_counter() - start

@@ -13,11 +13,21 @@ restart-equivalent.
 
 Messages
 --------
-parent → worker:  ``("predict", req_id, [article payload, ...], return_proba)``
-                  or the stop sentinel ``("stop",)``
+parent → worker:  ``("predict", req_id, [article payload, ...], return_proba,
+                  trace)`` — ``trace`` is ``None`` or ``{"trace_id",
+                  "parent_id", "enqueued"}`` naming the front-end request
+                  span this work belongs to — or the stop sentinel
+                  ``("stop",)``
 worker → parent:  ``("ready", worker_id, model_digest)`` once warm, then
-                  ``("result", worker_id, req_id, [prediction, ...], stats)``
-                  or ``("error", worker_id, req_id, message)``
+                  ``("result", worker_id, req_id, [prediction, ...], stats,
+                  spans)`` or ``("error", worker_id, req_id, message)``
+
+``spans`` are finished span dicts (queue wait, batch assembly, GDU
+forward, serialize) parented under the front-end request span; they use
+``time.time()`` wall-clock stamps because ``perf_counter`` readings are
+not comparable across processes. When a drift monitor is armed (the
+checkpoint shipped a baseline), ``stats["drift"]`` carries the worker's
+current window summary back on every result.
 """
 
 from __future__ import annotations
@@ -52,6 +62,11 @@ def _drain_batch(requests, first, max_batch_size: int, max_wait: float) -> List:
     return batch
 
 
+def _request_trace(message) -> Optional[Dict]:
+    """The trace dict of one predict message (``None`` pre-revision)."""
+    return message[4] if len(message) > 4 else None
+
+
 def worker_main(
     checkpoint: str,
     worker_id: int,
@@ -63,9 +78,15 @@ def worker_main(
     max_batch_size: int = 32,
     max_wait: float = 0.002,
     feature_cache_size: int = 2048,
+    drift_baseline: Optional[str] = None,
+    drift_threshold: float = 0.25,
+    drift_window: int = 1024,
+    drift_min_samples: int = 50,
 ) -> None:
     """Process entry point: warm a session, then serve until ``("stop",)``."""
     from ..obs import get_logger
+    from ..obs.drift import BaselineProfile, DriftMonitor
+    from ..obs.tracing import span_record
     from .checkpoint import checkpoint_digest, load_detector
     from .protocol import encode_prediction
     from .session import ArticleRequest, InferenceSession
@@ -78,10 +99,20 @@ def worker_main(
         plan = ShardPlan.from_dict(plan_payload)
         if plan.num_shards > 1:
             context_ids = plan.context_ids(shard)
+    drift = None
+    if drift_baseline is not None:
+        drift = DriftMonitor(
+            BaselineProfile.load(drift_baseline),
+            window=drift_window,
+            threshold=drift_threshold,
+            min_samples=drift_min_samples,
+            shard=shard,
+        )
     session = InferenceSession(
         detector,
         feature_cache_size=feature_cache_size,
         context_ids=context_ids,
+        drift=drift,
     )
     digest = checkpoint_digest(checkpoint)
     responses.put(("ready", worker_id, digest))
@@ -91,14 +122,17 @@ def worker_main(
         message = requests.get()
         if message[0] == "stop":
             break
+        recv_wall = time.time()
         batch = _drain_batch(requests, message, max_batch_size, max_wait)
+        assembled_wall = time.time()
         start = time.perf_counter()
         # One forward for the whole micro-batch; probabilities are computed
         # when any rider asked, then stripped from the ones that did not.
         articles = []
         spans = []
         any_proba = False
-        for _, _, payloads, return_proba in batch:
+        for entry in batch:
+            payloads, return_proba = entry[2], entry[3]
             spans.append((len(articles), len(articles) + len(payloads), return_proba))
             articles.extend(ArticleRequest.from_dict(p) for p in payloads)
             any_proba = any_proba or return_proba
@@ -106,9 +140,10 @@ def worker_main(
             predictions = session.predict(articles, return_proba=any_proba)
         except Exception as exc:
             log.error("batch_failed", worker=worker_id, error=repr(exc))
-            for _, req_id, _, _ in batch:
-                responses.put(("error", worker_id, req_id, repr(exc)))
+            for entry in batch:
+                responses.put(("error", worker_id, entry[1], repr(exc)))
             continue
+        forward_wall = time.time()
         seconds = time.perf_counter() - start
         stats = {
             "compute_ms": 1e3 * seconds,
@@ -116,13 +151,49 @@ def worker_main(
             "batch_requests": len(batch),
             "shard": shard,
         }
-        for (lo, hi, return_proba), (_, req_id, _, _) in zip(spans, batch):
+        if drift is not None:
+            stats["drift"] = drift.summary()
+        for (lo, hi, return_proba), entry in zip(spans, batch):
+            req_id, trace = entry[1], _request_trace(entry)
+            serialize_start = time.time()
             encoded = []
             for prediction in predictions[lo:hi]:
                 if not return_proba:
                     prediction.proba = None
                 encoded.append(encode_prediction(prediction, shard=shard))
-            responses.put(("result", worker_id, req_id, encoded, stats))
+            trace_spans = []
+            if trace is not None:
+                common = {
+                    "trace_id": trace["trace_id"],
+                    "parent_id": trace.get("parent_id"),
+                }
+                trace_spans = [
+                    span_record(
+                        "worker.queue_wait",
+                        start=float(trace.get("enqueued", recv_wall)),
+                        end=recv_wall,
+                        worker=worker_id, shard=shard, **common,
+                    ),
+                    span_record(
+                        "worker.batch_assembly",
+                        start=recv_wall, end=assembled_wall,
+                        batch_requests=len(batch), worker=worker_id, **common,
+                    ),
+                    span_record(
+                        "worker.forward",
+                        start=assembled_wall, end=forward_wall,
+                        batch=len(articles), worker=worker_id, shard=shard,
+                        **common,
+                    ),
+                    span_record(
+                        "worker.serialize",
+                        start=serialize_start, end=time.time(),
+                        predictions=hi - lo, worker=worker_id, **common,
+                    ),
+                ]
+            responses.put(
+                ("result", worker_id, req_id, encoded, stats, trace_spans)
+            )
     log.info("stopped", worker=worker_id, shard=shard)
 
 
@@ -160,6 +231,10 @@ def spawn_worker(
     max_batch_size: int = 32,
     max_wait: float = 0.002,
     feature_cache_size: int = 2048,
+    drift_baseline: Optional[str] = None,
+    drift_threshold: float = 0.25,
+    drift_window: int = 1024,
+    drift_min_samples: int = 50,
     mp_context=None,
 ) -> WorkerHandle:
     """Start one worker process and return its parent-side handle."""
@@ -172,6 +247,10 @@ def spawn_worker(
             "max_batch_size": max_batch_size,
             "max_wait": max_wait,
             "feature_cache_size": feature_cache_size,
+            "drift_baseline": drift_baseline,
+            "drift_threshold": drift_threshold,
+            "drift_window": drift_window,
+            "drift_min_samples": drift_min_samples,
         },
         daemon=True,
         name=f"repro-serve-worker-{worker_id}",

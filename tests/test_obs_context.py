@@ -1,0 +1,140 @@
+"""Trace context: traceparent round-trips, malformed headers, contextvars."""
+
+import email.message
+
+import pytest
+
+from repro.obs import (
+    REQUEST_ID_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_context,
+    extract_context,
+    inject,
+    new_request_id,
+    new_trace_id,
+    reset_context,
+    set_context,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_lower_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)
+        assert tid == tid.lower()
+
+    def test_request_id_is_16_lower_hex(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        int(rid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceparent:
+    def test_round_trip_with_span(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id=0x1234)
+        again = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert again.trace_id == ctx.trace_id
+        assert again.span_id == 0x1234
+
+    def test_root_context_encodes_zero_span(self):
+        ctx = TraceContext.new()
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{'0' * 16}-01"
+        # Zero span id decodes back to "no parent".
+        assert TraceContext.from_traceparent(header).span_id is None
+
+    def test_span_id_masked_to_64_bits(self):
+        ctx = TraceContext(trace_id="cd" * 16, span_id=2**64 + 5)
+        assert TraceContext.from_traceparent(ctx.to_traceparent()).span_id == 5
+
+    @pytest.mark.parametrize("header", [
+        "",
+        "garbage",
+        "00-zz" + "0" * 30 + "-" + "1" * 16 + "-01",   # non-hex trace
+        "00-" + "a" * 31 + "-" + "1" * 16 + "-01",     # short trace id
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",     # all-zero trace id
+        "00-" + "a" * 32 + "-" + "1" * 15 + "-01",     # short span id
+        "00-" + "a" * 32 + "-" + "1" * 16,             # missing flags
+    ])
+    def test_malformed_headers_return_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_case_and_whitespace_tolerated(self):
+        header = f"  00-{'AB' * 16}-{'00000000000000FF'}-01  "
+        ctx = TraceContext.from_traceparent(header)
+        assert ctx.trace_id == "ab" * 16
+        assert ctx.span_id == 0xFF
+
+    def test_dict_round_trip_keeps_baggage(self):
+        ctx = TraceContext.new(tenant="t1").child(42)
+        again = TraceContext.from_dict(ctx.to_dict())
+        assert again == ctx
+        assert again.baggage_dict() == {"tenant": "t1"}
+
+
+class TestHeaderPlumbing:
+    def test_inject_extract_round_trip(self):
+        ctx = TraceContext.new().child(99)
+        headers = inject(ctx, {})
+        assert TRACEPARENT_HEADER in headers
+        again = extract_context(headers)
+        assert again.trace_id == ctx.trace_id
+        assert again.span_id == 99
+
+    def test_extract_is_case_insensitive(self):
+        ctx = TraceContext(trace_id="ef" * 16, span_id=7)
+        assert extract_context({"Traceparent": ctx.to_traceparent()}).span_id == 7
+
+    def test_extract_from_email_message_headers(self):
+        """http.server exposes headers as email.message.Message objects."""
+        ctx = TraceContext(trace_id="12" * 16, span_id=3)
+        message = email.message.Message()
+        message["Traceparent"] = ctx.to_traceparent()
+        message[REQUEST_ID_HEADER] = "deadbeefdeadbeef"
+        assert extract_context(message).trace_id == ctx.trace_id
+
+    def test_extract_missing_or_bad_header_is_none(self):
+        assert extract_context({}) is None
+        assert extract_context({TRACEPARENT_HEADER: "nope"}) is None
+
+
+class TestAmbientContext:
+    def test_set_get_reset(self):
+        assert current_context() is None
+        ctx = TraceContext.new()
+        token = set_context(ctx)
+        try:
+            assert current_context() is ctx
+        finally:
+            reset_context(token)
+        assert current_context() is None
+
+    def test_nested_binding_restores_outer(self):
+        outer, inner = TraceContext.new(), TraceContext.new()
+        t1 = set_context(outer)
+        t2 = set_context(inner)
+        assert current_context() is inner
+        reset_context(t2)
+        assert current_context() is outer
+        reset_context(t1)
+
+    def test_threads_do_not_share_context(self):
+        import threading
+
+        seen = {}
+        token = set_context(TraceContext.new())
+        try:
+            def probe():
+                seen["ctx"] = current_context()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        finally:
+            reset_context(token)
+        assert seen["ctx"] is None

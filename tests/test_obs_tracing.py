@@ -1,6 +1,7 @@
 """Span tracer: nesting, self-time math, JSONL round trip, no-op fallback."""
 
 import json
+import multiprocessing
 import threading
 import time
 
@@ -8,14 +9,22 @@ import pytest
 
 from repro.obs import (
     NULL_SPAN,
+    TRACE_SCHEMA,
+    TraceContext,
     Tracer,
+    TraceStore,
     aggregate_spans,
     get_tracer,
     install_tracer,
+    new_span_id,
     read_trace,
     render_spans,
+    render_timeline,
     render_trace_file,
+    reset_context,
     self_times,
+    set_context,
+    span_record,
     trace,
     uninstall_tracer,
 )
@@ -219,3 +228,128 @@ class TestJsonlRoundTrip:
         assert "1 profiles" not in text
         assert "2 spans" in text
         assert "fit" in text and "epoch" in text
+
+
+def _emit_span_ids(count, out):
+    out.put([new_span_id() for _ in range(count)])
+
+
+class TestSpanIds:
+    def test_unique_within_process(self):
+        ids = [new_span_id() for _ in range(256)]
+        assert len(set(ids)) == 256
+
+    def test_fits_traceparent_span_field(self):
+        assert 0 < new_span_id() < 2**64
+
+    def test_no_collisions_across_forked_workers(self):
+        """Regression: forked children inherit the module counter state, so
+        an unsalted id generator hands two workers the same span id."""
+        ctx = multiprocessing.get_context("fork")
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_emit_span_ids, args=(50, out)) for _ in range(3)
+        ]
+        for p in procs:
+            p.start()
+        batches = [out.get(timeout=30.0) for _ in procs]
+        for p in procs:
+            p.join(timeout=30.0)
+        parent_ids = [new_span_id() for _ in range(50)]
+        combined = [i for batch in batches for i in batch] + parent_ids
+        assert len(set(combined)) == len(combined)
+
+
+class TestContextAdoption:
+    def test_top_level_span_adopts_ambient_context(self):
+        tracer = install_tracer(Tracer())
+        ctx = TraceContext(trace_id="ab" * 16, span_id=777)
+        token = set_context(ctx)
+        try:
+            with trace("handler"):
+                with trace("child"):
+                    pass
+        finally:
+            reset_context(token)
+        handler = next(s for s in tracer.spans if s.name == "handler")
+        child = next(s for s in tracer.spans if s.name == "child")
+        assert handler.trace_id == ctx.trace_id
+        assert handler.parent_id == 777
+        # Children inherit the trace id but parent under the local span.
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_id == handler.span_id
+
+    def test_no_context_leaves_trace_id_unset(self):
+        tracer = install_tracer(Tracer())
+        with trace("plain"):
+            pass
+        span = tracer.spans[0]
+        assert span.trace_id is None
+        assert "trace_id" not in span.to_dict()
+
+    def test_sink_and_clock(self):
+        seen = []
+        fake_now = [100.0]
+        tracer = Tracer(keep=False, sink=seen.append, clock=lambda: fake_now[0])
+        with tracer.span("s"):
+            fake_now[0] = 101.5
+        assert tracer.spans == []
+        assert len(seen) == 1
+        assert seen[0]["name"] == "s"
+        assert seen[0]["duration"] == pytest.approx(1.5)
+
+
+class TestTraceStore:
+    def _record(self, trace_id, name="w", parent=None, start=1.0, end=2.0):
+        return span_record(
+            name, trace_id=trace_id, parent_id=parent, start=start, end=end
+        )
+
+    def test_merges_spans_into_one_file(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        tid = "ab" * 16
+        store.add_spans(tid, [self._record(tid, "front")])
+        store.add_spans(tid, [self._record(tid, "worker")])
+        records = store.read(tid)
+        assert records[0]["type"] == "trace_meta"
+        assert records[0]["schema"] == TRACE_SCHEMA
+        assert [r["name"] for r in records[1:]] == ["front", "worker"]
+        assert store.trace_ids() == [tid]
+
+    def test_sink_routes_by_trace_id(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tid = "cd" * 16
+        store.sink(self._record(tid))
+        store.sink({"type": "span", "name": "no-trace", "attrs": {}})
+        assert store.trace_ids() == [tid]
+
+    def test_malformed_trace_id_rejected(self, tmp_path):
+        store = TraceStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.path_for("../../etc/passwd")
+        with pytest.raises(ValueError):
+            store.path_for("UPPER" + "a" * 27)
+
+    def test_missing_trace_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceStore(tmp_path).read("ef" * 16)
+
+    def test_render_timeline_orders_and_indents(self, tmp_path):
+        tid = "12" * 16
+        root = span_record(
+            "serve.request", trace_id=tid, parent_id=None,
+            start=10.0, end=10.1, span_id=1,
+        )
+        child = span_record(
+            "worker.forward", trace_id=tid, parent_id=1,
+            start=10.02, end=10.08, span_id=2, worker=0,
+        )
+        store = TraceStore(tmp_path)
+        store.add_spans(tid, [child, root])   # arrival order ≠ time order
+        text = render_timeline(store.read(tid))
+        lines = text.splitlines()
+        assert tid in lines[0]
+        request_line = next(l for l in lines if "serve.request" in l)
+        worker_line = next(l for l in lines if "worker.forward" in l)
+        assert lines.index(request_line) < lines.index(worker_line)
+        assert "worker=0" in worker_line

@@ -86,6 +86,41 @@ class TestErrors:
         assert CHECKPOINT_FORMAT.startswith("fakedetector-checkpoint/")
 
 
+class TestDriftBaseline:
+    def test_save_writes_baseline_profile(self, fitted, tmp_path):
+        from repro.obs import BaselineProfile, load_baseline
+
+        detector, _ = fitted
+        detector.save(tmp_path / "ckpt")
+        baseline = load_baseline(tmp_path / "ckpt")
+        assert isinstance(baseline, BaselineProfile)
+        assert baseline.samples > 0
+        assert baseline == BaselineProfile.from_detector(detector)
+
+    def test_baseline_outside_checkpoint_digest(self, fitted, tmp_path):
+        """The profile is telemetry metadata, not model identity: deleting
+        or editing it must not change the digest workers advertise."""
+        from repro.serve import checkpoint_digest
+
+        detector, _ = fitted
+        path = tmp_path / "ckpt"
+        detector.save(path)
+        digest = checkpoint_digest(path)
+        (path / "drift_baseline.json").unlink()
+        assert checkpoint_digest(path) == digest
+
+    def test_pre_drift_checkpoint_loads_without_baseline(self, fitted, tmp_path):
+        from repro.obs import load_baseline
+
+        detector, _ = fitted
+        path = tmp_path / "ckpt"
+        detector.save(path)
+        (path / "drift_baseline.json").unlink()
+        restored = FakeDetector.load(path)
+        assert restored.predict("article") == detector.predict("article")
+        assert load_baseline(path) is None
+
+
 class TestComponentSerialization:
     def test_vocabulary_dict_round_trip(self):
         vocab = Vocabulary.build([["a", "b", "a"], ["b", "c"]], max_size=10)

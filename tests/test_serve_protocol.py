@@ -8,6 +8,7 @@ import pytest
 from repro.serve import (
     ERROR_SCHEMA,
     REQUEST_SCHEMA,
+    RESPONSE_REVISION,
     RESPONSE_SCHEMA,
     ArticleRequest,
     PredictRequest,
@@ -128,6 +129,47 @@ class TestPredictResponse:
         pred = make_predictions(1)[0]
         assert "shard" not in encode_prediction(pred)
         assert encode_prediction(pred, shard=3)["shard"] == 3
+
+
+class TestResponseMeta:
+    """The additive revision-2 ``meta`` block (request/trace correlation)."""
+
+    def test_meta_round_trip_with_revision_stamp(self):
+        response = PredictResponse.from_predictions(
+            make_predictions(1), model_digest="abc",
+        )
+        response.meta = {"request_id": "aa" * 8, "trace_id": "bb" * 16}
+        doc = json.loads(json.dumps(response.to_dict()))
+        assert doc["meta"]["revision"] == RESPONSE_REVISION
+        assert doc["meta"]["request_id"] == "aa" * 8
+        assert doc["meta"]["trace_id"] == "bb" * 16
+        again = PredictResponse.from_dict(doc)
+        assert again.meta["request_id"] == "aa" * 8
+        assert again.meta["trace_id"] == "bb" * 16
+
+    def test_none_values_dropped_from_wire(self):
+        response = PredictResponse.from_predictions(
+            make_predictions(1), model_digest="abc",
+        )
+        response.meta = {"request_id": None}
+        doc = response.to_dict()
+        assert "request_id" not in doc["meta"]
+
+    def test_revision_1_document_without_meta_still_parses(self):
+        """Old servers emit no meta block; revision-2 decoders accept it."""
+        doc = PredictResponse.from_predictions(
+            make_predictions(1), model_digest="abc"
+        ).to_dict()
+        del doc["meta"]
+        assert doc["schema"] == RESPONSE_SCHEMA   # same major schema
+        again = PredictResponse.from_dict(doc)
+        assert again.meta == {}
+
+    def test_non_object_meta_rejected(self):
+        doc = PredictResponse.from_predictions(make_predictions(1)).to_dict()
+        doc["meta"] = ["not", "a", "dict"]
+        with pytest.raises(ProtocolError, match="meta"):
+            PredictResponse.from_dict(doc)
 
 
 class TestErrorBody:

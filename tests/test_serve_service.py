@@ -1,6 +1,7 @@
 """End-to-end HTTP service: parity, routing, admission control, health."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -51,9 +52,10 @@ def checkpoint(request, tmp_path_factory):
 
 
 @pytest.fixture(scope="module")
-def service(checkpoint):
+def service(checkpoint, tmp_path_factory):
     svc = PredictionService(
         checkpoint, workers=2, shards=2, max_wait=0.001, max_queue_depth=8,
+        trace_dir=tmp_path_factory.mktemp("traces"),
     )
     with svc:
         yield svc
@@ -198,3 +200,147 @@ class TestOperationalEndpoints:
         assert all(
             h.model_digest == service.model_digest for h in service._workers
         )
+
+
+class TestCorrelation:
+    def test_client_request_id_echoed(self, service, shard_articles):
+        body = json.dumps(_payload(shard_articles)).encode("utf-8")
+        request = urllib.request.Request(
+            service.url + "/v1/predict", data=body,
+            headers={"Content-Type": "application/json",
+                     "X-Request-Id": "cafe0123cafe0123"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as reply:
+            doc = json.loads(reply.read())
+            assert reply.headers["X-Request-Id"] == "cafe0123cafe0123"
+        assert doc["meta"]["request_id"] == "cafe0123cafe0123"
+
+    def test_request_id_minted_when_absent(self, service, shard_articles):
+        _, doc, headers = _post(service.url, _payload(shard_articles))
+        minted = headers["X-Request-Id"]
+        assert len(minted) == 16
+        assert doc["meta"]["request_id"] == minted
+
+    def test_request_id_echoed_on_errors(self, service):
+        payload = _payload([ArticleRequest("a", "text")])
+        payload["schema"] = "repro.serve.request/2"
+        status, _, headers = _post(service.url, payload)
+        assert status == 400
+        assert headers["X-Request-Id"]
+
+    def test_meta_block_is_revision_2(self, service, shard_articles):
+        _, doc, _ = _post(service.url, _payload(shard_articles))
+        assert doc["meta"]["revision"] == 2
+        assert len(doc["meta"]["trace_id"]) == 32
+
+
+class TestDistributedTracing:
+    def _traced_post(self, service, articles):
+        from repro.obs import TraceContext, inject
+
+        context = TraceContext.new().child(0xABCDEF)
+        body = json.dumps(_payload(articles)).encode("utf-8")
+        headers = inject(context, {"Content-Type": "application/json"})
+        request = urllib.request.Request(
+            service.url + "/v1/predict", data=body, headers=headers,
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as reply:
+            doc = json.loads(reply.read())
+        return context, doc
+
+    def test_one_merged_trace_per_request(self, service, shard_articles):
+        context, doc = self._traced_post(service, shard_articles)
+        assert doc["meta"]["trace_id"] == context.trace_id
+        records = service.trace_store.read(context.trace_id)
+        assert records[0]["type"] == "trace_meta"
+        spans = [r for r in records if r.get("type") == "span"]
+        names = {s["name"] for s in spans}
+        assert {"serve.request", "serve.route", "serve.admit",
+                "serve.dispatch", "serve.collect", "worker.queue_wait",
+                "worker.batch_assembly", "worker.forward",
+                "worker.serialize"} <= names
+        assert all(s["trace_id"] == context.trace_id for s in spans)
+
+    def test_span_parentage_crosses_processes(self, service, shard_articles):
+        context, _ = self._traced_post(service, shard_articles)
+        spans = [
+            r for r in service.trace_store.read(context.trace_id)
+            if r.get("type") == "span"
+        ]
+        root = next(s for s in spans if s["name"] == "serve.request")
+        # The root parents under the client's traceparent span.
+        assert root["parent_id"] == 0xABCDEF
+        # Front-end sub-spans parent under the root in-process...
+        route = next(s for s in spans if s["name"] == "serve.route")
+        assert route["parent_id"] == root["span_id"]
+        # ...and so do the worker spans shipped over the response queue.
+        forwards = [s for s in spans if s["name"] == "worker.forward"]
+        assert forwards and all(
+            s["parent_id"] == root["span_id"] for s in forwards
+        )
+        # This request fanned out across both shards.
+        assert {s["attrs"]["shard"] for s in forwards} == {0, 1}
+
+    def test_untraced_requests_mint_distinct_traces(self, service,
+                                                    shard_articles):
+        _, first, _ = _post(service.url, _payload(shard_articles))
+        _, second, _ = _post(service.url, _payload(shard_articles))
+        assert first["meta"]["trace_id"] != second["meta"]["trace_id"]
+        for doc in (first, second):
+            records = service.trace_store.read(doc["meta"]["trace_id"])
+            assert any(r.get("name") == "serve.request" for r in records)
+
+    def test_render_timeline_over_live_trace(self, service, shard_articles):
+        from repro.obs import render_timeline
+
+        context, _ = self._traced_post(service, shard_articles)
+        text = render_timeline(service.trace_store.read(context.trace_id))
+        assert context.trace_id in text
+        assert "serve.request" in text and "worker.forward" in text
+
+
+class TestDriftDegradation:
+    @pytest.fixture(scope="class")
+    def drifting_service(self, checkpoint):
+        svc = PredictionService(
+            checkpoint, workers=2, shards=2, max_wait=0.001,
+            drift_baseline="auto", drift_threshold=0.05, drift_min_samples=1,
+        )
+        with svc:
+            yield svc
+
+    def test_shifted_stream_degrades_healthz(self, drifting_service,
+                                             shard_articles):
+        # A narrow repeated stream concentrates the predicted-class and
+        # confidence histograms far from the training baseline.
+        for _ in range(4):
+            status, _, _ = _post(
+                drifting_service.url, _payload(shard_articles)
+            )
+            assert status == 200
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            drift = drifting_service.drift_status()
+            if drift and any(s.get("breached") for s in drift.values()):
+                break
+            time.sleep(0.05)
+        code, body = _get(drifting_service.url, "/v1/healthz")
+        health = json.loads(body)
+        assert code == 503
+        assert health["status"] == "degraded"
+        assert health["drift"]["breached_shards"]
+        shard_state = next(iter(health["drift"]["shards"].values()))
+        assert shard_state["class_psi"] is not None
+
+    def test_drift_gauges_reach_metrics_endpoint(self, drifting_service):
+        code, body = _get(drifting_service.url, "/metrics")
+        assert code == 200
+        assert "repro_drift_class_psi_shard" in body
+        assert "repro_drift_samples_shard" in body
+
+    def test_unarmed_service_reports_no_drift(self, service):
+        code, body = _get(service.url, "/v1/healthz")
+        assert code == 200
+        assert "drift" not in json.loads(body)

@@ -1,0 +1,595 @@
+"""Concurrency/fork-safety pass (RA2xx) over the serving and obs stacks.
+
+The serving stack mixes ``multiprocessing`` workers, a collector thread
+and queue-based shutdown; the obs stack layers contextvars on top. The
+failure modes of that mix are well known — a lock held across ``fork()``
+deadlocks the child, a blocking ``Queue.get()`` with no timeout wedges
+shutdown, a contextvar set without its reset token leaks request state —
+and all of them are statically visible. This pass proves their absence.
+
+Everything here is a conservative syntactic approximation over the
+:class:`~repro.analysis.program.ProgramIndex`: lock/queue/contextvar
+objects are recognized by their constructor calls (``threading.Lock()``,
+``ctx.Queue()``, ``ContextVar(...)``), fork sites by ``Process(...)``
+instantiations and ``os.fork()``, and reachability by a one-level
+call-name propagation (``PredictionService.start()`` calls
+``spawn_worker()`` which instantiates ``ctx.Process`` — the lock on the
+service is therefore fork-reachable, with the cross-module evidence chain
+attached to the finding).
+
+Rules
+-----
+RA201  explicit ``lock.acquire()`` instead of ``with lock:``
+RA202  lock or open file handle reachable at a fork site
+RA203  module-level mutable state mutated from a worker entrypoint
+RA204  blocking ``queue.get()`` without timeout inside a loop
+RA205  ``Thread(...)`` without both ``daemon=`` and ``name=``
+RA206  contextvar ``.set()`` with the reset token discarded
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .passes import ProgramRule
+from .program import ModuleInfo, ProgramIndex
+from .rules import Evidence, Finding
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+_QUEUE_CTORS = {
+    "Queue",
+    "SimpleQueue",
+    "JoinableQueue",
+    "LifoQueue",
+    "PriorityQueue",
+}
+_MUTATOR_METHODS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "appendleft",
+}
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    """Last identifier of a ``Name``/``Attribute`` chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclasses.dataclass
+class CallSite:
+    scope: str  #: enclosing qualname ("Class.method" or "<module>")
+    name: str  #: terminal called name
+    lineno: int
+    node: ast.Call
+    loop_depth: int
+
+
+@dataclasses.dataclass
+class ModuleScan:
+    """Concurrency-relevant facts extracted from one module."""
+
+    info: ModuleInfo
+    #: simple names bound to lock constructors (locals/globals/params-by-name)
+    lock_names: Set[str] = dataclasses.field(default_factory=set)
+    #: class -> {attr: lineno} for ``self.x = threading.Lock()``
+    lock_attrs: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: class -> {attr: lineno} for ``self.x = open(...)``
+    open_attrs: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: module-level lock names -> lineno
+    module_locks: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: names bound to queue constructors anywhere in the module
+    queue_names: Set[str] = dataclasses.field(default_factory=set)
+    #: names bound to ``ContextVar(...)``
+    contextvar_names: Set[str] = dataclasses.field(default_factory=set)
+    #: module-level mutable containers: name -> lineno
+    mutable_globals: Dict[str, int] = dataclasses.field(default_factory=dict)
+    call_sites: List[CallSite] = dataclasses.field(default_factory=list)
+
+
+class _ScanVisitor(ast.NodeVisitor):
+    def __init__(self, scan: ModuleScan):
+        self.scan = scan
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        self._loop_depth = 0
+
+    def _scope(self) -> str:
+        return ".".join(self._class_stack + self._func_stack) or "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._func_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _visit_loop(self, node) -> None:
+        self._loop_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._loop_depth -= 1
+
+    visit_While = _visit_loop
+    visit_For = _visit_loop
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        ctor = _terminal(value.func) if isinstance(value, ast.Call) else None
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if ctor in _LOCK_CTORS:
+                    self.scan.lock_names.add(target.id)
+                    if not self._func_stack and not self._class_stack:
+                        self.scan.module_locks[target.id] = node.lineno
+                elif ctor in _QUEUE_CTORS:
+                    self.scan.queue_names.add(target.id)
+                elif ctor == "ContextVar":
+                    self.scan.contextvar_names.add(target.id)
+                elif (
+                    not self._func_stack
+                    and not self._class_stack
+                    and _is_mutable_literal(value)
+                ):
+                    self.scan.mutable_globals[target.id] = node.lineno
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self._class_stack
+            ):
+                cls = self._class_stack[-1]
+                if ctor in _LOCK_CTORS:
+                    self.scan.lock_attrs.setdefault(cls, {})[
+                        target.attr
+                    ] = node.lineno
+                    self.scan.lock_names.add(target.attr)
+                elif ctor == "open":
+                    self.scan.open_attrs.setdefault(cls, {})[
+                        target.attr
+                    ] = node.lineno
+                elif ctor in _QUEUE_CTORS:
+                    self.scan.queue_names.add(target.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _terminal(node.func)
+        if name is not None:
+            self.scan.call_sites.append(
+                CallSite(
+                    scope=self._scope(),
+                    name=name,
+                    lineno=node.lineno,
+                    node=node,
+                    loop_depth=self._loop_depth,
+                )
+            )
+        self.generic_visit(node)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("dict", "list", "set", "defaultdict", "deque")
+    return False
+
+
+def _scans(index: ProgramIndex) -> Dict[str, ModuleScan]:
+    cached = getattr(index, "_concurrency_scans", None)
+    if cached is not None:
+        return cached
+    scans: Dict[str, ModuleScan] = {}
+    for name, info in index.modules.items():
+        scan = ModuleScan(info=info)
+        _ScanVisitor(scan).visit(info.tree)
+        scans[name] = scan
+    index._concurrency_scans = scans
+    return scans
+
+
+class ExplicitAcquireRule(ProgramRule):
+    """RA201: locks must be held via ``with``, not bare ``acquire()``."""
+
+    id = "RA201"
+    title = "explicit lock acquire"
+    hint = (
+        "hold the lock with `with lock:` so every exit path releases it; "
+        "if a timeout acquire is genuinely needed, suppress with a reason"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        for scan in _scans(index).values():
+            for site in scan.call_sites:
+                if site.name != "acquire":
+                    continue
+                if not isinstance(site.node.func, ast.Attribute):
+                    continue
+                owner = _terminal(site.node.func.value)
+                if owner in scan.lock_names:
+                    yield self.finding(
+                        scan.info.path,
+                        site.lineno,
+                        f"{owner}.acquire() outside a with-block; an "
+                        "exception between acquire and release deadlocks "
+                        "every other holder",
+                    )
+
+
+class ForkReachableStateRule(ProgramRule):
+    """RA202: no lock/open handle may be live where a child is forked.
+
+    A forked child inherits a *copy* of every lock — if the parent (or any
+    of its threads) holds the lock at fork time, the child's copy is
+    locked forever. Fork sites are ``Process(...)`` instantiations and
+    ``os.fork()``; reachability follows one level of calls, which is what
+    connects ``PredictionService.start()`` to the ``ctx.Process`` site
+    inside ``spawn_worker()`` across modules.
+    """
+
+    id = "RA202"
+    title = "lock or handle reachable at fork"
+    hint = (
+        "create locks/handles after forking, or guarantee (and document "
+        "via a suppression) that no thread holds them when workers spawn"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        scans = _scans(index)
+        # (module, scope, evidence-to-fork) triples.
+        reachable: List[Tuple[ModuleInfo, str, Tuple[Evidence, ...]]] = []
+        fork_fns: List[Tuple[ModuleInfo, str, int]] = []
+        for scan in scans.values():
+            for site in scan.call_sites:
+                if site.name == "Process" or (
+                    site.name == "fork"
+                    and isinstance(site.node.func, ast.Attribute)
+                ):
+                    fork_fns.append((scan.info, site.scope, site.lineno))
+        for info, scope, lineno in fork_fns:
+            fork_ev = Evidence(
+                info.path, lineno, f"fork site in {scope}()"
+            )
+            reachable.append((info, scope, (fork_ev,)))
+            terminal = scope.rsplit(".", 1)[-1]
+            if terminal == "<module>":
+                continue
+            for caller_info, caller_scope in index.functions_containing_call(
+                terminal
+            ):
+                if caller_info.name == info.name and caller_scope == scope:
+                    continue
+                call_line = next(
+                    (
+                        s.lineno
+                        for s in scans[caller_info.name].call_sites
+                        if s.scope == caller_scope and s.name == terminal
+                    ),
+                    1,
+                )
+                reachable.append(
+                    (
+                        caller_info,
+                        caller_scope,
+                        (
+                            Evidence(
+                                caller_info.path,
+                                call_line,
+                                f"{caller_scope}() calls {terminal}()",
+                            ),
+                            fork_ev,
+                        ),
+                    )
+                )
+        seen: Set[str] = set()
+        for info, scope, evidence in reachable:
+            scan = scans[info.name]
+            holders: List[Tuple[str, int, str]] = []
+            if "." in scope:
+                cls = scope.split(".")[0]
+                for attr, line in scan.lock_attrs.get(cls, {}).items():
+                    holders.append((f"self.{attr}", line, "lock"))
+                for attr, line in scan.open_attrs.get(cls, {}).items():
+                    holders.append((f"self.{attr}", line, "open file handle"))
+            for name, line in scan.module_locks.items():
+                holders.append((name, line, "module-level lock"))
+            for display, line, kind in holders:
+                finding = self.finding(
+                    info.path,
+                    line,
+                    f"{kind} {display} is reachable at a fork site via "
+                    f"{scope}(); the forked child inherits its state",
+                    evidence=(
+                        Evidence(info.path, line, f"{kind} created here"),
+                    )
+                    + evidence,
+                )
+                if finding.fingerprint() not in seen:
+                    seen.add(finding.fingerprint())
+                    yield finding
+
+
+class WorkerGlobalMutationRule(ProgramRule):
+    """RA203: worker entrypoints must not mutate module-level state.
+
+    A function passed as ``Process(target=...)`` runs in a child whose
+    module globals are a private copy — mutating them is at best a no-op
+    visible only in the child and at worst an aliasing bug when the start
+    method is ``fork``. Mutations guarded by ``with <lock>:`` are exempt
+    (that pattern is deliberate single-process fallback code).
+    """
+
+    id = "RA203"
+    title = "worker entrypoint mutates module state"
+    hint = (
+        "pass state through the queue protocol or return values; "
+        "module-level caches do not cross the process boundary"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        for scan in _scans(index).values():
+            entrypoints: Set[str] = set()
+            for site in scan.call_sites:
+                if site.name != "Process":
+                    continue
+                for kw in site.node.keywords:
+                    if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                        entrypoints.add(kw.value.id)
+            if not entrypoints or not scan.mutable_globals:
+                continue
+            for stmt in scan.info.tree.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if stmt.name not in entrypoints:
+                    continue
+                yield from self._check_entry(scan, stmt)
+
+    def _check_entry(self, scan: ModuleScan, fn) -> Iterator[Finding]:
+        finder = _MutationFinder(scan)
+        finder.visit_body(fn.body)
+        for name, lineno in finder.mutations:
+            yield self.finding(
+                scan.info.path,
+                lineno,
+                f"worker entrypoint {fn.name}() mutates module-level "
+                f"{name!r}; the write stays in the child process",
+                evidence=(
+                    Evidence(
+                        scan.info.path,
+                        scan.mutable_globals[name],
+                        f"{name} defined at module level",
+                    ),
+                    Evidence(scan.info.path, lineno, "mutated here"),
+                ),
+            )
+
+
+class _MutationFinder(ast.NodeVisitor):
+    """Find mutations of module-level containers outside lock guards."""
+
+    def __init__(self, scan: ModuleScan):
+        self.scan = scan
+        self.mutations: List[Tuple[str, int]] = []
+        self._lock_depth = 0
+
+    def visit_body(self, body) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(
+            _terminal(item.context_expr) in self.scan.lock_names
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and _terminal(item.context_expr.func) in self.scan.lock_names
+            )
+            for item in node.items
+        )
+        if guarded:
+            self._lock_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            if guarded:
+                self._lock_depth -= 1
+
+    def _record(self, name: Optional[str], lineno: int) -> None:
+        if (
+            name in self.scan.mutable_globals
+            and self._lock_depth == 0
+        ):
+            self.mutations.append((name, lineno))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                self._record(target.value.id, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Subscript) and isinstance(
+            node.target.value, ast.Name
+        ):
+            self._record(node.target.value.id, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Name)
+        ):
+            self._record(func.value.id, node.lineno)
+        self.generic_visit(node)
+
+
+class BlockingGetRule(ProgramRule):
+    """RA204: loop-driven ``queue.get()`` must carry a timeout.
+
+    A ``get()`` with no timeout inside a receive loop can only be
+    interrupted by a sentinel that may never arrive (the producer died,
+    the queue is corrupted after a hard kill) — shutdown then hangs. A
+    timeout plus a stop-flag check bounds that hang.
+    """
+
+    id = "RA204"
+    title = "blocking queue get without timeout"
+    hint = (
+        "use get(timeout=...) and re-check the stop condition on "
+        "queue.Empty, keeping the sentinel as the fast path"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        for scan in _scans(index).values():
+            for site in scan.call_sites:
+                if site.name != "get" or site.loop_depth == 0:
+                    continue
+                if not isinstance(site.node.func, ast.Attribute):
+                    continue
+                owner = _terminal(site.node.func.value)
+                if owner not in scan.queue_names:
+                    continue
+                if _get_is_bounded(site.node):
+                    continue
+                yield self.finding(
+                    scan.info.path,
+                    site.lineno,
+                    f"{owner}.get() blocks forever inside a loop; shutdown "
+                    "relies entirely on a sentinel arriving",
+                )
+
+
+def _get_is_bounded(node: ast.Call) -> bool:
+    if any(kw.arg == "timeout" for kw in node.keywords):
+        return True
+    if len(node.args) >= 2:  # get(block, timeout)
+        return True
+    if len(node.args) == 1:
+        arg = node.args[0]
+        # get(False) / get(block=False) is non-blocking.
+        return isinstance(arg, ast.Constant) and arg.value is False
+    if any(
+        kw.arg == "block"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is False
+        for kw in node.keywords
+    ):
+        return True
+    return False
+
+
+class AnonymousThreadRule(ProgramRule):
+    """RA205: threads must be named and explicitly daemon or not."""
+
+    id = "RA205"
+    title = "thread without daemon=/name="
+    hint = (
+        "pass name= (so stack dumps and logs are attributable) and an "
+        "explicit daemon= (so shutdown semantics are a decision, not a "
+        "default)"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        for scan in _scans(index).values():
+            for site in scan.call_sites:
+                if site.name != "Thread":
+                    continue
+                kwargs = {kw.arg for kw in site.node.keywords}
+                missing = [k for k in ("daemon", "name") if k not in kwargs]
+                if missing:
+                    yield self.finding(
+                        scan.info.path,
+                        site.lineno,
+                        "Thread(...) missing " + ", ".join(missing) + "=",
+                    )
+
+
+class DiscardedContextTokenRule(ProgramRule):
+    """RA206: contextvar ``.set()`` must keep its token for ``reset()``.
+
+    Discarding the token (a bare ``VAR.set(...)`` statement) makes the
+    previous value unrecoverable — nested scopes then tear down to the
+    wrong state. Returning or storing the token is fine; that is exactly
+    what the ``set_context``/``reset_context`` seam does.
+    """
+
+    id = "RA206"
+    title = "contextvar set without reset token"
+    hint = (
+        "capture the token and reset in a finally block, or route through "
+        "the obs set_context/reset_context seam"
+    )
+
+    def check(self, index: ProgramIndex) -> Iterator[Finding]:
+        scans = _scans(index)
+        # Contextvars may be imported across modules; match on the union.
+        all_cvars: Set[str] = set()
+        for scan in scans.values():
+            all_cvars |= scan.contextvar_names
+        if not all_cvars:
+            return
+        for scan in scans.values():
+            for node in ast.walk(scan.info.tree):
+                if not isinstance(node, ast.Expr):
+                    continue
+                call = node.value
+                if not isinstance(call, ast.Call):
+                    continue
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                if call.func.attr != "set":
+                    continue
+                owner = _terminal(call.func.value)
+                if owner in all_cvars:
+                    yield self.finding(
+                        scan.info.path,
+                        node.lineno,
+                        f"{owner}.set(...) discards the reset token; the "
+                        "previous context can never be restored",
+                    )
+
+
+CONCURRENCY_RULES = (
+    ExplicitAcquireRule(),
+    ForkReachableStateRule(),
+    WorkerGlobalMutationRule(),
+    BlockingGetRule(),
+    AnonymousThreadRule(),
+    DiscardedContextTokenRule(),
+)

@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .lint import LintResult
-from .rules import ALL_RULES
+from .passes import all_rules
+from .rules import pass_for_rule
 
 
 def summarize(result: LintResult) -> Dict[str, object]:
@@ -19,18 +20,20 @@ def summarize(result: LintResult) -> Dict[str, object]:
     for finding in result.suppressed:
         suppressed_counts[finding.rule] = suppressed_counts.get(finding.rule, 0) + 1
     return {
-        "schema": "repro.analysis.report/1",
+        "schema": "repro.analysis.report/2",
         "files_checked": result.files_checked,
+        "passes": list(result.passes_run),
         "total_findings": len(result.findings),
         "total_suppressed": len(result.suppressed),
         "clean": result.clean,
         "by_rule": {
             rule.id: {
                 "title": rule.title,
+                "pass": pass_for_rule(rule.id),
                 "findings": result.counts_by_rule().get(rule.id, 0),
                 "suppressed": suppressed_counts.get(rule.id, 0),
             }
-            for rule in ALL_RULES
+            for rule in all_rules()
         },
         "errors": [{"path": p, "error": e} for p, e in result.errors],
     }
@@ -41,14 +44,15 @@ def render_summary(result: LintResult) -> str:
     summary = summarize(result)
     lines: List[str] = [
         f"analysis report over {summary['files_checked']} files:",
-        f"  {'rule':<7s} {'findings':>9s} {'suppressed':>11s}  title",
+        f"  {'rule':<7s} {'pass':<12s} {'findings':>9s} {'suppressed':>11s}"
+        "  title",
     ]
     by_rule = summary["by_rule"]
-    for rule in ALL_RULES:
+    for rule in all_rules():
         row = by_rule[rule.id]
         lines.append(
-            f"  {rule.id:<7s} {row['findings']:>9d} {row['suppressed']:>11d}"
-            f"  {rule.title}"
+            f"  {rule.id:<7s} {row['pass']:<12s} {row['findings']:>9d} "
+            f"{row['suppressed']:>11d}  {rule.title}"
         )
     for error in summary["errors"]:
         lines.append(f"  ERROR {error['path']}: {error['error']}")

@@ -19,18 +19,54 @@ from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Evidence:
+    """One step of a finding's inter-file evidence chain."""
+
+    path: str
+    line: int
+    note: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Evidence":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            note=str(payload["note"]),
+        )
+
+
+def pass_for_rule(rule_id: str) -> str:
+    """The pass family a rule id belongs to (RA0xx=file, RA1xx=arch, …)."""
+    if len(rule_id) >= 3 and rule_id.startswith("RA"):
+        family = {"1": "arch", "2": "concurrency", "3": "shapes"}.get(rule_id[2])
+        if family is not None:
+            return family
+    return "file"
 
 
 @dataclasses.dataclass(frozen=True, order=True)
 class Finding:
-    """One lint finding, stable across runs for JSON diffing."""
+    """One lint finding, stable across runs for JSON diffing.
+
+    Whole-program findings additionally carry an :class:`Evidence` chain —
+    the cross-module steps (lock creation → spawn call → fork site, or
+    import path of a layering violation) that justify the finding. File
+    rules leave it empty.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    evidence: Tuple[Evidence, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -39,7 +75,26 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "pass": pass_for_rule(self.rule),
+            "evidence": [step.to_dict() for step in self.evidence],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            evidence=tuple(
+                Evidence.from_dict(step) for step in payload.get("evidence", ())
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Line-number-insensitive identity, the baseline-mode match key."""
+        return f"{self.path}::{self.rule}::{self.message}"
 
 
 @dataclasses.dataclass

@@ -14,6 +14,22 @@ import numpy as np
 from .tensor import Tensor, ensure_tensor
 
 
+__all__ = [
+    "sigmoid",
+    "tanh",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "inverse_frequency_weights",
+    "nll_loss",
+    "mse_loss",
+    "hinge_loss",
+    "l2_regularization",
+    "dropout_mask",
+]
+
+
 def sigmoid(x: Tensor) -> Tensor:
     """Elementwise logistic function σ(x)."""
     return ensure_tensor(x).sigmoid()

@@ -14,6 +14,18 @@ import numpy as np
 from .tensor import Tensor
 
 
+__all__ = [
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "zeros",
+    "orthogonal",
+]
+
+
 def uniform(shape: tuple, low: float, high: float, rng: np.random.Generator) -> Tensor:
     """Uniform init in ``[low, high)``."""
     return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)

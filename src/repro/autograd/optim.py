@@ -15,6 +15,18 @@ import numpy as np
 from .tensor import Tensor
 
 
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdaGrad",
+    "RMSProp",
+    "clip_grad_norm",
+    "StepLR",
+    "ExponentialLR",
+]
+
+
 class Optimizer:
     """Base optimizer holding a list of parameters."""
 

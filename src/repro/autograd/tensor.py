@@ -72,6 +72,13 @@ def set_check_hook(
     return previous
 
 
+#: Public name of every op wrapped by :func:`instrument_op`, in registration
+#: order. This is the authoritative tape-op registry: the profiler and the
+#: sanitizer observe exactly these ops, and the static shape interpreter
+#: (:mod:`repro.analysis.shapes`) must declare a transfer function for each.
+INSTRUMENTED_OPS: list = []
+
+
 def instrument_op(op: str, fn: Callable) -> Callable:
     """Wrap a tape op so the global hooks observe its forward and backward.
 
@@ -80,6 +87,8 @@ def instrument_op(op: str, fn: Callable) -> Callable:
     that created the node. With no hook installed the wrapper is two global
     reads and one comparison.
     """
+    if op not in INSTRUMENTED_OPS:
+        INSTRUMENTED_OPS.append(op)
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):

@@ -445,11 +445,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     p_lint.add_argument("--select", default=None,
-                        help="comma-separated rule ids to run (e.g. RA001,RA004)")
+                        help="comma-separated rule ids or RAnXX wildcards "
+                             "to run (e.g. RA001,RA2XX)")
+    p_lint.add_argument("--pass", default=None, dest="passes",
+                        help="comma-separated pass families to run "
+                             "(file,arch,concurrency,shapes; default: all)")
     p_lint.add_argument("--fix-hints", action="store_true",
                         help="print a fix hint under each rule's first finding")
     p_lint.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the stable JSON report instead of text")
+    p_lint.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline file; with --fail-on-new, "
+                             "only findings absent from it fail the run")
+    p_lint.add_argument("--fail-on-new", action="store_true",
+                        help="exit non-zero only on findings not in --baseline")
+    p_lint.add_argument("--write-baseline", type=Path, default=None,
+                        help="write the current findings as a baseline file "
+                             "and exit 0")
     p_lint.set_defaults(func=cmd_lint)
 
     p_analysis = sub.add_parser("analysis", help="static-analysis utilities")
@@ -466,6 +478,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_analysis_report.add_argument("--json", action="store_true", dest="as_json",
                                    help="emit JSON instead of the table")
     p_analysis_report.set_defaults(func=cmd_analysis_report)
+    p_analysis_deps = analysis_sub.add_parser(
+        "deps", help="render the eager import graph with layer ranks"
+    )
+    p_analysis_deps.add_argument(
+        "paths", nargs="*", default=["src/repro"], type=Path,
+        help="source tree to index (default: src/repro)",
+    )
+    p_analysis_deps.add_argument("--dot", action="store_true",
+                                 help="emit Graphviz DOT instead of text")
+    p_analysis_deps.add_argument("--modules", action="store_true",
+                                 help="module-level graph (default collapses "
+                                      "to subpackages)")
+    p_analysis_deps.set_defaults(func=cmd_analysis_deps)
 
     p_eval = sub.add_parser("evaluate", help="Figure 4/5 method sweep")
     _add_corpus_args(p_eval)
@@ -582,14 +607,48 @@ def _parse_select(spec: Optional[str]) -> Optional[List[str]]:
 
 
 def cmd_lint(args) -> int:
-    """Run the static rules; exit 0 only when the tree is clean."""
-    from .analysis import lint_paths, render_findings
+    """Run the selected passes; exit 0 only when the tree is clean.
 
-    result = lint_paths(args.paths, select=_parse_select(args.select))
+    With ``--baseline FILE --fail-on-new``, pre-existing findings (by
+    line-insensitive fingerprint) are tolerated and only new ones fail.
+    """
+    import json
+
+    from .analysis import (
+        baseline_payload,
+        lint_paths,
+        load_baseline,
+        new_findings,
+        render_findings,
+    )
+
+    result = lint_paths(
+        args.paths,
+        select=_parse_select(args.select),
+        passes=_parse_select(args.passes),
+    )
+    if args.write_baseline is not None:
+        args.write_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.write_baseline.write_text(
+            json.dumps(baseline_payload(result), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote baseline ({len(result.findings)} fingerprints) to "
+            f"{args.write_baseline}"
+        )
+        return 0
     if args.as_json:
         print(result.to_json())
     else:
         print(render_findings(result, fix_hints=args.fix_hints))
+    if args.baseline is not None and args.fail_on_new:
+        fresh = new_findings(result, load_baseline(args.baseline))
+        if fresh:
+            print(f"{len(fresh)} findings not in baseline {args.baseline}")
+            return 1
+        return 1 if result.errors else 0
     return 0 if result.clean else 1
 
 
@@ -605,6 +664,18 @@ def cmd_analysis_report(args) -> int:
     else:
         print(render_summary(result))
     return 0 if result.clean else 1
+
+
+def cmd_analysis_deps(args) -> int:
+    """Render the eager import graph (text adjacency or Graphviz DOT)."""
+    from .analysis import ProgramIndex, render_deps
+    from .analysis.lint import iter_python_files
+
+    index = ProgramIndex(package="repro")
+    for path in iter_python_files(args.paths):
+        index.add_source(path.as_posix(), path.read_text(encoding="utf-8"))
+    print(render_deps(index, dot=args.dot, collapse=not args.modules))
+    return 0
 
 
 def cmd_report(args) -> int:

@@ -17,6 +17,25 @@ from .credibility import binary_split_counts
 from .schema import CredibilityLabel, NewsDataset
 
 
+__all__ = [
+    "network_properties",
+    "PowerLawFit",
+    "creator_publication_distribution",
+    "most_prolific_creator",
+    "frequent_words",
+    "distinctive_words",
+    "SubjectCredibilityRow",
+    "subject_credibility_table",
+    "CreatorCaseStudy",
+    "creator_case_study",
+    "label_distribution",
+    "GraphStatistics",
+    "graph_statistics",
+    "average_subjects_per_article",
+    "average_articles_per_creator",
+]
+
+
 def network_properties(dataset: NewsDataset) -> Dict[str, int]:
     """Table 1: node and link counts of the heterogeneous network."""
     return {

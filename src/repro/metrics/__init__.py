@@ -15,6 +15,13 @@ from .ordinal import (
     within_one_accuracy,
 )
 from .report import classification_report
+from .stats import (
+    ConfidenceInterval,
+    bootstrap_metric,
+    compare_methods,
+    mcnemar_test,
+    paired_sign_test,
+)
 from .ranking import average_precision, precision_at_k, roc_auc, roc_curve
 from .classification import (
     BinaryMetrics,
@@ -55,4 +62,9 @@ __all__ = [
     "render_reliability",
     "CalibrationBin",
     "TemperatureScaler",
+    "ConfidenceInterval",
+    "bootstrap_metric",
+    "compare_methods",
+    "mcnemar_test",
+    "paired_sign_test",
 ]

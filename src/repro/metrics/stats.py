@@ -15,6 +15,16 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_metric",
+    "mcnemar_test",
+    "paired_sign_test",
+    "mean_and_std",
+    "compare_methods",
+]
+
+
 @dataclasses.dataclass
 class ConfidenceInterval:
     """A point estimate with a bootstrap percentile interval."""

@@ -66,6 +66,7 @@ from .service import (
     ServiceTimeout,
     ServiceUnavailable,
 )
+from .loadgen import LoadResult, run_load, saturation_point, sweep_concurrency
 from .session import ArticleRequest, InferenceSession
 from .shard import ShardPlan
 
@@ -97,4 +98,8 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceTimeout",
     "ServiceUnavailable",
+    "LoadResult",
+    "run_load",
+    "saturation_point",
+    "sweep_concurrency",
 ]

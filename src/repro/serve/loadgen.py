@@ -32,6 +32,14 @@ from ..obs.context import TraceContext, inject
 from ..obs.metrics import percentile
 
 
+__all__ = [
+    "LoadResult",
+    "run_load",
+    "saturation_point",
+    "sweep_concurrency",
+]
+
+
 @dataclasses.dataclass
 class LoadResult:
     """Client-side view of one constant-concurrency load run."""

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import queue
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -230,10 +231,13 @@ class PredictionService:
         self._responses = None
         self._collector: Optional[threading.Thread] = None
         self._pending: Dict[int, _PendingCall] = {}
-        self._lock = threading.Lock()
+        # Workers are forked in start() before any request is in flight, so
+        # this lock is never held at fork time and children never touch it.
+        self._lock = threading.Lock()  # repro: noqa[RA202] created pre-fork, never held across spawn_worker(); children run worker_main from scratch
         self._req_ids = itertools.count(1)
         self._ready = threading.Event()
         self._ready_count = 0
+        self._closing = threading.Event()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._started = False
@@ -304,6 +308,7 @@ class PredictionService:
 
     def close(self) -> None:
         """Stop HTTP, workers and the collector; reject anything pending."""
+        self._closing.set()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -342,7 +347,14 @@ class PredictionService:
     def _collect(self) -> None:
         by_id = {handle.worker_id: handle for handle in self._workers}
         while True:
-            message = self._responses.get()
+            try:
+                message = self._responses.get(timeout=1.0)
+            except queue.Empty:
+                # The "close" sentinel is the normal exit; the timeout is
+                # the fallback for a sentinel lost to a dead worker pipe.
+                if self._closing.is_set():
+                    return
+                continue
             kind = message[0]
             if kind == "close":
                 return

@@ -62,22 +62,6 @@ def _text_key(text: str) -> str:
     return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
 
-#: Deprecated alias names that already emitted their obs warning event.
-_DEPRECATION_WARNED: set = set()
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    """One ``serve.session`` warning event per deprecated alias per process."""
-    if name in _DEPRECATION_WARNED:
-        return
-    _DEPRECATION_WARNED.add(name)
-    from ..obs import get_logger
-
-    get_logger("serve.session").warning(
-        "deprecated", method=name, use=replacement
-    )
-
-
 class InferenceSession:
     """Persistent serving wrapper around a fitted :class:`FakeDetector`.
 
@@ -284,29 +268,6 @@ class InferenceSession:
                 self.slo.evaluate()
             span.set(compute_seconds=seconds)
         return result
-
-    # -- deprecated aliases (pre-service API surface) ------------------
-    def predict_articles(
-        self, articles: Sequence, *, return_proba: bool = False
-    ) -> List[Prediction]:
-        """Deprecated alias for :meth:`predict` (articles only)."""
-        _warn_deprecated("predict_articles", "predict(articles)")
-        return self.predict(articles, return_proba=return_proba)
-
-    def predict_article(self, article, *, return_proba: bool = False) -> Prediction:
-        """Deprecated single-article alias for :meth:`predict`."""
-        _warn_deprecated("predict_article", "predict([article])[0]")
-        return self.predict([article], return_proba=return_proba)[0]
-
-    def predict_known(
-        self, kind: str, *, return_proba: bool = False
-    ) -> List[Prediction]:
-        """Deprecated alias: every trained node of ``kind`` via cached logits."""
-        _warn_deprecated("predict_known", "predict(known_ids=...)")
-        entity = self.detector.features.by_type(kind)
-        return predictions_from_logits(
-            entity.ids, self._graph_logits[kind], return_proba=return_proba
-        )
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, float]:

@@ -119,7 +119,16 @@ def worker_main(
     log.info("warm", worker=worker_id, shard=shard, digest=digest)
 
     while True:
-        message = requests.get()
+        try:
+            message = requests.get(timeout=1.0)
+        except queue_mod.Empty:
+            # The stop sentinel is the normal exit; the timeout lets an
+            # orphaned worker notice its parent died without the sentinel.
+            parent = multiprocessing.parent_process()
+            if parent is not None and not parent.is_alive():
+                log.warning("orphaned", worker=worker_id)
+                break
+            continue
         if message[0] == "stop":
             break
         recv_wall = time.time()

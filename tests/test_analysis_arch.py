@@ -1,0 +1,222 @@
+"""Architecture pass (RA1xx) over fixture trees and the real package.
+
+Each rule gets at least one seeded true positive in a synthetic package
+and one no-false-positive check against the real ``src/repro`` tree (the
+tier-1 gate asserts global cleanliness; here we assert per-rule).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ProgramIndex, lint_sources, render_deps
+from repro.analysis.arch import LAYERS, layer_of
+from repro.analysis.program import module_name_for
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint(sources, select=None):
+    return lint_sources(sources, select=select, passes=["arch"], package="pkg")
+
+
+def _rules(result):
+    return sorted({f.rule for f in result.findings})
+
+
+def _real_tree_result(select):
+    from repro.analysis import lint_paths
+
+    return lint_paths([SRC], select=select, passes=["arch"])
+
+
+class TestProgramIndex:
+    def test_module_name_for_anchors_at_package(self):
+        assert module_name_for(Path("src/repro/serve/worker.py")) == "repro.serve.worker"
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+        assert module_name_for(Path("scratch.py")) == "scratch"
+
+    def test_import_graph_drops_ancestor_package_edges(self):
+        # ``from . import sibling`` names the parent package; that edge is
+        # implicit in every submodule and must not create pseudo-cycles.
+        index = ProgramIndex(package="pkg")
+        index.add_source("pkg/__init__.py", "from .a import f\n")
+        index.add_source("pkg/a.py", "from . import b\n\ndef f():\n    pass\n")
+        index.add_source("pkg/b.py", "X = 1\n")
+        graph = index.import_graph()
+        assert "pkg" not in graph["pkg.a"]
+        assert "pkg.b" in graph["pkg.a"]
+        assert index.import_cycles() == []
+
+    def test_import_cycles_found(self):
+        index = ProgramIndex(package="pkg")
+        index.add_source("pkg/a.py", "from pkg import b\n")
+        index.add_source("pkg/b.py", "import pkg.a\n")
+        cycles = index.import_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"pkg.a", "pkg.b"}
+
+    def test_deferred_imports_do_not_cycle(self):
+        index = ProgramIndex(package="pkg")
+        index.add_source("pkg/a.py", "from pkg import b\n")
+        index.add_source(
+            "pkg/b.py", "def f():\n    from pkg import a\n    return a\n"
+        )
+        assert index.import_cycles() == []
+
+    def test_used_names_includes_all_strings_and_getattr(self):
+        index = ProgramIndex(package="pkg")
+        index.add_source(
+            "pkg/a.py",
+            '__all__ = ["exported"]\n\n'
+            "def exported():\n    pass\n\n"
+            "def reflected():\n    pass\n",
+        )
+        index.add_source(
+            "pkg/b.py", 'import pkg.a\nf = getattr(pkg.a, "reflected")\n'
+        )
+        used = index.used_names()
+        assert "exported" in used and "reflected" in used
+
+    def test_render_deps_text_and_dot(self):
+        index = ProgramIndex(package="pkg")
+        index.add_source("pkg/a.py", "from pkg import b\n")
+        index.add_source("pkg/b.py", "X = 1\n")
+        text = render_deps(index, collapse=False)
+        assert "pkg.a" in text and "pkg.b" in text
+        dot = render_deps(index, dot=True, collapse=False)
+        assert dot.startswith("digraph") and '"pkg.a" -> "pkg.b"' in dot
+
+    def test_layer_table_covers_every_real_subpackage(self):
+        index = ProgramIndex(package="repro")
+        for path in sorted(SRC.rglob("*.py")):
+            index.add_source(path.as_posix(), path.read_text(encoding="utf-8"))
+        for name in index.modules:
+            assert layer_of(index, name) is not None, name
+        assert LAYERS["autograd"] < LAYERS["core"] < LAYERS["cli"]
+
+
+class TestLayeringRule:
+    def test_eager_upward_import_flagged(self):
+        result = _lint({
+            "pkg/autograd/t.py": "from pkg.serve import s\n",
+            "pkg/serve/s.py": "X = 1\n",
+        }, select=["RA101"])
+        assert _rules(result) == ["RA101"]
+        finding = result.findings[0]
+        assert "layer 0" in finding.message and "layer 4" in finding.message
+        assert len(finding.evidence) == 2
+
+    def test_deferred_upward_import_sanctioned(self):
+        result = _lint({
+            "pkg/autograd/t.py": (
+                "def save():\n    from pkg.serve import s\n    return s\n"
+            ),
+            "pkg/serve/s.py": "X = 1\n",
+        }, select=["RA101"])
+        assert result.findings == []
+
+    def test_cli_import_flagged_even_deferred(self):
+        result = _lint({
+            "pkg/core/m.py": (
+                "def run():\n    from pkg.cli import main\n    main()\n"
+            ),
+            "pkg/cli/__init__.py": "def main():\n    pass\n",
+        })
+        assert any(
+            f.rule == "RA101" and "not a library" in f.message
+            for f in result.findings
+        )
+
+    def test_real_tree_has_no_layering_violations(self):
+        assert _real_tree_result(["RA101"]).findings == []
+
+
+class TestImportCycleRule:
+    def test_cycle_flagged_with_per_module_evidence(self):
+        result = _lint({
+            "pkg/core/a.py": "from pkg.core import b\n",
+            "pkg/core/b.py": "from pkg.core import a\n",
+        })
+        cycles = [f for f in result.findings if f.rule == "RA102"]
+        assert len(cycles) == 1
+        assert len(cycles[0].evidence) == 2
+
+    def test_real_tree_is_acyclic(self):
+        assert _real_tree_result(["RA102"]).findings == []
+
+
+class TestDeadModuleRule:
+    def test_unimported_module_flagged(self):
+        result = _lint({
+            "pkg/core/used.py": "X = 1\n",
+            "pkg/core/orphan.py": "Y = 2\n",
+            "pkg/core/hub.py": "from pkg.core import used\n",
+        })
+        paths = {f.path for f in result.findings if f.rule == "RA103"}
+        assert "pkg/core/orphan.py" in paths
+        assert "pkg/core/used.py" not in paths
+
+    def test_entry_points_exempt(self):
+        result = _lint({
+            "pkg/cli/tool.py": "X = 1\n",
+            "pkg/__main__.py": "Y = 2\n",
+        })
+        assert not [f for f in result.findings if f.rule == "RA103"]
+
+    def test_real_tree_has_no_dead_modules(self):
+        assert _real_tree_result(["RA103"]).findings == []
+
+
+class TestDeadSymbolRule:
+    def test_unreferenced_public_function_flagged(self):
+        result = _lint({
+            "pkg/core/m.py": "def never_called():\n    pass\n",
+            "pkg/core/n.py": "from pkg.core import m\n",
+        }, select=["RA104"])
+        assert _rules(result) == ["RA104"]
+
+    def test_all_declaration_marks_intended_api(self):
+        result = _lint({
+            "pkg/core/m.py": (
+                '__all__ = ["never_called"]\n\n'
+                "def never_called():\n    pass\n"
+            ),
+            "pkg/core/n.py": "from pkg.core import m\n",
+        })
+        assert not [f for f in result.findings if f.rule == "RA104"]
+
+    def test_deprecated_method_without_callers_flagged(self):
+        result = _lint({
+            "pkg/core/m.py": (
+                "class API:\n"
+                "    def old(self):\n"
+                '        """Deprecated alias for new()."""\n'
+                "        return self.new()\n\n"
+                "    def new(self):\n"
+                "        return 1\n"
+            ),
+            "pkg/core/n.py": "from pkg.core.m import API\n\nAPI().new()\n",
+        })
+        dead = [f for f in result.findings if f.rule == "RA104"]
+        assert len(dead) == 1 and "API.old()" in dead[0].message
+
+    def test_non_deprecated_uncalled_method_not_flagged(self):
+        # General method liveness is out of scope — only deprecation-marked
+        # methods are held to the never-called standard.
+        result = _lint({
+            "pkg/core/m.py": (
+                "class API:\n"
+                "    def helper(self):\n"
+                "        return 1\n"
+            ),
+            "pkg/core/n.py": "from pkg.core.m import API\n\nAPI()\n",
+        })
+        assert not [f for f in result.findings if f.rule == "RA104"]
+
+    def test_real_tree_has_no_dead_symbols(self):
+        assert _real_tree_result(["RA104"]).findings == []

@@ -1,0 +1,267 @@
+"""Concurrency/fork-safety pass (RA2xx): seeded positives + real-tree FPs.
+
+Each rule gets a synthetic true positive and the no-false-positive
+contract on the real serving/obs modules (which went through a fix-or-
+suppress sweep exactly so these stay clean).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_sources
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint(sources, select=None):
+    return lint_sources(
+        sources, select=select, passes=["concurrency"], package="pkg"
+    )
+
+
+def _by_rule(result, rule):
+    return [f for f in result.findings if f.rule == rule]
+
+
+def _real(select):
+    from repro.analysis import lint_paths
+
+    return lint_paths([SRC], select=select, passes=["concurrency"])
+
+
+class TestExplicitAcquire:
+    def test_bare_acquire_flagged(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import threading\n"
+                "lock = threading.Lock()\n\n"
+                "def f():\n"
+                "    lock.acquire()\n"
+                "    lock.release()\n"
+            ),
+        })
+        found = _by_rule(result, "RA201")
+        assert len(found) == 1 and found[0].line == 5
+
+    def test_with_block_ok(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import threading\n"
+                "lock = threading.Lock()\n\n"
+                "def f():\n"
+                "    with lock:\n"
+                "        pass\n"
+            ),
+        })
+        assert not _by_rule(result, "RA201")
+
+    def test_real_tree_clean(self):
+        assert not _real(["RA201"]).findings
+
+
+class TestForkReachableState:
+    FIXTURE = {
+        "pkg/serve/service.py": (
+            "import threading\n\n"
+            "from pkg.serve.worker import spawn_worker\n\n\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def start(self):\n"
+            "        spawn_worker()\n"
+        ),
+        "pkg/serve/worker.py": (
+            "import multiprocessing\n\n\n"
+            "def spawn_worker():\n"
+            "    proc = multiprocessing.Process(target=print, name='w',\n"
+            "                                   daemon=True)\n"
+            "    proc.start()\n"
+            "    return proc\n"
+        ),
+    }
+
+    def test_lock_reachable_across_modules(self):
+        result = _lint(dict(self.FIXTURE))
+        found = _by_rule(result, "RA202")
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.path == "pkg/serve/service.py"
+        assert "self._lock" in finding.message
+        # The cross-module evidence chain: creation -> caller -> fork site.
+        notes = [e.note for e in finding.evidence]
+        assert any("created here" in n for n in notes)
+        assert any("calls spawn_worker()" in n for n in notes)
+        assert any("fork site" in n for n in notes)
+        assert any(e.path == "pkg/serve/worker.py" for e in finding.evidence)
+
+    def test_suppression_lands_on_creation_line(self):
+        sources = dict(self.FIXTURE)
+        sources["pkg/serve/service.py"] = sources[
+            "pkg/serve/service.py"
+        ].replace(
+            "self._lock = threading.Lock()",
+            "self._lock = threading.Lock()  "
+            "# repro: noqa[RA202] created pre-fork, never held across spawn",
+        )
+        result = _lint(sources)
+        assert not _by_rule(result, "RA202")
+        assert any(f.rule == "RA202" for f in result.suppressed)
+
+    def test_real_tree_has_only_the_audited_suppression(self):
+        result = _real(["RA202"])
+        assert not result.findings
+        assert [
+            f.path for f in result.suppressed if f.rule == "RA202"
+        ] == [str(SRC / "serve" / "service.py")]
+
+
+class TestWorkerGlobalMutation:
+    def test_entrypoint_mutation_flagged(self):
+        result = _lint({
+            "pkg/serve/w.py": (
+                "import multiprocessing\n\n"
+                "CACHE = {}\n\n\n"
+                "def entry():\n"
+                "    CACHE['k'] = 1\n\n\n"
+                "def boot():\n"
+                "    multiprocessing.Process(target=entry, name='w',\n"
+                "                            daemon=True).start()\n"
+            ),
+        })
+        found = _by_rule(result, "RA203")
+        assert len(found) == 1 and found[0].line == 7
+        assert "CACHE" in found[0].message
+
+    def test_lock_guarded_mutation_exempt(self):
+        result = _lint({
+            "pkg/serve/w.py": (
+                "import multiprocessing\n"
+                "import threading\n\n"
+                "CACHE = {}\n"
+                "_lock = threading.Lock()\n\n\n"
+                "def entry():\n"
+                "    with _lock:\n"
+                "        CACHE['k'] = 1\n\n\n"
+                "def boot():\n"
+                "    multiprocessing.Process(target=entry, name='w',\n"
+                "                            daemon=True).start()\n"
+            ),
+        })
+        assert not _by_rule(result, "RA203")
+
+    def test_real_tree_clean(self):
+        assert not _real(["RA203"]).findings
+
+
+class TestBlockingGet:
+    def test_untimed_get_in_loop_flagged(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import queue\n\n"
+                "q = queue.Queue()\n\n\n"
+                "def drain():\n"
+                "    while True:\n"
+                "        item = q.get()\n"
+                "        if item is None:\n"
+                "            break\n"
+            ),
+        })
+        found = _by_rule(result, "RA204")
+        assert len(found) == 1 and found[0].line == 8
+
+    def test_timeout_and_nonblocking_forms_ok(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import queue\n\n"
+                "q = queue.Queue()\n\n\n"
+                "def drain():\n"
+                "    while True:\n"
+                "        a = q.get(timeout=1.0)\n"
+                "        b = q.get(False)\n"
+                "        c = q.get(block=False)\n"
+                "        d = q.get(True, 0.5)\n"
+                "        if a or b or c or d:\n"
+                "            break\n"
+            ),
+        })
+        assert not _by_rule(result, "RA204")
+
+    def test_get_outside_loop_ok(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import queue\n\n"
+                "q = queue.Queue()\n\n\n"
+                "def one():\n"
+                "    return q.get()\n"
+            ),
+        })
+        assert not _by_rule(result, "RA204")
+
+    def test_real_tree_clean_after_timeout_fixes(self):
+        # service._collect and worker_main both poll with timeout=1.0 now;
+        # this pins the RA204 sweep that introduced those fixes.
+        assert not _real(["RA204"]).findings
+
+
+class TestAnonymousThread:
+    def test_thread_missing_both_flagged(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import threading\n\n\n"
+                "def go():\n"
+                "    threading.Thread(target=print).start()\n"
+            ),
+        })
+        found = _by_rule(result, "RA205")
+        assert len(found) == 1
+        assert "daemon" in found[0].message and "name" in found[0].message
+
+    def test_named_daemon_thread_ok(self):
+        result = _lint({
+            "pkg/serve/m.py": (
+                "import threading\n\n\n"
+                "def go():\n"
+                "    threading.Thread(target=print, name='collector',\n"
+                "                     daemon=True).start()\n"
+            ),
+        })
+        assert not _by_rule(result, "RA205")
+
+    def test_real_tree_clean(self):
+        assert not _real(["RA205"]).findings
+
+
+class TestDiscardedContextToken:
+    def test_bare_set_flagged_across_modules(self):
+        result = _lint({
+            "pkg/obs/context.py": (
+                "from contextvars import ContextVar\n\n"
+                "REQUEST = ContextVar('request', default=None)\n"
+            ),
+            "pkg/obs/handler.py": (
+                "from pkg.obs.context import REQUEST\n\n\n"
+                "def handle(request_id):\n"
+                "    REQUEST.set(request_id)\n"
+            ),
+        })
+        found = _by_rule(result, "RA206")
+        assert len(found) == 1 and found[0].path == "pkg/obs/handler.py"
+
+    def test_token_kept_ok(self):
+        result = _lint({
+            "pkg/obs/context.py": (
+                "from contextvars import ContextVar\n\n"
+                "REQUEST = ContextVar('request', default=None)\n\n\n"
+                "def set_context(value):\n"
+                "    return REQUEST.set(value)\n"
+            ),
+        })
+        assert not _by_rule(result, "RA206")
+
+    def test_real_tree_clean(self):
+        assert not _real(["RA206"]).findings

@@ -289,13 +289,13 @@ class TestEngine:
         bad = tmp_path / "pkg" / "mod.py"
         bad.parent.mkdir()
         bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
-        result = lint_paths([tmp_path])
+        result = lint_paths([tmp_path], passes=["file"])
         assert not result.clean
         payload = json.loads(result.to_json())
-        assert payload["schema"] == "repro.analysis.lint/1"
+        assert payload["schema"] == "repro.analysis.lint/2"
         assert payload["counts"] == {"RA002": 1}
         # Stable across runs.
-        assert result.to_json() == lint_paths([tmp_path]).to_json()
+        assert result.to_json() == lint_paths([tmp_path], passes=["file"]).to_json()
 
     def test_lint_paths_missing_target(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -313,7 +313,7 @@ class TestEngine:
     def test_render_findings_hints_once_per_rule(self, tmp_path):
         mod = tmp_path / "m.py"
         mod.write_text("print('a')\nprint('b')\n")
-        text = render_findings(lint_paths([tmp_path]), fix_hints=True)
+        text = render_findings(lint_paths([tmp_path], passes=["file"]), fix_hints=True)
         assert text.count("hint[RA001]") == 1
         assert "2 findings" in text
 
@@ -324,9 +324,9 @@ class TestEngine:
             "rng = np.random.default_rng()\n"
             "print('x')  # repro: noqa[RA001] allowed here\n"
         )
-        result = lint_paths([tmp_path])
+        result = lint_paths([tmp_path], passes=["file"])
         summary = summarize(result)
-        assert summary["schema"] == "repro.analysis.report/1"
+        assert summary["schema"] == "repro.analysis.report/2"
         assert summary["by_rule"]["RA002"]["findings"] == 1
         assert summary["by_rule"]["RA001"]["suppressed"] == 1
         rendered = render_summary(result)

@@ -1,0 +1,180 @@
+"""Tensor-shape pass (RA3xx): symbolic dims, abstract interpreter, registry.
+
+Covers the :class:`~repro.analysis.shapes.Dim` algebra directly, seeded
+provable mismatches in fixture modules, the zero-false-positive contract
+on the real model classes, and the transfer-function registry gate: every
+op instrumented in the runtime must be modeled here, enumerated
+explicitly so a new op without a transfer fails this suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_sources
+from repro.analysis.shapes import (
+    TRANSFERS,
+    AT,
+    Dim,
+    ShapeError,
+)
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint(sources, select=None):
+    return lint_sources(
+        sources, select=select, passes=["shapes"], package="pkg"
+    )
+
+
+def _by_rule(result, rule):
+    return [f for f in result.findings if f.rule == rule]
+
+
+class TestDimAlgebra:
+    def test_linear_arithmetic(self):
+        h = Dim.atom("H")
+        assert str(h + Dim.of(1)) == "H+1"
+        assert (h + h) == h.scaled(2)
+        assert (h - h).is_const and (h - h).min_value() == 0
+
+    def test_provably_ne_requires_nonzero_gap(self):
+        h, e = Dim.atom("H"), Dim.atom("E")
+        assert (h + Dim.of(1)).provably_ne(h)
+        assert h.scaled(3).provably_ne(h.scaled(4))  # 3H vs 4H: gap >= 1
+        assert not h.provably_ne(e)  # distinct atoms may still be equal
+        assert not h.provably_ne(h)
+
+    def test_could_be_one_guards_broadcast(self):
+        h = Dim.atom("H")
+        assert h.could_be_one()  # atoms are only known >= 1
+        assert not (h + Dim.of(1)).could_be_one()
+        assert Dim.of(1).is_one and not Dim.of(2).could_be_one()
+
+    def test_matmul_transfer_checks_inner_dim(self):
+        b, i = Dim.atom("B"), Dim.atom("I")
+        x = AT(shape=(b, i), dtype="float64")
+        w_bad = AT(shape=(i + Dim.of(1), b), dtype="float64")
+        with pytest.raises(ShapeError) as err:
+            TRANSFERS["matmul"](x, w_bad)
+        assert err.value.rule == "RA301"
+        w_ok = AT(shape=(i, b), dtype="float64")
+        out = TRANSFERS["matmul"](x, w_ok)
+        assert out.shape == (b, b)
+
+
+class TestShapeMismatchRule:
+    def test_provable_inner_dim_mismatch_flagged(self):
+        # Linear's forward spec binds x to (batch, in_features); a weight
+        # of (in_features + 1, out_features) can never matmul with it.
+        result = _lint({
+            "pkg/core/m.py": (
+                "class Linear:\n"
+                "    def __init__(self, in_features, out_features):\n"
+                "        self.weight = zeros((in_features + 1, out_features))\n\n"
+                "    def forward(self, x):\n"
+                "        return x @ self.weight\n"
+            ),
+        })
+        found = _by_rule(result, "RA301")
+        assert len(found) == 1
+        assert found[0].line == 6
+        assert "in_features" in found[0].message
+        assert found[0].evidence  # carries the abstract-execution anchor
+
+    def test_consistent_forward_is_silent(self):
+        result = _lint({
+            "pkg/core/m.py": (
+                "class Linear:\n"
+                "    def __init__(self, in_features, out_features):\n"
+                "        self.weight = zeros((in_features, out_features))\n"
+                "        self.bias = zeros((out_features,))\n\n"
+                "    def forward(self, x):\n"
+                "        return x @ self.weight + self.bias\n"
+            ),
+        })
+        assert not result.findings
+
+    def test_unknown_shapes_stay_silent(self):
+        # No forward spec for this class name: inputs are unknown, and the
+        # interpreter must not guess.
+        result = _lint({
+            "pkg/core/m.py": (
+                "class Mystery:\n"
+                "    def __init__(self, width):\n"
+                "        self.weight = zeros((width, width))\n\n"
+                "    def forward(self, x):\n"
+                "        return x @ self.weight\n"
+            ),
+        })
+        assert not result.findings
+
+    def test_real_model_classes_are_clean(self):
+        from repro.analysis import lint_paths
+
+        result = lint_paths([SRC], select=["RA301"], passes=["shapes"])
+        assert not result.findings
+
+
+class TestDtypeMismatchRule:
+    def test_float_indices_into_embedding_flagged(self):
+        result = _lint({
+            "pkg/core/m.py": (
+                "class Linear:\n"
+                "    def __init__(self, in_features, out_features):\n"
+                "        self.table = zeros((in_features, out_features))\n\n"
+                "    def forward(self, x):\n"
+                "        return embedding_gather(self.table, x)\n"
+            ),
+        })
+        found = _by_rule(result, "RA302")
+        assert len(found) == 1 and "integer" in found[0].message
+
+    def test_real_tree_clean(self):
+        from repro.analysis import lint_paths
+
+        result = lint_paths([SRC], select=["RA302"], passes=["shapes"])
+        assert not result.findings
+
+
+def _all_instrumented_ops():
+    # The registry fills as op-defining modules import; load every module
+    # that calls instrument_op so the enumeration is complete.
+    import repro.autograd.kernels  # noqa: F401
+    import repro.autograd.sparse  # noqa: F401
+    import repro.autograd.tensor as tensor_mod
+
+    return list(tensor_mod.INSTRUMENTED_OPS)
+
+
+class TestTransferRegistry:
+    def test_every_instrumented_op_has_a_transfer(self):
+        missing = [op for op in _all_instrumented_ops() if op not in TRANSFERS]
+        assert not missing, (
+            f"instrumented ops without a shapes transfer: {missing}; add "
+            "them to repro.analysis.shapes.TRANSFERS"
+        )
+
+    def test_registry_is_not_trivially_small(self):
+        assert len(_all_instrumented_ops()) >= 31
+
+    def test_missing_transfer_becomes_finding(self, monkeypatch):
+        import repro.analysis.shapes as shapes_mod
+
+        trimmed = dict(TRANSFERS)
+        trimmed.pop("matmul")
+        monkeypatch.setattr(shapes_mod, "TRANSFERS", trimmed)
+        result = _lint({"pkg/core/m.py": "X = 1\n"}, select=["RA303"])
+        found = _by_rule(result, "RA303")
+        assert len(found) == 1 and "'matmul'" in found[0].message
+
+    def test_real_tree_has_no_gap(self):
+        from repro.analysis import lint_paths
+
+        result = lint_paths([SRC], select=["RA303"], passes=["shapes"])
+        assert not result.findings

@@ -1,6 +1,8 @@
-"""Tier-1 gate: the library source tree must be lint-clean.
+"""Tier-1 gate: the library source tree must be analyzer-clean.
 
-Every finding in ``src/repro`` is either fixed or carries an explicit
+All four passes — per-file rules, architecture (RA1xx), concurrency
+(RA2xx), tensor shapes (RA3xx) — must report zero findings on
+``src/repro``. Every true positive is either fixed or carries an explicit
 ``# repro: noqa[RULE] reason`` suppression; this test keeps it that way.
 """
 
@@ -8,16 +10,41 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import lint_paths, render_findings
 from repro.cli import main
 
+pytestmark = pytest.mark.analysis
+
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+BASELINE = SRC.parent.parent / "results" / "lint_baseline.json"
 
 
 def test_source_tree_is_lint_clean():
     result = lint_paths([SRC])
     assert result.files_checked > 50  # the whole package, not a subset
+    assert result.passes_run == ["file", "arch", "concurrency", "shapes"]
     assert result.clean, "\n" + render_findings(result, fix_hints=True)
+
+
+def test_program_passes_are_clean():
+    """The whole-program passes alone, via the CLI surface."""
+    assert main(["lint", str(SRC), "--pass", "arch,concurrency,shapes"]) == 0
+
+
+def test_committed_baseline_is_empty():
+    """The tree is clean, so the committed baseline must hold no debt."""
+    from repro.analysis import load_baseline
+
+    assert BASELINE.exists(), "results/lint_baseline.json is committed"
+    assert load_baseline(BASELINE) == set()
+
+
+def test_cli_fail_on_new_against_committed_baseline():
+    assert main(
+        ["lint", str(SRC), "--baseline", str(BASELINE), "--fail-on-new"]
+    ) == 0
 
 
 def test_suppressions_carry_reasons():
@@ -49,3 +76,11 @@ def test_cli_analysis_report_runs(capsys):
     assert main(["analysis", "report", str(SRC)]) == 0
     out = capsys.readouterr().out
     assert "RA001" in out and "clean" in out
+
+
+def test_cli_analysis_deps_text_and_dot(capsys):
+    assert main(["analysis", "deps", str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "autograd" in out and "serve" in out
+    assert main(["analysis", "deps", str(SRC), "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")

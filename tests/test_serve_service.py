@@ -344,3 +344,102 @@ class TestDriftDegradation:
         code, body = _get(service.url, "/v1/healthz")
         assert code == 200
         assert "drift" not in json.loads(body)
+
+
+class TestShutdownRobustness:
+    """Regression tests for the bounded collector/worker queue loops.
+
+    The analyzer's concurrency pass (RA204) flagged both ``get()`` loops
+    as unbounded: a lost sentinel would have hung them forever. Both now
+    poll with a timeout and re-check their stop condition.
+    """
+
+    def _bare_service(self):
+        import queue
+        import threading
+
+        from repro.serve.service import PredictionService
+
+        svc = PredictionService.__new__(PredictionService)
+        svc._responses = queue.Queue()
+        svc._workers = []
+        svc._closing = threading.Event()
+        return svc
+
+    def test_collector_exits_on_close_without_sentinel(self):
+        # Simulates the sentinel being lost to a dead worker pipe: the
+        # queue stays empty forever, only _closing is set.
+        import threading
+
+        svc = self._bare_service()
+        thread = threading.Thread(target=svc._collect, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert thread.is_alive()  # parked on the timed get, not spinning out
+        svc._closing.set()
+        thread.join(3.0)
+        assert not thread.is_alive()
+
+    def test_collector_still_honors_sentinel(self):
+        import threading
+
+        svc = self._bare_service()
+        thread = threading.Thread(target=svc._collect, daemon=True)
+        thread.start()
+        svc._responses.put(("close",))
+        thread.join(3.0)
+        assert not thread.is_alive()
+
+
+class TestWorkerLoopRobustness:
+    """worker_main's request loop survives idle timeouts and orphaning."""
+
+    def _start_worker(self, monkeypatch, parent_alive):
+        import queue
+        import threading
+
+        import repro.serve.checkpoint as checkpoint_mod
+        import repro.serve.session as session_mod
+        import repro.serve.worker as worker_mod
+
+        class FakeSession:
+            def __init__(self, detector, **kwargs):
+                pass
+
+            def predict(self, articles, return_proba=False):
+                return []
+
+        class FakeParent:
+            def is_alive(self):
+                return parent_alive
+
+        monkeypatch.setattr(checkpoint_mod, "load_detector", lambda p: object())
+        monkeypatch.setattr(checkpoint_mod, "checkpoint_digest", lambda p: "d0")
+        monkeypatch.setattr(session_mod, "InferenceSession", FakeSession)
+        monkeypatch.setattr(
+            worker_mod.multiprocessing, "parent_process", lambda: FakeParent()
+        )
+        requests, responses = queue.Queue(), queue.Queue()
+        thread = threading.Thread(
+            target=worker_mod.worker_main,
+            args=("ckpt", 0, 0, None, requests, responses),
+            daemon=True,
+        )
+        thread.start()
+        assert responses.get(timeout=5.0)[0] == "ready"
+        return thread, requests
+
+    def test_idle_timeout_then_stop_sentinel(self, monkeypatch):
+        thread, requests = self._start_worker(monkeypatch, parent_alive=True)
+        # Let at least one get() time out before the sentinel arrives.
+        time.sleep(1.2)
+        assert thread.is_alive()
+        requests.put(("stop",))
+        thread.join(3.0)
+        assert not thread.is_alive()
+
+    def test_orphaned_worker_exits(self, monkeypatch):
+        thread, _ = self._start_worker(monkeypatch, parent_alive=False)
+        # No sentinel ever arrives; the dead parent is noticed on timeout.
+        thread.join(3.0)
+        assert not thread.is_alive()

@@ -242,43 +242,19 @@ class TestUnifiedSurface:
         with pytest.raises(KeyError, match="not a node"):
             session.predict(known_ids=["never_seen_id"])
 
-    def test_deprecated_aliases_delegate(self, fitted, new_articles):
+    def test_deprecated_aliases_removed(self, fitted):
+        # The pre-service aliases (predict_articles / predict_article /
+        # predict_known) were deleted after a full deprecation cycle; the
+        # unified predict() covers all three call shapes. Guard against
+        # them creeping back.
         detector, _ = fitted
         session = InferenceSession(detector)
-        new = session.predict(new_articles)
-        assert [p.class_index for p in session.predict_articles(new_articles)] \
-            == [p.class_index for p in new]
-        assert session.predict_article(new_articles[0]).class_index \
-            == new[0].class_index
-        known = {p.entity_id: p.class_index
-                 for p in session.predict_known("article")}
-        assert known == detector.predict("article")
-
-    def test_deprecation_warning_emitted_once(self, fitted, new_articles, monkeypatch):
+        for alias in ("predict_articles", "predict_article", "predict_known"):
+            assert not hasattr(session, alias)
         import repro.serve.session as session_mod
-        from repro.obs import get_logger
 
-        detector, _ = fitted
-        session = InferenceSession(detector)
-        monkeypatch.setattr(session_mod, "_DEPRECATION_WARNED", set())
-        events = []
-
-        class Recorder:
-            def emit(self, event):
-                if event.name.endswith("deprecated"):
-                    events.append(event)
-
-        root = get_logger()
-        sink = Recorder()
-        root.add_sink(sink)
-        try:
-            session.predict_articles(new_articles)
-            session.predict_articles(new_articles)
-            session.predict_articles(new_articles)
-        finally:
-            root._sinks.remove(sink)
-        assert len(events) == 1
-        assert events[0].fields["method"] == "predict_articles"
+        assert not hasattr(session_mod, "_warn_deprecated")
+        assert not hasattr(session_mod, "_DEPRECATION_WARNED")
 
     def test_context_ids_prune_to_zero_state(self, fitted, new_articles):
         detector, _ = fitted

@@ -43,6 +43,16 @@ _OP_HOOK: Optional[Callable[[str, str, float], None]] = None
 #: it can guard numerics (NaN/Inf) and tape integrity (in-place mutation).
 _CHECK_HOOK: Optional[Callable[[str, str, object], None]] = None
 
+#: Global op *tagging* hook, installed by :mod:`repro.obs.flame`. An
+#: ``(enter, exit)`` pair called as ``enter(op)`` immediately before an
+#: instrumented op body runs and ``exit()`` after it returns, on the
+#: executing thread — unlike the timing hook (which fires post-hoc with a
+#: duration), the tag hook brackets the op *while it is in flight*, which
+#: is what a sampling profiler needs to attribute samples to the op.
+_OP_TAG_HOOK: Optional[
+    "tuple[Callable[[str], None], Callable[[], None]]"
+] = None
+
 
 def set_op_hook(
     hook: Optional[Callable[[str, str, float], None]],
@@ -72,6 +82,20 @@ def set_check_hook(
     return previous
 
 
+def set_op_tag_hook(
+    hook: Optional["tuple[Callable[[str], None], Callable[[], None]]"],
+) -> Optional["tuple[Callable[[str], None], Callable[[], None]]"]:
+    """Install (or clear, with ``None``) the global op-tagging hook pair.
+
+    Returns the previous pair so nested profilers restore cleanly; the tag
+    hook composes with the timing and check hooks.
+    """
+    global _OP_TAG_HOOK
+    previous = _OP_TAG_HOOK
+    _OP_TAG_HOOK = hook
+    return previous
+
+
 #: Public name of every op wrapped by :func:`instrument_op`, in registration
 #: order. This is the authoritative tape-op registry: the profiler and the
 #: sanitizer observe exactly these ops, and the static shape interpreter
@@ -94,14 +118,21 @@ def instrument_op(op: str, fn: Callable) -> Callable:
     def wrapper(*args, **kwargs):
         hook = _OP_HOOK
         check = _CHECK_HOOK
-        if hook is None and check is None:
+        op_tag = _OP_TAG_HOOK
+        if hook is None and check is None and op_tag is None:
             return fn(*args, **kwargs)
-        if hook is None:
-            out = fn(*args, **kwargs)
-        else:
-            t0 = perf_counter()
-            out = fn(*args, **kwargs)
-            hook("forward", op, perf_counter() - t0)
+        if op_tag is not None:
+            op_tag[0](op)
+        try:
+            if hook is None:
+                out = fn(*args, **kwargs)
+            else:
+                t0 = perf_counter()
+                out = fn(*args, **kwargs)
+                hook("forward", op, perf_counter() - t0)
+        finally:
+            if op_tag is not None:
+                op_tag[1]()
         if not isinstance(out, Tensor):
             return out
         if check is not None:
@@ -116,12 +147,19 @@ def instrument_op(op: str, fn: Callable) -> Callable:
             def observed_backward(grad, _inner=inner, _op=op, _ref=ref):
                 backward_hook = _OP_HOOK
                 backward_check = _CHECK_HOOK
-                if backward_hook is None:
-                    grads = _inner(grad)
-                else:
-                    t1 = perf_counter()
-                    grads = _inner(grad)
-                    backward_hook("backward", _op, perf_counter() - t1)
+                backward_tag = _OP_TAG_HOOK
+                if backward_tag is not None:
+                    backward_tag[0](_op)
+                try:
+                    if backward_hook is None:
+                        grads = _inner(grad)
+                    else:
+                        t1 = perf_counter()
+                        grads = _inner(grad)
+                        backward_hook("backward", _op, perf_counter() - t1)
+                finally:
+                    if backward_tag is not None:
+                        backward_tag[1]()
                 if backward_check is not None and _ref is not None:
                     backward_check("backward", _op, (_ref, grads))
                 return grads

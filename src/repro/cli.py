@@ -88,9 +88,12 @@ def cmd_train(args) -> int:
         MemoryProfiler,
         OpProfiler,
         RunRegistry,
+        SamplingProfiler,
         Tracer,
         install_tracer,
+        render_top,
         uninstall_tracer,
+        write_flamegraph,
     )
 
     dataset = _load_or_generate(args)
@@ -114,19 +117,34 @@ def cmd_train(args) -> int:
     tracer = Tracer(path=args.trace) if args.trace else None
     profiler = OpProfiler() if args.profile else None
     memory = MemoryProfiler() if args.profile_memory else None
+    flame = SamplingProfiler(interval=1.0 / args.flame_hz) if args.flame else None
+    flame_tracer = None
+    if flame is not None and tracer is None:
+        # The sampler learns span names through the tracer's observer
+        # hook; without --trace, a keep-nothing tracer exists purely so
+        # training-phase spans tag the sampled stacks.
+        flame_tracer = Tracer(keep=False)
     if tracer:
         install_tracer(tracer)
+    elif flame_tracer:
+        install_tracer(flame_tracer)
     if profiler:
         profiler.start()
     if memory:
         memory.start()
+    if flame:
+        flame.start()
     try:
         detector = FakeDetector(config).fit(dataset, split, sanitize=args.sanitize)
     finally:
+        if flame:
+            flame.stop()
         if memory:
             memory.stop()
         if profiler:
             profiler.stop()
+        if flame_tracer:
+            uninstall_tracer()
         if tracer:
             if profiler:
                 tracer.write(profiler.to_dict())
@@ -139,6 +157,19 @@ def cmd_train(args) -> int:
         print(profiler.table(), file=sys.stderr)
     if memory:
         print(memory.table(), file=sys.stderr)
+    flame_profile = None
+    if flame:
+        flame_profile = flame.snapshot(
+            meta={
+                "kind": "train",
+                "fused_kernels": config.fused_kernels,
+                "epochs": args.epochs,
+            }
+        )
+        print(render_top(flame_profile), file=sys.stderr)
+        if args.flame_svg:
+            write_flamegraph(flame_profile, args.flame_svg)
+            print(f"wrote flamegraph to {args.flame_svg}", file=sys.stderr)
     if args.checkpoint:
         from .autograd import save_state
 
@@ -195,6 +226,13 @@ def cmd_train(args) -> int:
             f"(diff with `repro obs diff`)",
             file=sys.stderr,
         )
+        if flame_profile is not None:
+            profile_path = registry.save_profile(record.run_id, flame_profile)
+            print(
+                f"saved profile to {profile_path} "
+                f"(render with `repro obs flame {record.run_id}`)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -269,6 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="profile tape memory: per-op allocated/peak "
                               "bytes, live-tensor census and lifetimes "
                               "(printed and embedded in --trace output)")
+    p_train.add_argument("--flame", action="store_true",
+                         help="run the 100 Hz sampling profiler over the "
+                              "whole run; prints a self-time table, saves a "
+                              "repro.obs.profile/1 artifact next to the run "
+                              "record (render with `repro obs flame`)")
+    p_train.add_argument("--flame-hz", type=float, default=100.0,
+                         help="sampling rate for --flame (default 100)")
+    p_train.add_argument("--flame-svg", type=Path, default=None,
+                         help="also write the --flame profile as a "
+                              "flamegraph SVG to this path")
     p_train.add_argument("--runs-dir", type=Path, default=None,
                          help="run-record directory (default: $REPRO_RUNS_DIR "
                               "or results/runs)")
@@ -357,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds between --export flushes")
     p_serve_http.add_argument("--export-format", default="prometheus",
                               choices=("prometheus", "json"))
+    p_serve_http.add_argument("--profile-hz", type=float, default=None,
+                              help="continuous profiling: run a sampling "
+                                   "profiler at this rate in every process; "
+                                   "GET /debug/profile?seconds=N returns the "
+                                   "merged per-shard capture (works unarmed "
+                                   "too, via temporary samplers)")
     _add_slo_args(p_serve_http)
     p_serve_http.set_defaults(func=cmd_serve_http)
 
@@ -409,8 +463,32 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trace store directory the service wrote "
                                   "(`repro serve http --trace-dir`)")
     p_obs_trace.add_argument("--json", action="store_true", dest="as_json",
-                             help="emit the raw repro.obs.trace/1 records")
+                             help="emit the repro.obs.trace_render/1 JSON "
+                                  "timeline (sorted, depth-annotated spans)")
     p_obs_trace.set_defaults(func=cmd_obs_trace)
+    p_obs_flame = obs_sub.add_parser(
+        "flame", help="render or diff sampling profiles (repro.obs.profile/1)"
+    )
+    p_obs_flame.add_argument("ref",
+                             help="run id (with a saved profile artifact) or "
+                                  "a profile JSON path")
+    p_obs_flame.add_argument("--diff", default=None, metavar="REF",
+                             help="second run id / profile path; report "
+                                  "per-frame self-time deltas (REF − ref) "
+                                  "instead of a single-profile table")
+    p_obs_flame.add_argument("--svg", type=Path, default=None,
+                             help="write a flamegraph SVG (differential "
+                                  "coloring when --diff is given)")
+    p_obs_flame.add_argument("--limit", type=int, default=25,
+                             help="table rows to print (default 25)")
+    p_obs_flame.add_argument("--runs-dir", type=Path, default=None,
+                             help="run-record directory (default: "
+                                  "$REPRO_RUNS_DIR or results/runs)")
+    p_obs_flame.add_argument("--json", action="store_true", dest="as_json",
+                             help="emit repro.obs.profile/1 (or "
+                                  "repro.obs.profile_diff/1 with --diff) "
+                                  "JSON instead of text")
+    p_obs_flame.set_defaults(func=cmd_obs_flame)
     p_obs_diff = obs_sub.add_parser(
         "diff", help="compare two run records; exit 1 on metric regression"
     )
@@ -540,7 +618,7 @@ def cmd_obs_trace(args) -> int:
     """Render one merged per-request timeline from a trace-dir store."""
     import json
 
-    from .obs import TraceStore, render_timeline
+    from .obs import TraceStore, render_timeline, timeline_to_dict
 
     store = TraceStore(args.trace_dir)
     try:
@@ -549,10 +627,55 @@ def cmd_obs_trace(args) -> int:
         print(f"trace {args.trace_id} not found in {args.trace_dir}: {exc}",
               file=sys.stderr)
         return 1
+    finally:
+        store.close()
     if args.as_json:
-        print(json.dumps(records, indent=2, sort_keys=True))
+        print(json.dumps(timeline_to_dict(records), indent=2, sort_keys=True))
     else:
         print(render_timeline(records))
+    return 0
+
+
+def cmd_obs_flame(args) -> int:
+    """Render one sampling profile, or diff two by per-frame self time."""
+    import json
+
+    from .obs import (
+        RunRegistry,
+        diff_profiles,
+        render_diff,
+        render_top,
+        write_flamegraph,
+    )
+
+    registry = RunRegistry(args.runs_dir)
+    try:
+        profile = registry.load_profile(args.ref)
+        other = (
+            registry.load_profile(args.diff) if args.diff is not None else None
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if other is not None:
+        diff = diff_profiles(profile, other, limit=args.limit)
+        if args.as_json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff, limit=args.limit))
+    elif args.as_json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_top(profile, limit=args.limit))
+    if args.svg:
+        # Single profile: its own flamegraph. With --diff: the OTHER
+        # profile's tree, heat-colored by self-share movement vs ref.
+        write_flamegraph(
+            profile if other is None else other,
+            args.svg,
+            baseline=None if other is None else profile,
+        )
+        print(f"wrote flamegraph to {args.svg}", file=sys.stderr)
     return 0
 
 
@@ -760,7 +883,9 @@ def cmd_serve_http(args) -> int:
 
     ``POST /v1/predict`` speaks ``repro.serve.request/1`` →
     ``response/1``; ``GET /v1/healthz`` reports pool + SLO state (503 when
-    degraded); ``GET /metrics`` serves the Prometheus registry.
+    degraded); ``GET /metrics`` serves the Prometheus registry;
+    ``GET /debug/profile?seconds=N`` captures a merged per-shard sampling
+    profile (continuous when ``--profile-hz`` is set, on-demand otherwise).
     ``--export`` additionally flushes the registry to a file on an
     interval (the PR 4 :class:`repro.obs.PeriodicExporter`).
     """
@@ -783,6 +908,7 @@ def cmd_serve_http(args) -> int:
         trace_dir=args.trace_dir,
         drift_baseline=args.drift_baseline,
         drift_threshold=args.drift_threshold,
+        profile_hz=args.profile_hz,
     )
     rules = _build_slo_rules(args)
     monitor = None

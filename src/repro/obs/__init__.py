@@ -21,6 +21,10 @@ Building blocks shared by training, serving and the autograd engine:
   over it.
 - :mod:`repro.obs.profiler` — :class:`OpProfiler` attributes wall time and
   call counts to every autograd tape op, forward and backward.
+- :mod:`repro.obs.flame` — :class:`SamplingProfiler`, a 100 Hz
+  background-thread stack sampler producing folded stacks tagged with
+  span/op context, flamegraph SVGs, and self-time diffs between runs
+  (``repro train --flame``, ``repro obs flame <run> --diff <other>``).
 - :mod:`repro.obs.memory` — :class:`MemoryProfiler` attributes allocated
   bytes, peak live bytes and allocation lifetimes to tape ops, with a
   live-tensor census by shape/dtype.
@@ -86,6 +90,20 @@ from .export import (
     write_json_snapshot,
     write_prometheus,
 )
+from .flame import (
+    PROFILE_DIFF_SCHEMA,
+    PROFILE_SCHEMA,
+    Profile,
+    SamplingProfiler,
+    current_tags,
+    diff_profiles,
+    merge_profiles,
+    render_diff,
+    render_flamegraph_svg,
+    render_top,
+    tag,
+    write_flamegraph,
+)
 from .lifecycle import flush_all, flush_at_exit, unregister_flush
 from .memory import MemoryProfiler, render_memory
 from .metrics import (
@@ -100,6 +118,7 @@ from .metrics import (
 from .profiler import OpProfiler, render_profile
 from .report import (
     REPORT_SCHEMA,
+    TRACE_RENDER_SCHEMA,
     aggregate_spans,
     render_drift,
     render_spans,
@@ -107,6 +126,7 @@ from .report import (
     render_trace_file,
     report_to_dict,
     self_times,
+    timeline_to_dict,
 )
 from .runs import (
     DIFF_SCHEMA,
@@ -180,6 +200,19 @@ __all__ = [
     "render_prometheus",
     "write_json_snapshot",
     "write_prometheus",
+    # flame
+    "PROFILE_DIFF_SCHEMA",
+    "PROFILE_SCHEMA",
+    "Profile",
+    "SamplingProfiler",
+    "current_tags",
+    "diff_profiles",
+    "merge_profiles",
+    "render_diff",
+    "render_flamegraph_svg",
+    "render_top",
+    "tag",
+    "write_flamegraph",
     # lifecycle
     "flush_all",
     "flush_at_exit",
@@ -230,6 +263,7 @@ __all__ = [
     "uninstall_tracer",
     # report
     "REPORT_SCHEMA",
+    "TRACE_RENDER_SCHEMA",
     "aggregate_spans",
     "render_drift",
     "render_spans",
@@ -237,4 +271,5 @@ __all__ = [
     "render_trace_file",
     "report_to_dict",
     "self_times",
+    "timeline_to_dict",
 ]

@@ -205,25 +205,24 @@ def render_drift(drifts: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
-def render_timeline(records: List[Dict[str, Any]]) -> str:
-    """One merged distributed trace as a wall-clock timeline.
+TRACE_RENDER_SCHEMA = "repro.obs.trace_render/1"
 
-    Spans (from every process that touched the request) are sorted by
-    ``start`` and indented by parent depth; the offset column is
-    milliseconds since the earliest span. Orphan parents — e.g. a worker
-    span whose front-end parent record was lost — render at depth 0
-    rather than being dropped.
+
+def _timeline_rows(
+    records: List[Dict[str, Any]],
+) -> "tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]":
+    """The shared timeline model: ``(trace_meta, rows sorted by start)``.
+
+    Rows sort by wall-clock ``start`` (ties broken by span id) no matter
+    which process emitted them, so the rendering stays monotone even when
+    worker clocks skew slightly against the front-end's. Depth follows the
+    parent chain; orphan parents — e.g. a worker span whose front-end
+    parent record was lost — land at depth 0 rather than being dropped.
     """
     spans = [r for r in records if r.get("type") == "span"]
     meta = next((r for r in records if r.get("type") == "trace_meta"), None)
-    header = []
-    if meta is not None:
-        header.append(
-            f"trace {meta.get('trace_id', '?')} ({meta.get('schema', '?')})"
-        )
     if not spans:
-        header.append("(no spans)")
-        return "\n".join(header)
+        return meta, []
 
     by_id = {span["span_id"]: span for span in spans}
 
@@ -238,17 +237,66 @@ def render_timeline(records: List[Dict[str, Any]]) -> str:
             depth += 1
 
     origin = min(float(s["start"]) for s in spans)
+    rows = []
+    for span in sorted(spans, key=lambda s: (float(s["start"]), s["span_id"])):
+        rows.append({
+            "name": span["name"],
+            "span_id": span["span_id"],
+            "parent_id": span.get("parent_id"),
+            "trace_id": span.get("trace_id"),
+            "depth": depth_of(span),
+            "offset_ms": 1e3 * (float(span["start"]) - origin),
+            "duration_ms": 1e3 * float(span["duration"]),
+            "attrs": dict(span.get("attrs") or {}),
+        })
+    return meta, rows
+
+
+def timeline_to_dict(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """A merged trace as machine-consumable JSON (``repro.obs.trace_render/1``).
+
+    The same sorted/depth-annotated rows :func:`render_timeline` prints,
+    plus the trace metadata — what ``repro obs trace <id> --json`` emits.
+    """
+    meta, rows = _timeline_rows(records)
+    return {
+        "schema": TRACE_RENDER_SCHEMA,
+        "trace_id": meta.get("trace_id") if meta else None,
+        "trace_schema": meta.get("schema") if meta else None,
+        "span_count": len(rows),
+        "duration_ms": max(
+            (row["offset_ms"] + row["duration_ms"] for row in rows), default=0.0
+        ),
+        "spans": rows,
+    }
+
+
+def render_timeline(records: List[Dict[str, Any]]) -> str:
+    """One merged distributed trace as a wall-clock timeline.
+
+    Spans (from every process that touched the request) are sorted by
+    ``start`` and indented by parent depth; the offset column is
+    milliseconds since the earliest span (see :func:`_timeline_rows` for
+    the ordering and orphan-parent rules).
+    """
+    meta, rows = _timeline_rows(records)
+    header = []
+    if meta is not None:
+        header.append(
+            f"trace {meta.get('trace_id', '?')} ({meta.get('schema', '?')})"
+        )
+    if not rows:
+        header.append("(no spans)")
+        return "\n".join(header)
     lines = header + [
         f"{'offset ms':>10s} {'dur ms':>9s}  span",
     ]
-    for span in sorted(spans, key=lambda s: (float(s["start"]), s["span_id"])):
-        offset_ms = 1e3 * (float(span["start"]) - origin)
-        duration_ms = 1e3 * float(span["duration"])
-        indent = "  " * depth_of(span)
-        attrs = span.get("attrs") or {}
-        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
-        label = f"{indent}{span['name']}"
+    for row in rows:
+        detail = " ".join(f"{k}={v}" for k, v in row["attrs"].items())
+        label = f"{'  ' * row['depth']}{row['name']}"
         if detail:
             label += f"  [{detail}]"
-        lines.append(f"{offset_ms:>10.2f} {duration_ms:>9.2f}  {label}")
+        lines.append(
+            f"{row['offset_ms']:>10.2f} {row['duration_ms']:>9.2f}  {label}"
+        )
     return "\n".join(lines)

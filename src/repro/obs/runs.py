@@ -181,6 +181,32 @@ class RunRegistry:
     def path_for(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"
 
+    # -- profile artifacts ---------------------------------------------
+    def profile_path_for(self, run_id: str) -> Path:
+        """Sidecar path of a run's sampling profile (``<id>.profile.json``).
+
+        Profiles live next to the run record so ``repro obs flame <run>``
+        resolves them by run id; :meth:`list` skips them (they carry the
+        ``repro.obs.profile/1`` schema, not a run record's).
+        """
+        return self.root / f"{run_id}.profile.json"
+
+    def save_profile(self, run_id: str, profile: "Profile") -> Path:
+        """Persist a :class:`repro.obs.flame.Profile` alongside its run."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        return profile.save(self.profile_path_for(run_id))
+
+    def load_profile(self, ref: Union[str, Path]) -> "Profile":
+        """Load a profile by run id (within this registry) or explicit path."""
+        from .flame import Profile
+
+        path = Path(ref)
+        if path.suffix != ".json":
+            path = self.profile_path_for(str(ref))
+        if not path.exists():
+            raise FileNotFoundError(f"no profile at {path}")
+        return Profile.load(path)
+
     # -- reading -------------------------------------------------------
     def load(self, ref: Union[str, Path]) -> RunRecord:
         """Load by run id (within this registry) or by explicit JSON path."""

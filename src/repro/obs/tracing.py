@@ -36,6 +36,30 @@ from .lifecycle import flush_at_exit, unregister_flush
 _IDS = itertools.count(1)
 _ID_LOCK = threading.Lock()
 
+#: Global span lifecycle observer, installed by :mod:`repro.obs.flame`:
+#: an ``(enter, exit)`` pair called as ``enter(span.name)`` when a span
+#: opens and ``exit()`` when it closes, on the span's own thread. This is
+#: how the sampling profiler learns the open-span path of each thread so
+#: samples carry span ancestry (``serve.request;…``). Pops on an empty
+#: observer stack must be no-ops: spans opened before the observer was
+#: installed close through it.
+_SPAN_OBSERVER: Optional[
+    "tuple[Callable[[str], None], Callable[[], None]]"
+] = None
+
+
+def set_span_observer(
+    observer: Optional["tuple[Callable[[str], None], Callable[[], None]]"],
+) -> Optional["tuple[Callable[[str], None], Callable[[], None]]"]:
+    """Install (or clear, with ``None``) the global span observer pair.
+
+    Returns the previous observer so nested profilers restore cleanly.
+    """
+    global _SPAN_OBSERVER
+    previous = _SPAN_OBSERVER
+    _SPAN_OBSERVER = observer
+    return previous
+
 
 def new_span_id() -> int:
     """A span id unique across threads *and* forked workers.
@@ -194,12 +218,19 @@ class Tracer:
                 if context.span_id is not None:
                     span.parent_id = context.span_id
         stack.append(span)
+        observer = _SPAN_OBSERVER
+        if observer is not None:
+            observer[0](span.name)
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
-        # Tolerate mismatched exits rather than corrupting the stack.
+        observer = _SPAN_OBSERVER
+        # Tolerate mismatched exits rather than corrupting the stack; the
+        # observer pops once per span unwound so its view stays aligned.
         while stack:
             top = stack.pop()
+            if observer is not None:
+                observer[1]()
             if top is span:
                 break
         self._finish(span)
@@ -353,6 +384,10 @@ class TraceStore:
         self._lock = threading.Lock()
         self._handles: "OrderedDict[str, TextIO]" = OrderedDict()
         self._last_flush = 0.0
+        # A short-lived process (one-shot batch scoring, tests) may exit
+        # inside the 50 ms flush window; without this the last request's
+        # spans would be truncated mid-line in the trace file.
+        flush_at_exit(self)
 
     def path_for(self, trace_id: str) -> Path:
         if not _is_hex_id(trace_id):
@@ -420,8 +455,16 @@ class TraceStore:
     def trace_ids(self) -> List[str]:
         return sorted(p.stem for p in self.root.glob("*.jsonl"))
 
+    def flush(self) -> None:
+        """Flush every retained append handle (atexit-safe, idempotent)."""
+        with self._lock:
+            for handle in self._handles.values():
+                if not handle.closed:
+                    handle.flush()
+
     def close(self) -> None:
-        """Close every retained append handle (writes are already flushed)."""
+        """Close every retained append handle (flushing buffered writes)."""
+        unregister_flush(self)
         with self._lock:
             while self._handles:
                 _, handle = self._handles.popitem(last=False)

@@ -32,7 +32,11 @@ feeds ``GET /metrics`` (Prometheus text format) and an optional
 :class:`repro.obs.PeriodicExporter`; an optional
 :class:`repro.obs.SloMonitor` sees every request's latency, success/error
 flag and the global in-flight depth, and its breaches flip
-``GET /v1/healthz`` to 503 — the load-balancer eject signal.
+``GET /v1/healthz`` to 503 — the load-balancer eject signal. With
+``profile_hz`` set, every process (front-end and workers) also runs a
+continuous :class:`repro.obs.SamplingProfiler`; ``GET
+/debug/profile?seconds=N`` windows the counters into one merged
+per-shard flamegraph (see :meth:`PredictionService.capture_profile`).
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
+from urllib.parse import parse_qs
 
 from ..obs import get_logger, render_prometheus
 from ..obs.context import (
@@ -56,6 +61,13 @@ from ..obs.context import (
     set_context,
 )
 from ..obs.drift import DRIFT_BASELINE_FILE
+from ..obs.flame import (
+    DEFAULT_HZ,
+    Profile,
+    SamplingProfiler,
+    merge_profiles,
+    render_flamegraph_svg,
+)
 from ..obs.tracing import NULL_SPAN, TraceStore, Tracer
 from .checkpoint import checkpoint_digest
 from .metrics import ServingMetrics
@@ -91,6 +103,16 @@ class _PendingCall:
         self.predictions: Optional[List[Dict]] = None
         self.stats: Dict = {}
         self.error: Optional[str] = None
+
+
+class _ProfilePending:
+    """Future for one worker's profile snapshot (control plane)."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload: Optional[Dict] = None
 
 
 def _article_payload(article) -> Dict:
@@ -142,6 +164,14 @@ class PredictionService:
         any shard degrades ``/v1/healthz``.
     drift_threshold / drift_window / drift_min_samples:
         Worker-side :class:`repro.obs.DriftMonitor` knobs.
+    profile_hz:
+        When set, continuous profiling: every worker runs a
+        :class:`repro.obs.SamplingProfiler` at this rate from warm-up on,
+        and the front-end runs one (started post-fork) covering routing,
+        admission and HTTP threads. :meth:`capture_profile` (and the
+        ``GET /debug/profile?seconds=N`` endpoint) then windows the
+        continuous counters; when unset, captures arm temporary samplers
+        for just the requested window.
     """
 
     def __init__(
@@ -164,6 +194,7 @@ class PredictionService:
         drift_threshold: float = 0.25,
         drift_window: int = 1024,
         drift_min_samples: int = 50,
+        profile_hz: Optional[float] = None,
         mp_context=None,
     ):
         if workers < 1:
@@ -235,6 +266,12 @@ class PredictionService:
         # this lock is never held at fork time and children never touch it.
         self._lock = threading.Lock()  # repro: noqa[RA202] created pre-fork, never held across spawn_worker(); children run worker_main from scratch
         self._req_ids = itertools.count(1)
+        self.profile_hz = profile_hz
+        # The front-end profiler is created in start() *after* the workers
+        # fork: it owns a lock and a sampler thread, neither of which may
+        # be reachable at fork time (RA202), and children build their own.
+        self._profiler: Optional[SamplingProfiler] = None
+        self._profile_pending: Dict[int, _ProfilePending] = {}
         self._ready = threading.Event()
         self._ready_count = 0
         self._closing = threading.Event()
@@ -269,6 +306,7 @@ class PredictionService:
                 drift_threshold=self.drift_threshold,
                 drift_window=self.drift_window,
                 drift_min_samples=self.drift_min_samples,
+                profile_hz=self.profile_hz,
                 mp_context=ctx,
             )
             self._workers.append(handle)
@@ -283,6 +321,10 @@ class PredictionService:
                 f"worker pool not ready within {self.warmup_timeout}s "
                 f"({self._ready_count}/{self.num_workers} warm)"
             )
+        if self.profile_hz:
+            self._profiler = SamplingProfiler(
+                interval=1.0 / self.profile_hz
+            ).start()
 
         self._httpd = ThreadingHTTPServer(
             (self._host_arg, self._port_arg), _make_handler(self)
@@ -329,6 +371,14 @@ class PredictionService:
         for call in pending:
             call.error = "service shut down"
             call.event.set()
+        with self._lock:
+            profile_pending = list(self._profile_pending.values())
+            self._profile_pending.clear()
+        for entry in profile_pending:
+            entry.event.set()
+        if self._profiler is not None:
+            self._profiler.stop()
+            self._profiler = None
         if self._tracer is not None:
             self._tracer.close()
         if self.trace_store is not None:
@@ -365,6 +415,16 @@ class PredictionService:
                     self._ready_count += 1
                     if self._ready_count >= self.num_workers:
                         self._ready.set()
+                continue
+            if kind == "profile_result":
+                # Control-plane reply: resolves a _ProfilePending future,
+                # never touches the in-flight budget.
+                _, worker_id, req_id, payload = message
+                with self._lock:
+                    entry = self._profile_pending.pop(req_id, None)
+                if entry is not None:
+                    entry.payload = payload
+                    entry.event.set()
                 continue
             if kind == "result":
                 worker_id, req_id, predictions, stats = message[1:5]
@@ -436,6 +496,104 @@ class PredictionService:
         """Latest per-shard drift window summaries (empty when unarmed)."""
         with self._lock:
             return {shard: dict(s) for shard, s in self._drift_status.items()}
+
+    # ------------------------------------------------------------------
+    # Profiling (control plane)
+    # ------------------------------------------------------------------
+    def _worker_profiles(self, timeout: float = 10.0) -> Dict[int, Optional[Dict]]:
+        """One profile snapshot per worker, gathered over the queues.
+
+        Snapshot requests ride the normal request queues (so they serialize
+        behind in-flight batches) and come back through the collector as
+        ``profile_result`` messages; a worker that does not answer within
+        ``timeout`` (dead, or grinding through a huge batch) contributes
+        ``None`` rather than stalling the capture forever.
+        """
+        pending: Dict[int, tuple] = {}
+        with self._lock:
+            for handle in self._workers:
+                req_id = next(self._req_ids)
+                entry = _ProfilePending()
+                self._profile_pending[req_id] = entry
+                pending[handle.worker_id] = (req_id, entry, handle)
+        for req_id, entry, handle in pending.values():
+            if handle.alive():
+                handle.requests.put(("profile_snapshot", req_id))
+        results: Dict[int, Optional[Dict]] = {}
+        deadline = time.perf_counter() + timeout
+        for worker_id, (req_id, entry, handle) in pending.items():
+            remaining = max(0.0, deadline - time.perf_counter())
+            results[worker_id] = (
+                entry.payload if entry.event.wait(remaining) else None
+            )
+            with self._lock:
+                self._profile_pending.pop(req_id, None)
+        return results
+
+    def capture_profile(
+        self, seconds: float = 1.0, *, hz: Optional[float] = None
+    ) -> Profile:
+        """A service-wide profile over a ``seconds`` window, merged by shard.
+
+        With continuous profiling armed (``profile_hz``) the window is the
+        difference of two cumulative snapshots — zero extra sampling cost.
+        Unarmed, temporary samplers run in every process for just the
+        window. Worker stacks root under ``shard<k>;worker<i>`` and the
+        parent's under ``frontend``, so the flamegraph splits by shard at
+        the first level.
+        """
+        if not self._started:
+            raise ServiceUnavailable("service is not running")
+        seconds = min(max(float(seconds), 0.05), 60.0)
+        armed = self._profiler is not None
+        temp: Optional[SamplingProfiler] = None
+        rate = hz or self.profile_hz or DEFAULT_HZ
+        if armed:
+            front_before = self._profiler.snapshot()
+            before = self._worker_profiles()
+        else:
+            temp = SamplingProfiler(interval=1.0 / rate).start()
+            for handle in self._workers:
+                if handle.alive():
+                    handle.requests.put(("profile_start", rate))
+            before = {}
+        # closing.wait instead of sleep: shutdown aborts the window early
+        # instead of holding close() hostage for the full capture.
+        self._closing.wait(seconds)
+        after = self._worker_profiles()
+        if armed:
+            frontend = self._profiler.snapshot().subtract(front_before)
+        else:
+            frontend = temp.snapshot()
+            temp.stop()
+            for handle in self._workers:
+                if handle.alive():
+                    handle.requests.put(("profile_stop",))
+        parts: Dict[str, Optional[Profile]] = {"frontend": frontend}
+        by_id = {handle.worker_id: handle for handle in self._workers}
+        for worker_id, payload in after.items():
+            if payload is None:
+                continue
+            profile = Profile.from_dict(payload)
+            earlier = before.get(worker_id)
+            if earlier is not None:
+                profile = profile.subtract(Profile.from_dict(earlier))
+            handle = by_id[worker_id]
+            # A ";" in the root label yields two prefix frames, so the
+            # merged stacks read shard<k> → worker<i> → python frames.
+            parts[f"shard{handle.shard};worker{worker_id}"] = profile
+        return merge_profiles(
+            parts,
+            meta={
+                "kind": "serve",
+                "window_s": seconds,
+                "hz": rate,
+                "workers": self.num_workers,
+                "shards": self.num_shards,
+                "model_digest": self.model_digest,
+                "continuous": armed,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -673,6 +831,8 @@ def _make_handler(service: PredictionService):
             elif route == "/metrics":
                 body = render_prometheus(service.metrics.registry).encode("utf-8")
                 self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            elif route == "/debug/profile":
+                self._debug_profile()
             else:
                 self._reply_json(404, error_body("not_found", f"no route {route}"))
 
@@ -727,6 +887,48 @@ def _make_handler(service: PredictionService):
                 self._reply_json(503, error_body("unavailable", str(exc)), headers=echo)
                 return
             self._reply_json(200, response.to_dict(), headers=echo)
+
+        def _debug_profile(self) -> None:
+            """``GET /debug/profile?seconds=N[&format=json|folded|svg]``.
+
+            An on-demand service-wide capture: blocks this handler thread
+            for the window (ThreadingHTTPServer keeps serving traffic),
+            then returns the merged per-shard profile.
+            """
+            params = parse_qs(self.path.partition("?")[2])
+            try:
+                seconds = float(params.get("seconds", ["1.0"])[0])
+            except ValueError:
+                self._reply_json(
+                    400, error_body("bad_request", "seconds must be a number")
+                )
+                return
+            fmt = params.get("format", ["json"])[0]
+            if fmt not in ("json", "folded", "svg"):
+                self._reply_json(
+                    400,
+                    error_body("bad_request", f"unknown profile format {fmt!r}"),
+                )
+                return
+            try:
+                profile = service.capture_profile(seconds)
+            except ServiceUnavailable as exc:
+                self._reply_json(503, error_body("unavailable", str(exc)))
+                return
+            if fmt == "svg":
+                self._reply(
+                    200,
+                    "image/svg+xml",
+                    render_flamegraph_svg(profile).encode("utf-8"),
+                )
+            elif fmt == "folded":
+                self._reply(
+                    200,
+                    "text/plain; charset=utf-8",
+                    profile.folded().encode("utf-8"),
+                )
+            else:
+                self._reply_json(200, profile.to_dict())
 
         def _record_error(self) -> None:
             service._http_errors.inc(1)

@@ -16,11 +16,17 @@ Messages
 parent → worker:  ``("predict", req_id, [article payload, ...], return_proba,
                   trace)`` — ``trace`` is ``None`` or ``{"trace_id",
                   "parent_id", "enqueued"}`` naming the front-end request
-                  span this work belongs to — or the stop sentinel
+                  span this work belongs to — the profiler control
+                  messages ``("profile_start", hz)``, ``("profile_snapshot",
+                  req_id)``, ``("profile_stop",)`` — or the stop sentinel
                   ``("stop",)``
 worker → parent:  ``("ready", worker_id, model_digest)`` once warm, then
                   ``("result", worker_id, req_id, [prediction, ...], stats,
-                  spans)`` or ``("error", worker_id, req_id, message)``
+                  spans)`` or ``("error", worker_id, req_id, message)``;
+                  a ``("profile_snapshot", req_id)`` is answered with
+                  ``("profile_result", worker_id, req_id, profile dict or
+                  None)`` carrying the worker's folded-stack aggregate
+                  (schema ``repro.obs.profile/1``)
 
 ``spans`` are finished span dicts (queue wait, batch assembly, GDU
 forward, serialize) parented under the front-end request span; they use
@@ -54,9 +60,10 @@ def _drain_batch(requests, first, max_batch_size: int, max_wait: float) -> List:
             message = requests.get(timeout=remaining)
         except queue_mod.Empty:
             break
-        if message[0] == "stop":
-            # Re-enqueue so the main loop exits after this batch.
-            requests.put(_STOP)
+        if message[0] != "predict":
+            # Control message (stop / profiler): re-enqueue so the main
+            # loop handles it after this batch.
+            requests.put(message)
             break
         batch.append(message)
     return batch
@@ -82,10 +89,12 @@ def worker_main(
     drift_threshold: float = 0.25,
     drift_window: int = 1024,
     drift_min_samples: int = 50,
+    profile_hz: Optional[float] = None,
 ) -> None:
     """Process entry point: warm a session, then serve until ``("stop",)``."""
     from ..obs import get_logger
     from ..obs.drift import BaselineProfile, DriftMonitor
+    from ..obs.flame import DEFAULT_HZ, SamplingProfiler, tag
     from ..obs.tracing import span_record
     from .checkpoint import checkpoint_digest, load_detector
     from .protocol import encode_prediction
@@ -115,6 +124,13 @@ def worker_main(
         drift=drift,
     )
     digest = checkpoint_digest(checkpoint)
+    # The profiler stays a local (never module state — RA203): it is born
+    # after fork in this process, so its sampler thread and counts are
+    # this worker's alone. Started post-warmup so checkpoint load and
+    # session warming don't dominate the serving profile.
+    profiler: Optional[SamplingProfiler] = None
+    if profile_hz:
+        profiler = SamplingProfiler(interval=1.0 / profile_hz).start()
     responses.put(("ready", worker_id, digest))
     log.info("warm", worker=worker_id, shard=shard, digest=digest)
 
@@ -131,6 +147,25 @@ def worker_main(
             continue
         if message[0] == "stop":
             break
+        if message[0] == "profile_start":
+            hz = message[1] or DEFAULT_HZ
+            if profiler is not None:
+                profiler.stop()
+            profiler = SamplingProfiler(interval=1.0 / hz).start()
+            continue
+        if message[0] == "profile_snapshot":
+            payload = None
+            if profiler is not None:
+                payload = profiler.snapshot(
+                    meta={"worker": worker_id, "shard": shard}
+                ).to_dict()
+            responses.put(("profile_result", worker_id, message[1], payload))
+            continue
+        if message[0] == "profile_stop":
+            if profiler is not None:
+                profiler.stop()
+                profiler = None
+            continue
         recv_wall = time.time()
         batch = _drain_batch(requests, message, max_batch_size, max_wait)
         assembled_wall = time.time()
@@ -146,7 +181,11 @@ def worker_main(
             articles.extend(ArticleRequest.from_dict(p) for p in payloads)
             any_proba = any_proba or return_proba
         try:
-            predictions = session.predict(articles, return_proba=any_proba)
+            # Tagged so sampled stacks carry the serving-stage ancestry:
+            # workers have no live Tracer (they ship hand-built span
+            # records), so the span observer can't label them.
+            with tag("worker.forward"):
+                predictions = session.predict(articles, return_proba=any_proba)
         except Exception as exc:
             log.error("batch_failed", worker=worker_id, error=repr(exc))
             for entry in batch:
@@ -203,6 +242,8 @@ def worker_main(
             responses.put(
                 ("result", worker_id, req_id, encoded, stats, trace_spans)
             )
+    if profiler is not None:
+        profiler.stop()
     log.info("stopped", worker=worker_id, shard=shard)
 
 
@@ -244,6 +285,7 @@ def spawn_worker(
     drift_threshold: float = 0.25,
     drift_window: int = 1024,
     drift_min_samples: int = 50,
+    profile_hz: Optional[float] = None,
     mp_context=None,
 ) -> WorkerHandle:
     """Start one worker process and return its parent-side handle."""
@@ -260,6 +302,7 @@ def spawn_worker(
             "drift_threshold": drift_threshold,
             "drift_window": drift_window,
             "drift_min_samples": drift_min_samples,
+            "profile_hz": profile_hz,
         },
         daemon=True,
         name=f"repro-serve-worker-{worker_id}",

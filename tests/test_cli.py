@@ -181,6 +181,109 @@ class TestServing:
         assert args.duration == 0.5
 
 
+class TestFlameCli:
+    @pytest.fixture(scope="class")
+    def flame_run(self, tmp_path_factory):
+        runs = tmp_path_factory.mktemp("runs")
+        svg = runs / "train.svg"
+        code = main([
+            "train", "--scale", "0.01", "--seed", "3", "--epochs", "2",
+            "--explicit-dim", "20", "--max-seq-len", "8",
+            "--flame", "--flame-hz", "250", "--flame-svg", str(svg),
+            "--runs-dir", str(runs),
+        ])
+        assert code == 0
+        from repro.obs import RunRegistry
+
+        run_id = RunRegistry(runs).list(kind="train")[-1].run_id
+        return runs, run_id, svg
+
+    def test_train_flame_saves_profile_artifact(self, flame_run):
+        from repro.obs import RunRegistry
+
+        runs, run_id, svg = flame_run
+        registry = RunRegistry(runs)
+        assert registry.profile_path_for(run_id).exists()
+        profile = registry.load_profile(run_id)
+        assert profile.samples > 0
+        assert profile.meta["kind"] == "train"
+        assert "fused_kernels" in profile.meta
+        assert svg.read_text().startswith("<svg")
+
+    def test_obs_flame_renders_table(self, flame_run, capsys):
+        runs, run_id, _ = flame_run
+        code = main(["obs", "flame", run_id, "--runs-dir", str(runs)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampling profile:" in out
+        assert "self s" in out
+
+    def test_obs_flame_json(self, flame_run, capsys):
+        import json
+
+        runs, run_id, _ = flame_run
+        code = main(["obs", "flame", run_id, "--runs-dir", str(runs),
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs.profile/1"
+        assert doc["samples"] > 0
+
+    def test_obs_flame_diff_and_svg(self, flame_run, tmp_path, capsys):
+        import json
+
+        runs, run_id, _ = flame_run
+        svg = tmp_path / "diff.svg"
+        code = main([
+            "obs", "flame", run_id, "--diff", run_id,
+            "--runs-dir", str(runs), "--svg", str(svg), "--json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs.profile_diff/1"
+        # Self-diff: every per-frame delta is exactly zero.
+        assert all(e["delta_seconds"] == 0.0 for e in doc["entries"])
+        assert "differential" in svg.read_text()
+
+    def test_obs_flame_missing_ref_errors(self, tmp_path, capsys):
+        code = main(["obs", "flame", "no-such-run",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "no profile" in capsys.readouterr().err
+
+    def test_obs_trace_json_emits_trace_render(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import TraceStore, span_record
+
+        tid = "ab" * 16
+        store = TraceStore(tmp_path)
+        store.add_spans(tid, [
+            span_record("serve.request", trace_id=tid, parent_id=None,
+                        start=5.0, end=5.2, span_id=1),
+        ])
+        store.close()
+        code = main(["obs", "trace", tid, "--trace-dir", str(tmp_path),
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs.trace_render/1"
+        assert doc["trace_id"] == tid
+        assert doc["spans"][0]["name"] == "serve.request"
+
+    def test_flame_parser_flags(self):
+        args = build_parser().parse_args([
+            "train", "--flame", "--flame-hz", "50",
+            "--flame-svg", "out.svg",
+        ])
+        assert args.flame is True
+        assert args.flame_hz == 50.0
+        args = build_parser().parse_args([
+            "serve", "http", "ckpt", "--profile-hz", "100",
+        ])
+        assert args.profile_hz == 100.0
+
+
 class TestTune:
     def test_parse_grid(self):
         from repro.cli import _parse_grid

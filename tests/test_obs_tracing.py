@@ -353,3 +353,33 @@ class TestTraceStore:
         worker_line = next(l for l in lines if "worker.forward" in l)
         assert lines.index(request_line) < lines.index(worker_line)
         assert "worker=0" in worker_line
+
+    def test_timeline_to_dict_schema_and_ordering(self, tmp_path):
+        from repro.obs import TRACE_RENDER_SCHEMA, timeline_to_dict
+
+        tid = "34" * 16
+        root = span_record(
+            "serve.request", trace_id=tid, parent_id=None,
+            start=10.0, end=10.1, span_id=1,
+        )
+        # Worker clock skews 20 ms ahead; arrival order is reversed too.
+        child = span_record(
+            "worker.forward", trace_id=tid, parent_id=1,
+            start=10.02, end=10.08, span_id=2, worker=1,
+        )
+        store = TraceStore(tmp_path)
+        store.add_spans(tid, [child, root])
+        payload = timeline_to_dict(store.read(tid))
+        assert payload["schema"] == TRACE_RENDER_SCHEMA
+        assert payload["trace_id"] == tid
+        assert payload["trace_schema"] == TRACE_SCHEMA
+        assert payload["span_count"] == 2
+        assert payload["duration_ms"] == pytest.approx(100.0)
+        names = [s["name"] for s in payload["spans"]]
+        assert names == ["serve.request", "worker.forward"]  # by start
+        forward = payload["spans"][1]
+        assert forward["depth"] == 1
+        assert forward["offset_ms"] == pytest.approx(20.0)
+        assert forward["attrs"] == {"worker": 1}
+        # The document round-trips through JSON without loss.
+        assert json.loads(json.dumps(payload)) == payload

@@ -346,6 +346,109 @@ class TestDriftDegradation:
         assert "drift" not in json.loads(body)
 
 
+class TestContinuousProfiling:
+    @pytest.fixture(scope="class")
+    def profiled_service(self, checkpoint):
+        svc = PredictionService(
+            checkpoint, workers=2, shards=2, max_wait=0.001, profile_hz=250,
+        )
+        with svc:
+            yield svc
+
+    def _load(self, svc, articles, stop):
+        while not stop.is_set():
+            _post(svc.url, _payload(articles))
+
+    def _capture_under_load(self, svc, articles, path):
+        import threading
+
+        stop = threading.Event()
+        driver = threading.Thread(
+            target=self._load, args=(svc, articles, stop), daemon=True
+        )
+        driver.start()
+        try:
+            return _get(svc.url, path, timeout=120.0)
+        finally:
+            stop.set()
+            driver.join(30.0)
+
+    def test_debug_profile_merges_all_shards(self, profiled_service,
+                                             shard_articles):
+        code, body = self._capture_under_load(
+            profiled_service, shard_articles, "/debug/profile?seconds=1.5"
+        )
+        assert code == 200
+        doc = json.loads(body)
+        assert doc["schema"] == "repro.obs.profile/1"
+        assert doc["samples"] > 0
+        assert set(doc["meta"]["parts"]) \
+            == {"frontend", "shard0;worker0", "shard1;worker1"}
+        roots = {stack.split(";")[0] for stack in doc["stacks"]}
+        assert roots == {"frontend", "shard0", "shard1"}
+        # The tagged batched forward shows up in worker stacks.
+        assert any("worker.forward" in stack for stack in doc["stacks"])
+
+    def test_debug_profile_svg_and_folded_formats(self, profiled_service,
+                                                  shard_articles):
+        code, svg = self._capture_under_load(
+            profiled_service, shard_articles,
+            "/debug/profile?seconds=0.5&format=svg",
+        )
+        assert code == 200
+        assert svg.startswith("<svg")
+        code, folded = _get(
+            profiled_service.url, "/debug/profile?seconds=0.3&format=folded",
+            timeout=120.0,
+        )
+        assert code == 200
+        for line in folded.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
+    def test_debug_profile_rejects_bad_params(self, profiled_service):
+        code, body = _get(profiled_service.url, "/debug/profile?seconds=soon")
+        assert code == 400
+        assert json.loads(body)["error"]["code"] == "bad_request"
+        code, body = _get(profiled_service.url, "/debug/profile?format=png")
+        assert code == 400
+
+    def test_unarmed_service_still_captures_on_demand(self, service,
+                                                      shard_articles):
+        # The module fixture runs without profile_hz: the capture spins up
+        # temporary samplers in every process for just the window.
+        import threading
+
+        stop = threading.Event()
+        driver = threading.Thread(
+            target=self._load, args=(service, shard_articles, stop),
+            daemon=True,
+        )
+        driver.start()
+        try:
+            profile = service.capture_profile(0.8)
+        finally:
+            stop.set()
+            driver.join(30.0)
+        assert profile.samples > 0
+        assert profile.meta["continuous"] is False
+        assert {s.split(";")[0] for s in profile.stacks} \
+            == {"frontend", "shard0", "shard1"}
+        # Afterwards the workers' temporary samplers are stopped again: a
+        # fresh snapshot request reports no armed profiler.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if all(
+                payload is None
+                for payload in service._worker_profiles().values()
+            ):
+                break
+            time.sleep(0.05)
+        assert all(
+            payload is None for payload in service._worker_profiles().values()
+        )
+
+
 class TestShutdownRobustness:
     """Regression tests for the bounded collector/worker queue loops.
 

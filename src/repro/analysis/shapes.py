@@ -541,6 +541,71 @@ TRANSFERS["gru_sequence"] = _rnn_sequence(3, "gru_sequence")
 TRANSFERS["lstm_sequence"] = _rnn_sequence(4, "lstm_sequence")
 
 
+@_transfer("gdu_layer")
+def _t_gdu_layer(*args: Any, **kwargs: Any) -> AT:
+    if len(args) < 5:
+        return AT(dtype="float64")
+    x, z, t, w_u, b_u = (_as_tensor(a) for a in args[:5])
+    for name, at in (("x", x), ("z", z), ("t", t)):
+        if at.shape is not None and len(at.shape) != 2:
+            raise ShapeError(
+                "RA301",
+                f"gdu_layer {name} must be a (n, ·) batch, got "
+                f"{_fmt(at.shape)}",
+            )
+    batch = x.shape[0] if x.shape is not None else None
+    if z.shape is not None:
+        _require_eq(batch, z.shape[0], "gdu_layer batch of x vs z")
+    if t.shape is not None:
+        _require_eq(batch, t.shape[0], "gdu_layer batch of x vs t")
+    hidden = z.shape[1] if z.shape is not None else None
+    if t.shape is not None:
+        _require_eq(hidden, t.shape[1], "gdu_layer state width of z vs t")
+        if hidden is None:
+            hidden = t.shape[1]
+    concat = None
+    if (
+        x.shape is not None
+        and z.shape is not None
+        and t.shape is not None
+        and x.shape[1] is not None
+        and z.shape[1] is not None
+        and t.shape[1] is not None
+    ):
+        concat = x.shape[1] + z.shape[1] + t.shape[1]
+
+    def check_gate(name: str, w: Any, b: Any) -> None:
+        wt = _as_tensor(w)
+        if wt.shape is not None:
+            if len(wt.shape) != 2:
+                raise ShapeError(
+                    "RA301",
+                    f"gdu_layer {name} weight must be 2-D, got "
+                    f"{_fmt(wt.shape)}",
+                )
+            _require_eq(
+                wt.shape[0],
+                concat,
+                f"gdu_layer {name} weight rows vs [x|z|t] width",
+            )
+            _require_eq(
+                wt.shape[1], hidden, f"gdu_layer {name} weight hidden width"
+            )
+        bt = _as_tensor(b)
+        if bt.shape is not None and len(bt.shape) == 1:
+            _require_eq(bt.shape[0], hidden, f"gdu_layer {name} bias width")
+
+    check_gate("candidate", w_u, b_u)
+    for gate, width in (("forget", 2), ("adjust", 2), ("select", 4)):
+        bundle = kwargs.get(gate)
+        if isinstance(bundle, ATuple) and len(bundle.items) == width:
+            for j in range(0, width, 2):
+                check_gate(gate, bundle.items[j], bundle.items[j + 1])
+    if batch is None or hidden is None:
+        return AT(dtype="float64")
+    return AT(shape=(batch, hidden), dtype="float64")
+
+
 @_transfer("segment_sum")
 def _t_segment_sum(*args: Any, **_kw: Any) -> AT:
     source = _as_tensor(args[0])
@@ -632,6 +697,7 @@ _FN_OPS = {
     "embedding_gather": "embedding_gather",
     "gru_sequence": "gru_sequence",
     "lstm_sequence": "lstm_sequence",
+    "gdu_layer": "gdu_layer",
     "segment_sum": "segment_sum",
     "gather_segment_mean": "gather_segment_mean",
 }

@@ -9,7 +9,7 @@ environment) and tests/test_autograd_*.py for finite-difference checks.
 """
 
 from . import functional, init, kernels, optim
-from .kernels import embedding_gather, gru_sequence, lstm_sequence
+from .kernels import embedding_gather, gdu_layer, gru_sequence, lstm_sequence
 from .nn import (
     Dropout,
     Embedding,
@@ -28,9 +28,11 @@ from .tensor import (
     Tensor,
     concatenate,
     ensure_tensor,
+    no_tape,
     ones,
     randn,
     stack,
+    tape_enabled,
     where,
     zeros,
 )
@@ -49,8 +51,11 @@ __all__ = [
     "kernels",
     "optim",
     "embedding_gather",
+    "gdu_layer",
     "gru_sequence",
     "lstm_sequence",
+    "no_tape",
+    "tape_enabled",
     "Module",
     "Parameter",
     "Linear",

@@ -161,16 +161,32 @@ def gru_sequence(seq_embedded, mask, w_x, w_h, b, reverse: bool = False) -> Tens
     states = np.empty((T, B, H))
     zrs = np.empty((T, B, 2 * H))
     cs = np.empty((T, B, H))
+    rh = np.empty((B, H))
+    # The step below is (1 − z) ⊙ h + z ⊙ c regrouped as h + z ⊙ (c − h)
+    # and written straight into the saved buffers — every reordering is a
+    # commutative add/multiply, so the trajectory is bit-identical to the
+    # naive form while skipping the per-step temporaries (single-article
+    # serving pays numpy dispatch, not FLOPs, in this loop).
     for t in range(T):
         pt = proj[t]
-        zr = _sigmoid(pt[:, : 2 * H] + h @ Wh_zr, out=zrs[t])
+        zr = zrs[t]
+        np.dot(h, Wh_zr, out=zr)
+        zr += pt[:, : 2 * H]
+        _sigmoid(zr, out=zr)
         z = zr[:, :H]
         r = zr[:, H:]
-        c = np.tanh(pt[:, 2 * H :] + (r * h) @ Wh_c, out=cs[t])
-        h_new = (1.0 - z) * h + z * c
+        c = cs[t]
+        np.multiply(r, h, out=rh)
+        np.dot(rh, Wh_c, out=c)
+        c += pt[:, 2 * H :]
+        np.tanh(c, out=c)
+        h_new = states[t]
+        np.subtract(c, h, out=h_new)
+        h_new *= z
+        h_new += h
         if not full_cols[t]:
-            h_new = m3[t] * h_new + keep3[t] * h
-        states[t] = h_new
+            h_new *= m3[t]
+            h_new += keep3[t] * h
         h = h_new
 
     def backward(grad):
@@ -344,7 +360,390 @@ def lstm_sequence(seq_embedded, mask, w_x, w_h, b, reverse: bool = False) -> Ten
     return Tensor._make(out, (seq_embedded, w_x, w_h, b), backward)
 
 
+def _gdu_t_zero(
+    parents, gate_ws, gate_bs, gate_slots, has_forget, has_select,
+    xd, zd, Wu, Wux, Wuz, bu, D, H,
+) -> Tensor:
+    """:func:`gdu_layer` fast path for an exactly-zero, no-grad t port.
+
+    With ``t = 0`` the adjust product vanishes (``e ⊙ t = 0``, so the
+    adjust gate and the ``W_ut`` rows are dead) and the four selection
+    candidates pairwise coincide (``c(z̃,t̃) = c(z̃,t)``, ``c(z,t̃) =
+    c(z,t)``), which sums the r gate out of the mixture::
+
+        h = g ⊙ tanh(W_u[x, z̃, 0]) + (1 − g) ⊙ tanh(W_u[x, z, 0])
+
+    Only the forget gate and (when forget is present, so z̃ ≠ z) the g
+    gate survive, on the ``[x|z]`` block of their weights. Dead gates get
+    explicit all-zero gradients so every parameter still receives a grad.
+    """
+    k = len(gate_ws)
+    need_f = has_forget
+    # Without a forget gate z̃ == z, the two surviving candidates coincide
+    # and g sums out of the mixture as well.
+    need_g = has_select and has_forget
+    f = g = None
+    S2 = W2 = None
+    stack = []  # gate-stack layout: (slot, column) in f-then-g order
+    if need_f or need_g:
+        ws, bs = [], []
+        if need_f:
+            stack.append(gate_slots["forget"])
+            ws.append(gate_ws[stack[-1]][: D + H])
+            bs.append(gate_bs[stack[-1]])
+        if need_g:
+            stack.append(gate_slots["select-g"])
+            ws.append(gate_ws[stack[-1]][: D + H])
+            bs.append(gate_bs[stack[-1]])
+        S2 = np.concatenate((xd, zd), axis=1)
+        W2 = np.concatenate(ws, axis=1) if len(ws) > 1 else ws[0]
+        G2 = _sigmoid(S2 @ W2 + np.concatenate(bs))
+        if need_f:
+            f = G2[:, :H]
+        if need_g:
+            g = G2[:, H:] if need_f else G2
+
+    z1 = f * zd if need_f else zd
+    px = xd @ Wux + bu
+    if need_g:
+        ca = np.tanh(px + z1 @ Wuz)
+        cb = np.tanh(px + zd @ Wuz)
+        one_m_g = 1.0 - g
+        out = g * ca + one_m_g * cb
+    else:
+        c = np.tanh(px + z1 @ Wuz)
+        out = c
+
+    def backward(gh):
+        if need_g:
+            da_a = (gh * g) * (1.0 - ca * ca)
+            da_b = (gh * one_m_g) * (1.0 - cb * cb)
+            da_sum = da_a + da_b
+            dg = gh * (ca - cb)
+            dz1 = da_a @ Wuz.T
+            df = dz1 * zd
+            dz = dz1 * f + da_b @ Wuz.T
+        else:
+            da_sum = gh * (1.0 - c * c)
+            dz1 = da_sum @ Wuz.T
+            dg = None
+            if need_f:
+                df = dz1 * zd
+                dz = dz1 * f
+            else:
+                df = None
+                dz = dz1
+
+        dWu = np.zeros_like(Wu)
+        dWu[:D] = xd.T @ da_sum
+        if need_g:
+            dWu[D : D + H] = z1.T @ da_a + zd.T @ da_b
+        else:
+            dWu[D : D + H] = z1.T @ da_sum
+        db_u = da_sum.sum(axis=0)
+        dx = da_sum @ Wux.T
+
+        gate_grads = [None] * (2 * k)
+        if stack:
+            dus = []
+            if need_f:
+                dus.append(df * f * (1.0 - f))
+            if need_g:
+                dus.append(dg * g * (1.0 - g))
+            dU2 = np.concatenate(dus, axis=1) if len(dus) > 1 else dus[0]
+            dW2 = S2.T @ dU2
+            db2 = dU2.sum(axis=0)
+            dS2 = dU2 @ W2.T
+            dx = dx + dS2[:, :D]
+            dz = dz + dS2[:, D:]
+            for col, slot in enumerate(stack):
+                dw = np.zeros_like(Wu)
+                dw[: D + H] = dW2[:, col * H : (col + 1) * H]
+                gate_grads[2 * slot] = dw
+                gate_grads[2 * slot + 1] = db2[col * H : (col + 1) * H]
+        # Dead gates (adjust always; r always; f/g when not stacked) have
+        # exactly-zero gradients — materialize them so optimizers and
+        # grad-coverage checks see every parameter.
+        for slot in range(k):
+            if gate_grads[2 * slot] is None:
+                gate_grads[2 * slot] = np.zeros_like(gate_ws[slot])
+                gate_grads[2 * slot + 1] = np.zeros_like(gate_bs[slot])
+
+        grads = [dx, dz, None]
+        grads.extend(gate_grads)
+        grads.append(dWu)
+        grads.append(db_u)
+        return tuple(grads)
+
+    return Tensor._make(out, tuple(parents), backward)
+
+
+def gdu_layer(x, z, t, w_u, b_u, forget=None, adjust=None, select=None) -> Tensor:
+    """Whole Gated Diffusive Unit (paper §4.2) as one fused tape node.
+
+    The unrolled :class:`repro.core.GDU` builds ~25 tape nodes per call:
+    a ``concatenate``, one matmul+bias+sigmoid per gate, and the four
+    ``tanh(W_u[·])`` candidates blended by the g/r selection mixture. This
+    kernel stacks every *active* gate weight column-wise so the entire gate
+    block is a single ``[x|z|t] @ W_gates`` matmul, splits the shared
+    candidate weight into its x/z/t row blocks (so the four candidates
+    reuse one ``x @ W_ux`` projection and four cheap ``(n, H)`` state
+    projections), and evaluates the whole mixture in raw numpy. The
+    handwritten backward replays the saved activations and accumulates all
+    five weight gradients (plus x/z/t input grads) in closed form.
+
+    Parameters
+    ----------
+    x, z, t:
+        ``(n, D)`` HFLU features and the two ``(n, H)`` diffused states.
+    w_u, b_u:
+        Shared candidate weight ``(D + 2H, H)`` and bias ``(H,)``.
+    forget / adjust / select:
+        Optional gate parameter tuples — ``(w_f, b_f)``, ``(w_e, b_e)`` and
+        ``(w_g, b_g, w_r, b_r)`` respectively, each weight ``(D + 2H, H)``.
+        ``None`` reproduces the matching ablation switch of the unrolled
+        path: identity forget/adjust, or the plain ``tanh(W_u[x, z̃, t̃])``
+        candidate when the selection pair is absent.
+
+    Returns the ``(n, H)`` diffused hidden state ``h``. Forward values and
+    all parameter/input gradients match the unrolled path to 1e-12
+    (``tests/test_kernels.py``); gate sigmoids use :func:`_sigmoid`, which
+    agrees with ``Tensor.sigmoid`` to ≤ 2 ulp.
+    """
+    x, z, t = ensure_tensor(x), ensure_tensor(z), ensure_tensor(t)
+    w_u, b_u = ensure_tensor(w_u), ensure_tensor(b_u)
+    if x.ndim != 2 or z.ndim != 2 or t.ndim != 2:
+        raise ValueError(
+            f"gdu_layer expects (n, ·) batches, got x={x.shape}, "
+            f"z={z.shape}, t={t.shape}"
+        )
+    n = x.shape[0]
+    D = x.shape[1]
+    if z.shape[0] != n or t.shape[0] != n:
+        raise ValueError(
+            f"batch mismatch: x={x.shape}, z={z.shape}, t={t.shape}"
+        )
+    H = z.shape[1]
+    if t.shape[1] != H:
+        raise ValueError(f"state width mismatch: z={z.shape}, t={t.shape}")
+    C = D + 2 * H
+    if w_u.shape != (C, H):
+        raise ValueError(f"gdu_layer: w_u shape {w_u.shape} != ({C}, {H})")
+    if b_u.shape != (H,):
+        raise ValueError(f"gdu_layer: b_u shape {b_u.shape} != ({H},)")
+
+    parents = [x, z, t]
+    gate_ws: list = []
+    gate_bs: list = []
+    gate_slots: dict = {}
+
+    def _add_gate(name: str, w, bias) -> None:
+        w, bias = ensure_tensor(w), ensure_tensor(bias)
+        if w.shape != (C, H) or bias.shape != (H,):
+            raise ValueError(
+                f"gdu_layer: {name} gate shapes {w.shape}/{bias.shape} "
+                f"!= ({C}, {H})/({H},)"
+            )
+        parents.append(w)
+        parents.append(bias)
+        gate_slots[name] = len(gate_ws)
+        gate_ws.append(w.data)
+        gate_bs.append(bias.data)
+
+    if forget is not None:
+        _add_gate("forget", forget[0], forget[1])
+    if adjust is not None:
+        _add_gate("adjust", adjust[0], adjust[1])
+    if select is not None:
+        _add_gate("select-g", select[0], select[1])
+        _add_gate("select-r", select[2], select[3])
+    parents.append(w_u)
+    parents.append(b_u)
+
+    xd, zd, td = x.data, z.data, t.data
+    k = len(gate_ws)
+
+    # Candidate weight split by input port: W_u = [W_ux; W_uz; W_ut].
+    Wu = w_u.data
+    Wux = Wu[:D]
+    Wuz = Wu[D : D + H]
+    Wut = Wu[D + H :]
+
+    # ------------------------------------------------------------------
+    # Zero-port fast paths. ``FakeDetectorModel.diffuse`` feeds the §4.2
+    # zero defaults through these ports constantly: round 1 starts from
+    # all-zero states (both ports zero for every unit) and the creator/
+    # subject units never receive a t input at all. With an exactly-zero,
+    # no-grad port the gate algebra collapses — the forget/adjust products
+    # vanish, candidates that differ only in the dead port coincide, and
+    # the mixture weights sum out — so most of the gate matmul and half
+    # the candidate work is provably dead. Both paths keep every parent
+    # grad exact: dead gates receive explicit all-zero gradient arrays.
+    z_inert = not z.requires_grad and not zd.any()
+    t_inert = not t.requires_grad and not td.any()
+    if t_inert and z_inert:
+        # Every candidate is tanh(W_ux x + b_u) and the mixture weights
+        # sum to one, so no gate influences the output (or any gradient).
+        out = np.tanh(xd @ Wux + b_u.data)
+
+        def backward_zz(gh):
+            da = gh * (1.0 - out * out)
+            dWu = np.zeros_like(Wu)
+            dWu[:D] = xd.T @ da
+            grads = [da @ Wux.T, None, None]
+            for gw, gb in zip(gate_ws, gate_bs):
+                grads.append(np.zeros_like(gw))
+                grads.append(np.zeros_like(gb))
+            grads.append(dWu)
+            grads.append(da.sum(axis=0))
+            return tuple(grads)
+
+        return Tensor._make(out, tuple(parents), backward_zz)
+    if t_inert:
+        return _gdu_t_zero(
+            parents, gate_ws, gate_bs, gate_slots,
+            forget is not None, select is not None,
+            xd, zd, Wu, Wux, Wuz, b_u.data, D, H,
+        )
+    # ------------------------------------------------------------------
+
+    f = e = g = r = None
+    S = Wg = None
+    if k:
+        # One stacked matmul for every active gate: σ([x|z|t] @ (C, kH)).
+        S = np.concatenate((xd, zd, td), axis=1)
+        Wg = np.concatenate(gate_ws, axis=1)
+        G = _sigmoid(S @ Wg + np.concatenate(gate_bs))
+        col = 0
+        if forget is not None:
+            f = G[:, col : col + H]
+            col += H
+        if adjust is not None:
+            e = G[:, col : col + H]
+            col += H
+        if select is not None:
+            g = G[:, col : col + H]
+            r = G[:, col + H : col + 2 * H]
+
+    z1 = f * zd if forget is not None else zd  # z̃ = f ⊙ z
+    t1 = e * td if adjust is not None else td  # t̃ = e ⊙ t
+
+    px = xd @ Wux + b_u.data
+
+    if select is not None:
+        pz1 = z1 @ Wuz
+        pz0 = zd @ Wuz if forget is not None else pz1
+        pt1 = t1 @ Wut
+        pt0 = td @ Wut if adjust is not None else pt1
+        # The four shared-weight candidates of the selection mixture, in
+        # the paper's (z̃,t̃) / (z,t̃) / (z̃,t) / (z,t) order, built with
+        # in-place adds (commutative, so bit-identical to the naive form).
+        ca = px + pz1
+        ca += pt1
+        np.tanh(ca, out=ca)
+        cb = px + pz0
+        cb += pt1
+        np.tanh(cb, out=cb)
+        cc = px + pz1
+        cc += pt0
+        np.tanh(cc, out=cc)
+        cd = px + pz0
+        cd += pt0
+        np.tanh(cd, out=cd)
+        one_m_g = 1.0 - g
+        one_m_r = 1.0 - r
+        ma = g * r
+        mb = one_m_g * r
+        mc = g * one_m_r
+        md = one_m_g * one_m_r
+        out = ma * ca
+        out += mb * cb
+        out += mc * cc
+        out += md * cd
+    else:
+        c_single = np.tanh(px + z1 @ Wuz + t1 @ Wut)
+        out = c_single
+
+    def backward(gh):
+        if select is not None:
+            # h = Σ m_k ⊙ c_k with m ∈ {gr, (1−g)r, g(1−r), (1−g)(1−r)}.
+            daa = (gh * ma) * (1.0 - ca * ca)
+            dab = (gh * mb) * (1.0 - cb * cb)
+            dac = (gh * mc) * (1.0 - cc * cc)
+            dad = (gh * md) * (1.0 - cd * cd)
+            da_sum = daa + dab + dac + dad
+            da_z1 = daa + dac  # candidates reading the z̃ port
+            da_z0 = dab + dad  # candidates reading the raw z port
+            da_t1 = daa + dab
+            da_t0 = dac + dad
+            dg = gh * (r * (ca - cb) + one_m_r * (cc - cd))
+            dr = gh * (g * (ca - cc) + one_m_g * (cb - cd))
+        else:
+            da_sum = gh * (1.0 - c_single * c_single)
+            da_z1 = da_t1 = da_sum
+            da_z0 = da_t0 = None
+            dg = dr = None
+
+        dz1 = da_z1 @ Wuz.T
+        dt1 = da_t1 @ Wut.T
+        if forget is not None:
+            df = dz1 * zd
+            dz = dz1 * f
+        else:
+            df = None
+            dz = dz1
+        if adjust is not None:
+            de = dt1 * td
+            dt = dt1 * e
+        else:
+            de = None
+            dt = dt1
+        if da_z0 is not None:
+            dz = dz + da_z0 @ Wuz.T
+            dt = dt + da_t0 @ Wut.T
+
+        dWu = np.empty_like(Wu)
+        dWu[:D] = xd.T @ da_sum
+        if da_z0 is not None:
+            dWu[D : D + H] = z1.T @ da_z1 + zd.T @ da_z0
+            dWu[D + H :] = t1.T @ da_t1 + td.T @ da_t0
+        else:
+            dWu[D : D + H] = z1.T @ da_z1
+            dWu[D + H :] = t1.T @ da_t1
+        db_u = da_sum.sum(axis=0)
+        dx = da_sum @ Wux.T
+
+        grads = [dx, dz, dt]
+        if k:
+            # Pre-activation grads for the stacked gate block, in the same
+            # f/e/g/r stacking order as the forward matmul.
+            d_gates = []
+            if forget is not None:
+                d_gates.append(df * f * (1.0 - f))
+            if adjust is not None:
+                d_gates.append(de * e * (1.0 - e))
+            if select is not None:
+                d_gates.append(dg * g * (1.0 - g))
+                d_gates.append(dr * r * (1.0 - r))
+            dU = np.concatenate(d_gates, axis=1)
+            dWg = S.T @ dU
+            dbg = dU.sum(axis=0)
+            dS = dU @ Wg.T
+            grads[0] = grads[0] + dS[:, :D]
+            grads[1] = grads[1] + dS[:, D : D + H]
+            grads[2] = grads[2] + dS[:, D + H :]
+            for i in range(k):
+                grads.append(np.ascontiguousarray(dWg[:, i * H : (i + 1) * H]))
+                grads.append(dbg[i * H : (i + 1) * H])
+        grads.append(dWu)
+        grads.append(db_u)
+        return tuple(grads)
+
+    return Tensor._make(out, tuple(parents), backward)
+
+
 # Register with the op profiler / tape sanitizer like every other tape op.
 embedding_gather = instrument_op("embedding_gather", embedding_gather)
 gru_sequence = instrument_op("gru_sequence", gru_sequence)
 lstm_sequence = instrument_op("lstm_sequence", lstm_sequence)
+gdu_layer = instrument_op("gdu_layer", gdu_layer)

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from . import init
-from .tensor import Tensor, concatenate, ensure_tensor, stack
+from .tensor import Tensor, concatenate, ensure_tensor, stack, tape_enabled
 from .nn import Linear, Module, Parameter
 
 
@@ -231,8 +231,17 @@ class GRUEncoder(Module):
 
         One :func:`concatenate` tape node per matrix; its backward splits
         the kernel's stacked gradient back onto the per-gate Parameters, so
-        checkpoints keep the historical per-gate state-dict layout.
+        checkpoints keep the historical per-gate state-dict layout. With
+        the tape off there is no gradient to split, so the stack is a raw
+        ``np.concatenate`` — same bytes, none of the node bookkeeping
+        (single-article serving calls this per request).
         """
+        if not tape_enabled():
+            return (
+                np.concatenate((cell.w_xz.data, cell.w_xr.data, cell.w_xh.data), axis=1),
+                np.concatenate((cell.w_hz.data, cell.w_hr.data, cell.w_hh.data), axis=1),
+                np.concatenate((cell.b_z.data, cell.b_r.data, cell.b_h.data), axis=0),
+            )
         return (
             concatenate([cell.w_xz, cell.w_xr, cell.w_xh], axis=1),
             concatenate([cell.w_hz, cell.w_hr, cell.w_hh], axis=1),
@@ -246,9 +255,14 @@ class GRUEncoder(Module):
         embedded = embedding_gather(self.embedding.weight, seq)  # (B, T, E)
         if self.cell_type == "lstm":
             cell = self.cell
-            w_x = concatenate([cell.w_xi, cell.w_xf, cell.w_xc, cell.w_xo], axis=1)
-            w_h = concatenate([cell.w_hi, cell.w_hf, cell.w_hc, cell.w_ho], axis=1)
-            b = concatenate([cell.b_i, cell.b_f, cell.b_c, cell.b_o], axis=0)
+            if tape_enabled():
+                w_x = concatenate([cell.w_xi, cell.w_xf, cell.w_xc, cell.w_xo], axis=1)
+                w_h = concatenate([cell.w_hi, cell.w_hf, cell.w_hc, cell.w_ho], axis=1)
+                b = concatenate([cell.b_i, cell.b_f, cell.b_c, cell.b_o], axis=0)
+            else:
+                w_x = np.concatenate((cell.w_xi.data, cell.w_xf.data, cell.w_xc.data, cell.w_xo.data), axis=1)
+                w_h = np.concatenate((cell.w_hi.data, cell.w_hf.data, cell.w_hc.data, cell.w_ho.data), axis=1)
+                b = np.concatenate((cell.b_i.data, cell.b_f.data, cell.b_c.data, cell.b_o.data), axis=0)
             states = lstm_sequence(embedded, mask, w_x, w_h, b)
         elif self.cell_type == "bigru":
             states = concatenate(
@@ -268,7 +282,11 @@ class GRUEncoder(Module):
             states = gru_sequence(
                 embedded, mask, *self._stacked_gru_gates(self.cell)
             )
-        hidden_sum = (states * Tensor(mask[:, :, None])).sum(axis=1)
+        if tape_enabled():
+            hidden_sum = (states * Tensor(mask[:, :, None])).sum(axis=1)
+        else:
+            # Same multiply-then-reduce, minus per-op Tensor bookkeeping.
+            hidden_sum = Tensor((states.data * mask[:, :, None]).sum(axis=1))
         return self.fusion(hidden_sum).sigmoid()
 
     def _forward_bidirectional(self, seq: np.ndarray, mask: np.ndarray) -> Tensor:

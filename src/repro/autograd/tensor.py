@@ -102,6 +102,47 @@ def set_op_tag_hook(
 #: (:mod:`repro.analysis.shapes`) must declare a transfer function for each.
 INSTRUMENTED_OPS: list = []
 
+# ----------------------------------------------------------------------
+# No-tape forward mode
+# ----------------------------------------------------------------------
+#: When ``False`` (inside a :class:`no_tape` block) every op returns a bare
+#: ``Tensor(data)``: no parent tuple, no backward closure, no grad plumbing.
+#: Inference-only callers (:class:`repro.serve.InferenceSession`, sharded
+#: workers) use this to skip the tape allocation entirely.
+_TAPE_ENABLED: bool = True
+
+
+def tape_enabled() -> bool:
+    """True when ops record parents/backward closures (the default)."""
+    return _TAPE_ENABLED
+
+
+class no_tape:
+    """Context manager: run tensor ops with autograd bookkeeping disabled.
+
+    Inside the block every op short-circuits in :meth:`Tensor._make` and
+    returns a constant ``Tensor`` — no parents, no backward closure, no
+    graph retained. ``backward()`` on a result raises (nothing requires
+    grad), which is the point: this is a forward-only mode for serving.
+
+    The op hooks (profiler / sanitizer / flame op tags) exist to observe
+    the tape, so :func:`instrument_op` skips hook dispatch entirely while
+    the tape is off — an :class:`repro.obs.OpProfiler` legitimately records
+    zero ops inside the block. Re-entrant and exception-safe.
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "no_tape":
+        global _TAPE_ENABLED
+        self._previous = _TAPE_ENABLED
+        _TAPE_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _TAPE_ENABLED
+        _TAPE_ENABLED = self._previous
+
 
 def instrument_op(op: str, fn: Callable) -> Callable:
     """Wrap a tape op so the global hooks observe its forward and backward.
@@ -116,6 +157,9 @@ def instrument_op(op: str, fn: Callable) -> Callable:
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
+        if not _TAPE_ENABLED:
+            # No tape → nothing for the hooks to observe (see ``no_tape``).
+            return fn(*args, **kwargs)
         hook = _OP_HOOK
         check = _CHECK_HOOK
         op_tag = _OP_TAG_HOOK
@@ -289,6 +333,8 @@ class Tensor:
         parents: tuple,
         backward: Callable,
     ) -> "Tensor":
+        if not _TAPE_ENABLED:
+            return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)

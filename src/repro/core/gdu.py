@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Module, Parameter, Tensor, concatenate, init
+from ..autograd import Module, Parameter, Tensor, concatenate, gdu_layer, init
 
 
 class GDU(Module):
@@ -38,6 +38,12 @@ class GDU(Module):
         Ablation switches. Disabling a gate replaces it with the identity
         (forget/adjust) or with the plain candidate ``tanh(W_u[x,z,t])``
         (selection).
+    fused:
+        Route :meth:`forward` through the single-tape-node
+        :func:`repro.autograd.gdu_layer` kernel (the default, toggled
+        model-wide by ``FakeDetectorConfig.fused_kernels``). Parameters,
+        ``state_dict`` layout, and checkpoints are identical either way;
+        outputs match the unrolled path to 1e-12.
     """
 
     def __init__(
@@ -48,6 +54,7 @@ class GDU(Module):
         use_forget_gate: bool = True,
         use_adjust_gate: bool = True,
         use_selection_gates: bool = True,
+        fused: bool = True,
     ):
         super().__init__()
         rng = rng or np.random.default_rng()  # repro: noqa[RA002] explicit opt-in randomness when no generator is supplied
@@ -56,6 +63,7 @@ class GDU(Module):
         self.use_forget_gate = use_forget_gate
         self.use_adjust_gate = use_adjust_gate
         self.use_selection_gates = use_selection_gates
+        self.fused = fused
 
         concat_dim = input_dim + 2 * hidden_dim
         if use_forget_gate:
@@ -78,6 +86,19 @@ class GDU(Module):
             raise ValueError(
                 f"batch mismatch: x={x.shape}, z={z.shape}, t={t.shape}"
             )
+        if self.fused:
+            return gdu_layer(
+                x,
+                z,
+                t,
+                self.w_u,
+                self.b_u,
+                forget=(self.w_f, self.b_f) if self.use_forget_gate else None,
+                adjust=(self.w_e, self.b_e) if self.use_adjust_gate else None,
+                select=(self.w_g, self.b_g, self.w_r, self.b_r)
+                if self.use_selection_gates
+                else None,
+            )
         xzt = concatenate([x, z, t], axis=1)
 
         z_tilde = (xzt @ self.w_f + self.b_f).sigmoid() * z if self.use_forget_gate else z
@@ -91,12 +112,16 @@ class GDU(Module):
 
         g = (xzt @ self.w_g + self.b_g).sigmoid()
         r = (xzt @ self.w_r + self.b_r).sigmoid()
-        one = Tensor(np.ones_like(g.data))
+        # ``1 - g`` routes through ``__rsub__`` against a scalar constant —
+        # no per-call ones-tensor allocation (same shape-saving as the
+        # GRUCell fix in PR 5).
+        one_m_g = 1 - g
+        one_m_r = 1 - r
         return (
             g * r * candidate(z_tilde, t_tilde)
-            + (one - g) * r * candidate(z, t_tilde)
-            + g * (one - r) * candidate(z_tilde, t)
-            + (one - g) * (one - r) * candidate(z, t)
+            + one_m_g * r * candidate(z, t_tilde)
+            + g * one_m_r * candidate(z_tilde, t)
+            + one_m_g * one_m_r * candidate(z, t)
         )
 
     def zero_state(self, batch: int) -> Tensor:

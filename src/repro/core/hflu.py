@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..autograd import GRUEncoder, Module, Tensor, concatenate
+from ..autograd.tensor import tape_enabled
 
 
 class HFLU(Module):
@@ -97,4 +98,8 @@ class HFLU(Module):
             parts.append(self.encoder(sequences))
         if len(parts) == 1:
             return parts[0]
+        if not tape_enabled():
+            # Inference: same bytes as the taped concatenate, no split-grad
+            # node (this is the hot seam of the per-request serving path).
+            return Tensor(np.concatenate([p.data for p in parts], axis=1))
         return concatenate(parts, axis=1)

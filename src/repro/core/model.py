@@ -86,6 +86,7 @@ class FakeDetectorModel(Module):
                 use_forget_gate=config.use_forget_gate,
                 use_adjust_gate=config.use_adjust_gate,
                 use_selection_gates=config.use_selection_gates,
+                fused=config.fused_kernels,
             )
 
         self.hflu_article = make_hflu()
@@ -156,8 +157,12 @@ class FakeDetectorModel(Module):
         h_s = self.gdu_subject.zero_state(n_subjects)
 
         rounds = max(1, self.config.diffusion_iterations)
-        for _ in range(rounds):
-            if self.config.use_diffusion:
+        for rnd in range(rounds):
+            # Round 1 aggregates the all-zero initial states: both pooling
+            # strategies map zero neighbors to exact zeros with zero
+            # parameter-gradient contribution, so the gather/segment work
+            # is provably dead and the zero defaults are used directly.
+            if self.config.use_diffusion and rnd > 0:
                 z_n = self.agg_article_subjects(
                     h_s, graph.article_subject_gather, graph.article_subject_segment, n_articles
                 )

@@ -21,10 +21,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, no_tape
 from ..core.predictions import Prediction, predictions_from_logits
 from ..obs import trace
-from ..text.sequences import encode_sequence
+from ..text.sequences import encode_batch
 from ..text.tokenizer import tokenize
 from .cache import LRUCache
 from .metrics import ServingMetrics
@@ -121,9 +121,11 @@ class InferenceSession:
         with trace(
             "serve.session_init", articles=detector.features.articles.num
         ):
-            logits, states = model.forward_with_states(
-                detector.features, detector.graph
-            )
+            # Inference-only pass: no_tape skips all autograd bookkeeping.
+            with no_tape():
+                logits, states = model.forward_with_states(
+                    detector.features, detector.graph
+                )
         self._graph_logits = {kind: t.data.copy() for kind, t in logits.items()}
         self._h_creator = states["creator"].data.copy()
         self._h_subject = states["subject"].data.copy()
@@ -153,19 +155,51 @@ class InferenceSession:
     # ------------------------------------------------------------------
     def _encode(self, text: str):
         """(explicit, sequence) features for one text, via the LRU cache."""
-        key = _text_key(text)
-        cached = self._feature_cache.get(key)
-        if cached is not None:
-            self.metrics.record_cache(hit=True)
-            return cached
-        self.metrics.record_cache(hit=False)
-        tokens = tokenize(text)
-        encoded = (
-            self._extractor.transform_one(tokens),
-            encode_sequence(tokens, self._vocab, self.config.max_seq_len),
+        explicit, sequences = self._encode_batch([text])
+        return explicit[0], sequences[0]
+
+    def _encode_batch(self, texts: Sequence[str]):
+        """Batched ``(explicit (n, d), sequences (n, T))`` feature encode.
+
+        Cache hits are served from the LRU; all misses in the batch are
+        featurized together — the explicit vectors through the CSR sparse
+        path (:meth:`repro.text.BagOfWordsExtractor.transform_csr`) instead
+        of per-row dense building, the token ids in one ``encode_batch``.
+        """
+        encoded: List = [None] * len(texts)
+        keys: List[str] = []
+        miss_idx: List[int] = []
+        miss_tokens: List = []
+        for i, text in enumerate(texts):
+            key = _text_key(text)
+            keys.append(key)
+            cached = self._feature_cache.get(key)
+            if cached is not None:
+                self.metrics.record_cache(hit=True)
+                encoded[i] = cached
+            else:
+                self.metrics.record_cache(hit=False)
+                miss_idx.append(i)
+                miss_tokens.append(tokenize(text))
+        if miss_idx:
+            if len(miss_tokens) == 1:
+                # Single-request misses skip CSR assembly: one dict-lookup
+                # count pass produces bit-identical features (the row norm
+                # sums the same non-zeros either way).
+                explicit = self._extractor.transform_one(miss_tokens[0])[None]
+            else:
+                explicit = self._extractor.transform(miss_tokens)
+            sequences = encode_batch(
+                miss_tokens, self._vocab, self.config.max_seq_len
+            )
+            for j, i in enumerate(miss_idx):
+                pair = (explicit[j], sequences[j])
+                encoded[i] = pair
+                self._feature_cache.put(keys[i], pair)
+        return (
+            np.stack([e for e, _ in encoded]),
+            np.stack([s for _, s in encoded]),
         )
-        self._feature_cache.put(key, encoded)
-        return encoded
 
     def predict(
         self,
@@ -227,14 +261,14 @@ class InferenceSession:
             return []
         with trace("serve.predict", batch=len(articles)) as span:
             start = perf_counter()
+            # The model went into eval mode at construction; re-walking the
+            # module tree per request costs more than the head matmul.
             model = self.detector.model
-            model.eval()
 
             with trace("serve.encode", batch=len(articles)):
-                encoded = [self._encode(a.text) for a in articles]
-            explicit = np.stack([e for e, _ in encoded])
-            sequences = np.stack([s for _, s in encoded])
-            x = model.hflu_article(explicit, sequences)
+                explicit, sequences = self._encode_batch(
+                    [a.text for a in articles]
+                )
 
             hidden = model.gdu_article.hidden_dim
             z = np.zeros((len(articles), hidden))
@@ -251,8 +285,11 @@ class InferenceSession:
                 if creator_row is not None:
                     t[i] = self._h_creator[creator_row]
 
-            h = model.gdu_article(x, Tensor(z), Tensor(t))
-            logits = model.head_article(h).data
+            # Forward-only scoring: no_tape skips graph/grad bookkeeping.
+            with no_tape():
+                x = model.hflu_article(explicit, sequences)
+                h = model.gdu_article(x, Tensor(z), Tensor(t))
+                logits = model.head_article(h).data
             if self.drift is not None:
                 self.drift.observe_batch(explicit, logits)
             ids = [a.article_id for a in articles]

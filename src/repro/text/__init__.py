@@ -7,6 +7,7 @@ from .features import (
     select_discriminative_words,
 )
 from .sequences import encode_batch, encode_sequence, infer_max_length, sequence_lengths
+from .sparse import CsrMatrix, csr_from_token_docs
 from .tokenizer import STOP_WORDS, remove_stop_words, tokenize, tokenize_clean
 from .vocabulary import PAD_INDEX, PAD_TOKEN, UNK_INDEX, UNK_TOKEN, Vocabulary
 
@@ -28,4 +29,6 @@ __all__ = [
     "encode_batch",
     "sequence_lengths",
     "infer_max_length",
+    "CsrMatrix",
+    "csr_from_token_docs",
 ]

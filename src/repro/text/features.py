@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .sparse import CsrMatrix, csr_from_token_docs
 from .tokenizer import STOP_WORDS
 
 
@@ -220,12 +221,27 @@ class BagOfWordsExtractor:
             extractor.idf = np.asarray(payload["idf"], dtype=np.float64)
         return extractor
 
+    def transform_csr(self, documents: Sequence[Sequence[str]]) -> "CsrMatrix":
+        """Featurize many documents into a :class:`CsrMatrix` batch.
+
+        The sparse path the pipeline and the serving session use: one CSR
+        construction pass, then tf-idf scaling and L2 normalization as
+        vectorized operations over the non-zeros only. Values match
+        :meth:`transform_one` (same counts, same idf products; the L2 norm
+        is accumulated over the non-zeros instead of the full row).
+        """
+        csr = csr_from_token_docs(documents, self._word_to_index, self.dim)
+        if self.weighting == "tfidf":
+            if self.idf is None:
+                raise RuntimeError("call fit_idf() before tfidf transforms")
+            csr.scale_columns(self.idf)
+        if self.normalize:
+            csr.normalize_rows()
+        return csr
+
     def transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
-        """Featurize many documents into an (n, d) matrix."""
-        out = np.zeros((len(documents), self.dim), dtype=np.float64)
-        for i, doc in enumerate(documents):
-            out[i] = self.transform_one(doc)
-        return out
+        """Featurize many documents into an (n, d) matrix (CSR-backed)."""
+        return self.transform_csr(documents).to_dense()
 
     @classmethod
     def fit(

@@ -13,7 +13,12 @@ import numpy as np
 import pytest
 
 from repro.autograd import GRUEncoder, Tensor, gradcheck
-from repro.autograd.kernels import embedding_gather, gru_sequence, lstm_sequence
+from repro.autograd.kernels import (
+    embedding_gather,
+    gdu_layer,
+    gru_sequence,
+    lstm_sequence,
+)
 
 pytestmark = pytest.mark.kernels
 
@@ -182,6 +187,182 @@ class TestObservabilityIntegration:
         fused, _ = _pair("lstm")
         with Sanitizer() as sanitizer:
             (fused(SEQ) ** 2).sum().backward()
+        assert sanitizer.stats.forward_ops > 0
+        assert sanitizer.stats.backward_ops > 0
+
+
+#: Every (use_forget_gate, use_adjust_gate, use_selection_gates) combination.
+GDU_ABLATIONS = [
+    (f, a, s) for f in (True, False) for a in (True, False) for s in (True, False)
+]
+
+
+def _gdu_pair(flags=(True, True, True), seed=3, input_dim=5, hidden_dim=4):
+    """Two identically-initialized GDUs, fused and unrolled."""
+    from repro.core.gdu import GDU
+
+    forget, adjust, select = flags
+    make = lambda fused: GDU(
+        input_dim, hidden_dim, rng=np.random.default_rng(seed),
+        use_forget_gate=forget, use_adjust_gate=adjust,
+        use_selection_gates=select, fused=fused,
+    )
+    return make(True), make(False)
+
+
+def _gdu_inputs(rng, n=7, input_dim=5, hidden_dim=4, requires_grad=False):
+    return (
+        Tensor(rng.standard_normal((n, input_dim)), requires_grad=requires_grad),
+        Tensor(rng.standard_normal((n, hidden_dim)), requires_grad=requires_grad),
+        Tensor(rng.standard_normal((n, hidden_dim)), requires_grad=requires_grad),
+    )
+
+
+class TestGduGradcheck:
+    @pytest.mark.parametrize("flags", GDU_ABLATIONS)
+    def test_gdu_layer(self, rng, flags):
+        fused, _ = _gdu_pair(flags)
+        x, z, t = _gdu_inputs(rng, requires_grad=True)
+        params = [p for _, p in fused.named_parameters()]
+
+        def loss(x, z, t, *_params):
+            return (fused(x, z, t) ** 2).sum()
+
+        assert gradcheck(loss, [x, z, t] + params, tolerance=1e-5)
+
+
+class TestGduEquivalence:
+    @pytest.mark.parametrize("flags", GDU_ABLATIONS)
+    def test_forward_and_gradients_match_unrolled(self, rng, flags):
+        fused, unrolled = _gdu_pair(flags)
+        x_f, z_f, t_f = _gdu_inputs(rng, requires_grad=True)
+        x_u = Tensor(x_f.data.copy(), requires_grad=True)
+        z_u = Tensor(z_f.data.copy(), requires_grad=True)
+        t_u = Tensor(t_f.data.copy(), requires_grad=True)
+        h_f, h_u = fused(x_f, z_f, t_f), unrolled(x_u, z_u, t_u)
+        np.testing.assert_allclose(h_f.data, h_u.data, atol=1e-12)
+        (h_f ** 2).sum().backward()
+        (h_u ** 2).sum().backward()
+        for (name, p_f), (_, p_u) in zip(
+            fused.named_parameters(), unrolled.named_parameters()
+        ):
+            np.testing.assert_allclose(
+                p_f.grad, p_u.grad, atol=1e-12, err_msg=name
+            )
+        for name, a, b in (("x", x_f, x_u), ("z", z_f, z_u), ("t", t_f, t_u)):
+            np.testing.assert_allclose(a.grad, b.grad, atol=1e-12, err_msg=name)
+
+    @pytest.mark.parametrize("flags", GDU_ABLATIONS)
+    @pytest.mark.parametrize("zero_ports", [("t",), ("z", "t")])
+    def test_zero_port_fast_paths_match_unrolled(self, rng, flags, zero_ports):
+        """Exactly-zero no-grad ports (the §4.2 defaults) stay equivalent.
+
+        ``diffuse`` feeds zero states through z and t in round 1 and through
+        t on creator/subject units every round; the fused kernel serves
+        those calls from collapsed fast paths, which must agree with the
+        unrolled tape and still deliver a gradient to *every* parameter
+        (dead gates get exact zeros, not None).
+        """
+        fused, unrolled = _gdu_pair(flags)
+        x_f, _, _ = _gdu_inputs(rng, requires_grad=True)
+        x_u = Tensor(x_f.data.copy(), requires_grad=True)
+        zero = lambda: Tensor(np.zeros((7, 4)))  # zero_state: no grad
+        live = lambda: rng.standard_normal((7, 4))
+        z_data = zero().data if "z" in zero_ports else live()
+        h_f = fused(
+            x_f,
+            Tensor(z_data, requires_grad=False) if "z" in zero_ports
+            else Tensor(z_data.copy(), requires_grad=True),
+            zero(),
+        )
+        h_u = unrolled(
+            x_u,
+            Tensor(z_data, requires_grad=False) if "z" in zero_ports
+            else Tensor(z_data.copy(), requires_grad=True),
+            zero(),
+        )
+        np.testing.assert_allclose(h_f.data, h_u.data, atol=1e-12)
+        (h_f ** 2).sum().backward()
+        (h_u ** 2).sum().backward()
+        for (name, p_f), (_, p_u) in zip(
+            fused.named_parameters(), unrolled.named_parameters()
+        ):
+            assert p_f.grad is not None, f"fast path dropped grad for {name}"
+            np.testing.assert_allclose(
+                p_f.grad, p_u.grad, atol=1e-12, err_msg=name
+            )
+        np.testing.assert_allclose(x_f.grad, x_u.grad, atol=1e-12)
+
+    @pytest.mark.parametrize("flags", GDU_ABLATIONS)
+    def test_zero_port_fast_paths_pass_gradcheck(self, rng, flags):
+        """Numerical gradcheck through the t-zero fast path's x/z inputs."""
+        fused, _ = _gdu_pair(flags)
+        x = Tensor(rng.standard_normal((5, 5)), requires_grad=True)
+        z = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        t = Tensor(np.zeros((5, 4)))
+        params = [p for _, p in fused.named_parameters()]
+
+        def loss(x, z, *_params):
+            return (fused(x, z, t) ** 2).sum()
+
+        assert gradcheck(loss, [x, z] + params, tolerance=1e-5)
+
+    def test_state_dict_round_trips_across_modes(self, rng):
+        """Fused and unrolled GDUs share one checkpoint format."""
+        from repro.core.gdu import GDU
+
+        fused, unrolled = _gdu_pair(seed=1)
+        other = GDU(5, 4, rng=np.random.default_rng(99), fused=False)
+        other.load_state_dict(fused.state_dict())
+        x, z, t = _gdu_inputs(rng)
+        np.testing.assert_allclose(other(x, z, t).data, fused(x, z, t).data,
+                                   atol=1e-12)
+        fused.load_state_dict(other.state_dict())
+        np.testing.assert_allclose(fused(x, z, t).data, unrolled(x, z, t).data,
+                                   atol=1e-12)
+
+    def test_single_tape_node(self, rng):
+        """The whole fused GDU is one node: h's parents are the raw inputs."""
+        fused, unrolled = _gdu_pair()
+        x, z, t = _gdu_inputs(rng, requires_grad=True)
+        h = fused(x, z, t)
+        assert x in h._parents and z in h._parents and t in h._parents
+        deep = unrolled(x, z, t)
+        assert x not in deep._parents  # the unrolled tape is nested
+
+    def test_shape_validation(self, rng):
+        x, z, t = _gdu_inputs(rng)
+        w_u = Tensor(rng.standard_normal((13, 4)))
+        b_u = Tensor(rng.standard_normal(4))
+        with pytest.raises(ValueError):
+            gdu_layer(x, z, Tensor(rng.standard_normal((3, 4))), w_u, b_u)
+        with pytest.raises(ValueError):
+            gdu_layer(x, z, t, Tensor(rng.standard_normal((12, 4))), b_u)
+        with pytest.raises(ValueError):
+            gdu_layer(x, z, t, w_u, b_u,
+                      forget=(Tensor(rng.standard_normal((13, 5))),
+                              Tensor(rng.standard_normal(5))))
+
+
+class TestGduObservability:
+    def test_profiler_sees_gdu_layer(self, rng):
+        from repro.obs import OpProfiler
+
+        fused, _ = _gdu_pair()
+        x, z, t = _gdu_inputs(rng, requires_grad=True)
+        with OpProfiler() as profiler:
+            (fused(x, z, t) ** 2).sum().backward()
+        snap = profiler.snapshot()
+        assert snap["forward"]["gdu_layer"]["calls"] == 1
+        assert "gdu_layer" in snap["backward"]
+
+    def test_sanitizer_accepts_gdu_layer(self, rng):
+        from repro.analysis.sanitize import Sanitizer
+
+        fused, _ = _gdu_pair()
+        x, z, t = _gdu_inputs(rng, requires_grad=True)
+        with Sanitizer() as sanitizer:
+            (fused(x, z, t) ** 2).sum().backward()
         assert sanitizer.stats.forward_ops > 0
         assert sanitizer.stats.backward_ops > 0
 

@@ -27,9 +27,20 @@ class TestForwardAttribution:
         assert snap["forward"]["matmul"]["allocs"] == 1.0
         assert snap["forward"]["matmul"]["bytes"] == float(out.data.nbytes)
 
-    def test_gdu_forward_touches_expected_ops(self, profiler):
+    def test_fused_gdu_forward_is_one_op(self, profiler):
         rng = np.random.default_rng(0)
-        gdu = GDU(input_dim=6, hidden_dim=4, rng=rng)
+        gdu = GDU(input_dim=6, hidden_dim=4, rng=rng)  # fused by default
+        x = Tensor(rng.normal(size=(5, 6)))
+        z = Tensor(rng.normal(size=(5, 4)))
+        t = Tensor(rng.normal(size=(5, 4)))
+        gdu(x, z, t)
+        forward = profiler.snapshot()["forward"]
+        assert forward["gdu_layer"]["allocs"] == 1.0
+        assert "matmul" not in forward  # the whole unit is one tape node
+
+    def test_unrolled_gdu_forward_touches_expected_ops(self, profiler):
+        rng = np.random.default_rng(0)
+        gdu = GDU(input_dim=6, hidden_dim=4, rng=rng, fused=False)
         x = Tensor(rng.normal(size=(5, 6)))
         z = Tensor(rng.normal(size=(5, 4)))
         t = Tensor(rng.normal(size=(5, 4)))
@@ -40,16 +51,18 @@ class TestForwardAttribution:
             assert stats["bytes"] > 0
             assert stats["peak_live_bytes"] >= stats["live_bytes"]
 
-    def test_gdu_backward_attributes_grad_bytes(self, profiler):
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_gdu_backward_attributes_grad_bytes(self, profiler, fused):
         rng = np.random.default_rng(1)
-        gdu = GDU(input_dim=6, hidden_dim=4, rng=rng)
+        gdu = GDU(input_dim=6, hidden_dim=4, rng=rng, fused=fused)
         x = Tensor(rng.normal(size=(5, 6)), requires_grad=True)
         z = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
         t = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
         gdu(x, z, t).sum().backward()
         backward = profiler.snapshot()["backward"]
         assert backward  # gradient arrays were produced
-        assert backward["matmul"]["allocs"] >= 1.0
+        key = "gdu_layer" if fused else "matmul"
+        assert backward[key]["allocs"] >= 1.0
         assert profiler.total_bytes("backward") > 0
 
 

@@ -148,3 +148,55 @@ class TestBagOfWordsExtractor:
         ext = BagOfWordsExtractor.fit(docs, labels, size=100, min_count=1)
         assert ext.dim <= 100
         assert ext.dim >= 3
+
+
+class TestCsrTransform:
+    """The sparse batch path (transform_csr) agrees with transform_one."""
+
+    DOCS = [["a", "a", "b", "zz"], [], ["c"], ["b", "c", "b", "a"]]
+
+    def test_counts_match_transform_one_exactly(self):
+        ext = BagOfWordsExtractor(["a", "b", "c"])
+        batch = ext.transform(self.DOCS)
+        rows = np.stack([ext.transform_one(d) for d in self.DOCS])
+        np.testing.assert_array_equal(batch, rows)
+
+    def test_tfidf_and_normalize_match_transform_one(self):
+        ext = BagOfWordsExtractor(
+            ["a", "b", "c"], normalize=True, weighting="tfidf"
+        ).fit_idf(self.DOCS)
+        batch = ext.transform(self.DOCS)
+        rows = np.stack([ext.transform_one(d) for d in self.DOCS])
+        np.testing.assert_allclose(batch, rows, rtol=1e-15, atol=0)
+        norms = np.linalg.norm(batch, axis=1)
+        np.testing.assert_allclose(norms[[0, 2, 3]], 1.0)
+        assert norms[1] == 0.0  # empty doc stays all-zero
+
+    def test_csr_structure(self):
+        ext = BagOfWordsExtractor(["a", "b", "c"])
+        csr = ext.transform_csr(self.DOCS)
+        assert csr.shape == (4, 3)
+        assert csr.nnz == 6  # duplicates aggregated, unknowns dropped
+        np.testing.assert_array_equal(csr.indptr, [0, 2, 2, 3, 6])
+        np.testing.assert_array_equal(csr.row_ids(), [0, 0, 2, 3, 3, 3])
+        np.testing.assert_array_equal(csr.to_dense(), ext.transform(self.DOCS))
+
+    def test_csr_matmul_matches_dense(self, rng):
+        ext = BagOfWordsExtractor(["a", "b", "c"], normalize=True)
+        csr = ext.transform_csr(self.DOCS)
+        weights = rng.standard_normal((3, 6))
+        np.testing.assert_allclose(
+            csr.matmul(weights), csr.to_dense() @ weights, atol=1e-12
+        )
+        with pytest.raises(ValueError):
+            csr.matmul(rng.standard_normal((4, 6)))
+
+    def test_tfidf_without_fit_raises_in_batch_path(self):
+        ext = BagOfWordsExtractor(["a"], weighting="tfidf")
+        with pytest.raises(RuntimeError):
+            ext.transform([["a"]])
+
+    def test_all_empty_batch(self):
+        ext = BagOfWordsExtractor(["a", "b"], normalize=True)
+        out = ext.transform([[], []])
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
